@@ -1,0 +1,93 @@
+// Command st2asm assembles, disassembles, and runs PTX-lite kernels in
+// the textual format (see internal/isa: Program.Text / Parse).
+//
+// Usage:
+//
+//	st2asm -dump kernel-name          # print a suite kernel as assembly
+//	st2asm -run file.s -grid 4 -block 128 [-mode st2|baseline]
+//	st2asm -check file.s              # parse + validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+	"st2gpu/internal/kernels"
+)
+
+func main() {
+	var (
+		dump  = flag.String("dump", "", "print the named suite kernel as assembly text")
+		run   = flag.String("run", "", "assemble and run the given .s file")
+		check = flag.String("check", "", "assemble and validate the given .s file")
+		grid  = flag.Int("grid", 1, "grid dimension (blocks) for -run")
+		block = flag.Int("block", 128, "block dimension (threads) for -run")
+		mode  = flag.String("mode", "st2", "adder mode for -run: st2 or baseline")
+		sms   = flag.Int("sms", 2, "simulated SM count for -run")
+	)
+	flag.Parse()
+
+	switch {
+	case *dump != "":
+		w, err := kernels.ByName(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := w.Build(1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(spec.Kernel.Program.Text())
+
+	case *check != "":
+		prog, err := parseFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: OK — %d instructions, %d registers, %d predicates, %d B shared\n",
+			prog.Name, len(prog.Instrs), prog.NumRegs, prog.NumPreds, prog.SharedBytes)
+
+	case *run != "":
+		prog, err := parseFile(*run)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := gpusim.DefaultConfig()
+		cfg.NumSMs = *sms
+		if *mode == "baseline" {
+			cfg.AdderMode = gpusim.BaselineAdders
+		}
+		d, err := gpusim.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rs, err := d.Launch(&gpusim.Kernel{Program: prog, GridDim: *grid, BlockDim: *block})
+		if err != nil {
+			fatal(err)
+		}
+		aluAdd, fpuAdd := rs.AddFraction()
+		fmt.Printf("%s: %d cycles, %d thread instructions, %.1f%% adds, %.2f%% mispredicted\n",
+			prog.Name, rs.Cycles, rs.TotalThreadInstrs(),
+			100*(aluAdd+fpuAdd), 100*rs.MispredictionRate())
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseFile(path string) (*isa.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return isa.Parse(string(src))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "st2asm:", err)
+	os.Exit(1)
+}

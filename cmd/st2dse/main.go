@@ -1,0 +1,75 @@
+// Command st2dse runs the paper's design-space explorations: the
+// carry-speculation sweep of Figure 5 and the slice-bitwidth study of
+// Section V-B.
+//
+// Usage:
+//
+//	st2dse [-scale N] [-sms N]           # Figure 5 sweep
+//	st2dse -widths                       # slice-width characterization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"st2gpu/internal/experiments"
+	"st2gpu/internal/report"
+)
+
+func main() {
+	var (
+		scale  = flag.Int("scale", 1, "workload scale factor")
+		sms    = flag.Int("sms", 2, "simulated SM count")
+		widths = flag.Bool("widths", false, "run the slice-bitwidth DSE instead of the speculation sweep")
+		format = flag.String("format", "text", "output format: text, csv, or markdown")
+	)
+	flag.Parse()
+
+	if *widths {
+		results, best, err := experiments.SliceWidthDSE()
+		if err != nil {
+			fatal(err)
+		}
+		tbl := report.New("Section V-B — slice width characterization",
+			"slice bits", "structure", "slices", "supply (V)", "V/Vnom", "adder saving", "predictions/op", "chosen")
+		for i, r := range results {
+			marker := ""
+			if i == best {
+				marker = "<=" // paper: 8-bit
+			}
+			tbl.Add(r.SliceBits, r.Kind.String(), r.NumSlices,
+				fmt.Sprintf("%.3f", r.ScaledSupply), fmt.Sprintf("%.2f", r.SupplyRatio),
+				report.Pct(r.EnergySaving), r.PredictionsPerOp, marker)
+		}
+		printTable(tbl, *format)
+		return
+	}
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.NumSMs = *sms
+	rows, err := experiments.Fig5(cfg, nil)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := report.New("Figure 5 — carry-speculation design space",
+		"design", "avg thread misprediction rate")
+	for _, r := range rows {
+		tbl.Add(r.Design, report.Pct(r.MissRate))
+	}
+	printTable(tbl, *format)
+}
+
+func printTable(t *report.Table, format string) {
+	out, err := t.Render(format)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "st2dse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command st2energy regenerates the paper's Figure 7: the per-kernel
+// system-energy breakdown of the baseline GPU and ST² GPU, with the
+// system/chip savings summary, plus the Section VI overhead budget.
+//
+// Usage:
+//
+//	st2energy [-scale N] [-sms N] [-overheads]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"st2gpu/internal/experiments"
+	"st2gpu/internal/power"
+	"st2gpu/internal/report"
+)
+
+func main() {
+	var (
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		sms       = flag.Int("sms", 2, "simulated SM count")
+		overheads = flag.Bool("overheads", false, "print the Section VI area/power overhead budget and exit")
+		format    = flag.String("format", "", "emit the breakdown as csv or markdown instead of the text report")
+	)
+	flag.Parse()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+
+	if *overheads {
+		budget, err := experiments.Overheads(0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(tw, "level shifters\t%d instances\n", budget.Shifters)
+		fmt.Fprintf(tw, "shifter area\t%.2f mm² (%.2f%% of chip)\n",
+			budget.ShifterAreaMM2, 100*budget.ShifterAreaFraction)
+		fmt.Fprintf(tw, "shifter static power\t%.2f W\n", budget.ShifterStaticW)
+		fmt.Fprintf(tw, "shifter dynamic power\t%.4f W (worst-case toggle)\n", budget.ShifterDynamicW)
+		fmt.Fprintf(tw, "CRF per SM\t%d B\n", budget.CRFBytesPerSM)
+		fmt.Fprintf(tw, "CRF chip total\t%.1f kB\n", float64(budget.CRFBytesChip)/1024)
+		fmt.Fprintf(tw, "state DFFs chip total\t%.1f kB\n", float64(budget.StateDFFBytesChip)/1024)
+		fmt.Fprintf(tw, "total added state\t%.1f kB (%.3f%% of on-chip SRAM)\n",
+			float64(budget.TotalSRAMBytes)/1024, 100*budget.SRAMFraction)
+		return
+	}
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.NumSMs = *sms
+	rows, sum, err := experiments.Fig7(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *format != "" {
+		tbl := report.New("Figure 7 — normalized system energy (baseline vs ST²)",
+			"kernel", "config", "ALU+FPU", "int Mul/Div", "fp Mul/Div", "SFU",
+			"RegFile", "Caches+MC", "NoC", "Others", "DRAM", "saving")
+		for _, r := range rows {
+			total := r.Baseline.Total()
+			addRow := func(config string, b power.Breakdown, saving string) {
+				cells := []any{r.Kernel, config}
+				for _, c := range power.Components() {
+					cells = append(cells, fmt.Sprintf("%.4f", b[c]/total))
+				}
+				cells = append(cells, saving)
+				tbl.Add(cells...)
+			}
+			addRow("base", r.Baseline, "")
+			addRow("st2", r.ST2, report.Pct(r.SystemSaving))
+		}
+		out, err := tbl.Render(*format)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	fmt.Fprint(tw, "kernel\tconfig")
+	for _, c := range power.Components() {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw, "\tsaving")
+	for _, r := range rows {
+		printBreakdown(tw, r.Kernel, "base", r.Baseline, r.Baseline, 0)
+		printBreakdown(tw, "", "st2", r.ST2, r.Baseline, r.SystemSaving)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintf(tw, "average system energy saving\t%.1f%%\t(paper: 19%%)\n", 100*sum.AvgSystemSaving)
+	fmt.Fprintf(tw, "average chip energy saving\t%.1f%%\t(paper: 21%%)\n", 100*sum.AvgChipSaving)
+	fmt.Fprintf(tw, "baseline ALU+FPU system share\t%.1f%%\t(paper: 27%%)\n", 100*sum.AvgALUFPUShare)
+	fmt.Fprintf(tw, "baseline ALU+FPU chip share\t%.1f%%\t(paper: 30%%)\n", 100*sum.AvgALUFPUChip)
+	fmt.Fprintf(tw, "kernels >20%% ALU+FPU energy\t%d\t(paper: 14)\n", sum.IntenseCount)
+	fmt.Fprintf(tw, "their avg system saving\t%.1f%%\t(paper: 26%%)\n", 100*sum.IntenseSystemSaving)
+	fmt.Fprintf(tw, "max system saving\t%.1f%% (%s)\t(paper: 40%% msort_K2)\n",
+		100*sum.MaxSystemSaving, sum.MaxSystemSavingKernel)
+}
+
+// printBreakdown renders one bar of Figure 7, normalized to the kernel's
+// baseline total.
+func printBreakdown(tw *tabwriter.Writer, kernel, config string, b, norm power.Breakdown, saving float64) {
+	fmt.Fprintf(tw, "%s\t%s", kernel, config)
+	total := norm.Total()
+	for _, c := range power.Components() {
+		fmt.Fprintf(tw, "\t%.3f", b[c]/total)
+	}
+	if config == "st2" {
+		fmt.Fprintf(tw, "\t%.1f%%", 100*saving)
+	} else {
+		fmt.Fprint(tw, "\t")
+	}
+	fmt.Fprintln(tw)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "st2energy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command st2power runs the Section V-C power-model workflow: calibrate
+// Equation 1's per-component scale factors on the 123 micro-benchmark
+// stressors against the synthetic silicon, then validate on the 23-kernel
+// suite.
+//
+// Usage:
+//
+//	st2power [-noise sigma] [-seed N] [-scale N] [-sms N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"st2gpu/internal/experiments"
+	"st2gpu/internal/power"
+)
+
+func main() {
+	var (
+		noise = flag.Float64("noise", 0.06, "relative measurement noise of the synthetic silicon")
+		seed  = flag.Int64("seed", 1, "silicon + simulation seed")
+		scale = flag.Int("scale", 1, "workload scale factor")
+		sms   = flag.Int("sms", 2, "simulated SM count")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.NumSMs = *sms
+	cfg.Seed = *seed
+
+	rep, model, err := experiments.PowerValidation(cfg, *noise)
+	if err != nil {
+		fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "component\tcalibrated scale factor")
+	for i, s := range model.Scale {
+		fmt.Fprintf(tw, "%s\t%.3f\n", power.Component(i), s)
+	}
+	fmt.Fprintf(tw, "P_const\t%.4f W\n", model.PConst)
+	fmt.Fprintf(tw, "P_idleSM\t%.4f W\n", model.PIdleSM)
+	fmt.Fprintln(tw)
+	fmt.Fprintf(tw, "validation (23 kernels)\tMARE %.1f%% ± %.1f%%\t(paper: 10.5%% ± 3.8%%)\n",
+		100*rep.MeanAbsRelErr, 100*rep.ErrCI95)
+	fmt.Fprintf(tw, "\tPearson r %.2f\t(paper: 0.8)\n", rep.PearsonR)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "st2power:", err)
+	os.Exit(1)
+}

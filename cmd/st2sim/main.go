@@ -1,0 +1,209 @@
+// Command st2sim runs kernels from the evaluation suite on the simulated
+// ST² GPU (or the baseline) and reports instruction-mix, misprediction,
+// and timing statistics.
+//
+// Usage:
+//
+//	st2sim [-kernel name|all] [-mode st2|baseline] [-scale N] [-sms N] [-report mix|mispred|cycles|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+	"st2gpu/internal/kernels"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "all", "kernel name from the suite, or 'all'")
+		mode   = flag.String("mode", "st2", "adder microarchitecture: st2 or baseline")
+		scale  = flag.Int("scale", 1, "workload scale factor")
+		sms    = flag.Int("sms", 2, "simulated SM count")
+		report = flag.String("report", "full", "report: mix, mispred, cycles, or full")
+		list   = flag.Bool("list", false, "list available kernels and exit")
+		app    = flag.String("app", "", "run a multi-kernel application (mergesort, fwt, bitonic, backprop)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range kernels.Suite() {
+			fmt.Printf("%-14s (%s)\n", w.Name, w.Suite)
+		}
+		for _, w := range kernels.Extras() {
+			fmt.Printf("%-14s (%s)\n", w.Name, w.Suite)
+		}
+		for _, a := range kernels.Apps() {
+			fmt.Printf("%-14s (application)\n", a.Name)
+		}
+		return
+	}
+
+	if *app != "" {
+		runApp(*app, *scale, *sms, *mode)
+		return
+	}
+
+	adderMode := gpusim.ST2Adders
+	switch *mode {
+	case "st2":
+	case "baseline":
+		adderMode = gpusim.BaselineAdders
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	var suite []kernels.Workload
+	if *kernel == "all" {
+		suite = kernels.Suite()
+	} else if w, err := kernels.ByName(*kernel); err == nil {
+		suite = []kernels.Workload{w}
+	} else {
+		found := false
+		for _, w := range kernels.Extras() {
+			if w.Name == *kernel {
+				suite = []kernels.Workload{w}
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(err)
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	switch *report {
+	case "mix":
+		fmt.Fprintln(tw, "kernel\tALU.add\tFPU.add\tALU.other\tFPU.other\tother")
+	case "mispred":
+		fmt.Fprintln(tw, "kernel\tthread ops\tmispredicts\trate\trecompute(avg)\tCRF conflicts")
+	case "cycles":
+		fmt.Fprintln(tw, "kernel\tcycles\twarp instrs\tthread instrs\tIPC/SM\tSIMD eff")
+	default:
+		fmt.Fprintln(tw, "kernel\tmode\tcycles\tthread instrs\tadd frac\tmispred\tL1 hit\tDRAM tx")
+	}
+
+	for _, w := range suite {
+		spec, err := w.Build(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := gpusim.DefaultConfig()
+		cfg.NumSMs = *sms
+		cfg.AdderMode = adderMode
+		d, err := gpusim.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if spec.Setup != nil {
+			if err := spec.Setup(d.Memory()); err != nil {
+				fatal(err)
+			}
+		}
+		rs, err := d.Launch(spec.Kernel)
+		if err != nil {
+			fatal(err)
+		}
+		if spec.Verify != nil {
+			if err := spec.Verify(d.Memory()); err != nil {
+				fatal(fmt.Errorf("%s: output verification failed: %w", w.Name, err))
+			}
+		}
+		printRow(tw, *report, w.Name, rs)
+	}
+}
+
+func printRow(tw *tabwriter.Writer, report, name string, rs *gpusim.RunStats) {
+	tot := float64(rs.TotalThreadInstrs())
+	switch report {
+	case "mix":
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n", name,
+			pct(rs.ThreadInstrs[isa.FUAluAdd], tot),
+			pct(rs.ThreadInstrs[isa.FUFpAdd], tot),
+			pct(rs.ThreadInstrs[isa.FUAluOther]+rs.ThreadInstrs[isa.FUIntMul]+rs.ThreadInstrs[isa.FUIntDiv], tot),
+			pct(rs.ThreadInstrs[isa.FUFpMul]+rs.ThreadInstrs[isa.FUFpDiv]+rs.ThreadInstrs[isa.FUSfu], tot),
+			pct(rs.ThreadInstrs[isa.FUMem]+rs.ThreadInstrs[isa.FUCtrl], tot))
+	case "mispred":
+		var ops, mis uint64
+		var recompN, recompSum float64
+		for _, u := range rs.Units {
+			ops += u.ThreadOps
+			mis += u.ThreadMispredicts
+			if u.RecomputeHistogram != nil && u.RecomputeHistogram.Total() > 0 {
+				recompSum += u.RecomputeHistogram.Mean() * float64(u.RecomputeHistogram.Total())
+				recompN += float64(u.RecomputeHistogram.Total())
+			}
+		}
+		mean := 0.0
+		if recompN > 0 {
+			mean = recompSum / recompN
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f%%\t%.2f\t%d\n",
+			name, ops, mis, 100*rs.MispredictionRate(), mean, rs.CRF.Conflicts)
+	case "cycles":
+		var warpInstrs uint64
+		for _, v := range rs.WarpInstrs {
+			warpInstrs += v
+		}
+		ipc := float64(warpInstrs) / float64(rs.Cycles) / float64(rs.SMsUsed)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f\t%.1f%%\n",
+			name, rs.Cycles, warpInstrs, uint64(tot), ipc, 100*rs.SIMDEfficiency())
+	default:
+		aluAdd, fpuAdd := rs.AddFraction()
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t%.1f%%\t%.2f%%\t%.1f%%\t%d\n",
+			name, rs.Mode, rs.Cycles, uint64(tot),
+			100*(aluAdd+fpuAdd), 100*rs.MispredictionRate(),
+			100*rs.L1.HitRate(), rs.DRAMAccesses)
+	}
+}
+
+// runApp executes a multi-kernel application and prints per-launch stats.
+func runApp(name string, scale, sms int, mode string) {
+	for _, a := range kernels.Apps() {
+		if a.Name != name {
+			continue
+		}
+		application, err := a.Build(scale)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := gpusim.DefaultConfig()
+		cfg.NumSMs = sms
+		if mode == "baseline" {
+			cfg.AdderMode = gpusim.BaselineAdders
+		}
+		stats, err := application.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		var cycles, instrs uint64
+		for i, rs := range stats {
+			fmt.Printf("%-18s %10d cycles %10d thread instrs  mispred %.2f%%\n",
+				application.Launches[i].Name, rs.Cycles, rs.TotalThreadInstrs(),
+				100*rs.MispredictionRate())
+			cycles += rs.Cycles
+			instrs += rs.TotalThreadInstrs()
+		}
+		fmt.Printf("%-18s %10d cycles %10d thread instrs  (verified)\n", "total", cycles, instrs)
+		return
+	}
+	fatal(fmt.Errorf("unknown application %q", name))
+}
+
+func pct(n uint64, tot float64) float64 {
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(n) / tot
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "st2sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command st2trace regenerates the paper's value/carry correlation
+// analyses: the Figure 2 value-evolution dump for pathfinder and the
+// Figure 3 carry-in correlation table.
+//
+// Usage:
+//
+//	st2trace -report fig2 [-gtid N] [-points N]
+//	st2trace -report fig3 [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"st2gpu/internal/experiments"
+	"st2gpu/internal/trace"
+)
+
+func main() {
+	var (
+		report = flag.String("report", "fig3", "report: fig2 (value evolution) or fig3 (carry correlation)")
+		gtid   = flag.Uint("gtid", 37, "thread to trace for fig2")
+		points = flag.Int("points", 30, "points per PC for fig2")
+		scale  = flag.Int("scale", 1, "workload scale factor")
+		sms    = flag.Int("sms", 2, "simulated SM count")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.NumSMs = *sms
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+
+	switch *report {
+	case "fig2":
+		series, err := experiments.Fig2(cfg, uint32(*gtid), *points)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pathfinder thread %d: addition results per PC in logical time\n", *gtid)
+		for _, s := range series {
+			fmt.Fprintf(tw, "PC%d\t", s.PC)
+			for _, p := range s.Points {
+				fmt.Fprintf(tw, "%d ", p.Value)
+			}
+			fmt.Fprintln(tw)
+		}
+	case "fig3":
+		rows, err := experiments.Fig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(tw, "kernel\t%s\t%s\t%s\n",
+			trace.Fig3Designs[0], trace.Fig3Designs[1], trace.Fig3Designs[2])
+		for _, r := range rows {
+			if r.Samples[0] == 0 && r.Samples[1] == 0 && r.Samples[2] == 0 {
+				fmt.Fprintf(tw, "%s\t-\t-\t-\n", r.Kernel)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\n",
+				r.Kernel, 100*r.Rates[0], 100*r.Rates[1], 100*r.Rates[2])
+		}
+		fmt.Fprintln(tw, "\n(paper's averages: 50% / 83% / 89%)")
+	default:
+		fatal(fmt.Errorf("unknown -report %q", *report))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "st2trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package st2gpu is a from-scratch Go reproduction of "ST² GPU: An
+// Energy-Efficient GPU Design with Spatio-Temporal Shared-Thread
+// Speculative Adders" (DAC 2021).
+//
+// The repository contains the paper's contribution — sliced speculative
+// adders with history-based, thread-shared carry speculation — together
+// with every substrate its evaluation depends on: a SIMT GPU simulator
+// executing a PTX-like ISA, the 23-kernel Rodinia/CUDA-SDK/Parboil
+// evaluation suite, an analytic circuit-characterization flow, and a
+// GPUWattch-style calibrated power model. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results; the
+// benchmarks in bench_test.go regenerate every figure and table.
+package st2gpu

@@ -1,0 +1,112 @@
+// Customasm: write a GPU kernel as assembly text and run it on ST² GPU.
+//
+// The PTX-lite ISA has a canonical textual form (isa.Parse /
+// Program.Text). This example embeds a kernel as a string — a saxpy with
+// a strided loop — assembles it, runs it under both adder
+// microarchitectures, and checks the result on the host.
+//
+// Run with:
+//
+//	go run ./examples/customasm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+)
+
+// Each thread processes elements gtid, gtid+stride, ... of a saxpy:
+// y[i] = 2·x[i] + y[i], over n = 4096 elements with 1024 threads.
+const src = `
+.kernel saxpy_strided
+  mov.u32 r0, %gtid
+  mov.u32 r1, #4096          // n
+  mov.u32 r2, #1024          // stride (total threads)
+  mov.u32 r3, r0             // i = gtid
+Lloop:
+  setp.ge.u32 p0, r3, r1
+  @p0 bra Ldone
+  shl.u64 r4, r3, #2
+  add.u64 r5, r4, #1048576   // &x[i]
+  add.u64 r6, r4, #2097152   // &y[i]
+  ld.global.f32 r7, [r5]
+  ld.global.f32 r8, [r6]
+  mul.f32 r7, r7, r9         // a·x  (a staged in r9 below)
+  add.f32 r8, r7, r8         // y += a·x — a real ST² FPU add
+
+  st.global.f32 [r6], r8
+  add.u32 r3, r3, r2
+  bra Lloop
+Ldone:
+  exit
+`
+
+func main() {
+	prog, err := isa.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// r9 holds the scalar a = 2.0; it is staged by prepending a mov.
+	// (Alternatively bake it into the FMA immediate; shown here to
+	// demonstrate program editing.)
+	mov := isa.Instr{Op: isa.OpMov, Type: isa.F32, Dst: 9, Guard: isa.NoPred}
+	mov.Srcs[0] = isa.ImmF32(2.0)
+	prog.Instrs = append([]isa.Instr{mov}, prog.Instrs...)
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op == isa.OpBra {
+			prog.Instrs[i].Target++ // branch targets shifted by the insert
+		}
+	}
+	if prog.NumRegs < 10 {
+		prog.NumRegs = 10
+	}
+	if err := prog.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %q: %d instructions\n\n", prog.Name, len(prog.Instrs))
+
+	const n = 4096
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		// Irregular magnitudes so the mantissa carry speculation actually
+		// has something to predict (and occasionally miss).
+		x[i] = float32(i%97) * 0.137
+		y[i] = float32(i%61)*0.731 + 3.25
+	}
+
+	for _, mode := range []gpusim.AdderMode{gpusim.BaselineAdders, gpusim.ST2Adders} {
+		cfg := gpusim.DefaultConfig()
+		cfg.NumSMs = 2
+		cfg.AdderMode = mode
+		d, err := gpusim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.Memory().WriteF32s(1<<20, x); err != nil {
+			log.Fatal(err)
+		}
+		if err := d.Memory().WriteF32s(2<<20, y); err != nil {
+			log.Fatal(err)
+		}
+		rs, err := d.Launch(&gpusim.Kernel{Program: prog, GridDim: 8, BlockDim: 128})
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := d.Memory().ReadF32s(2<<20, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range got {
+			want := x[i]*2 + y[i]
+			if got[i] != want {
+				log.Fatalf("mode %v: y[%d] = %g, want %g", mode, i, got[i], want)
+			}
+		}
+		fmt.Printf("%-8v %7d cycles, %6d thread instrs, mispredict %.2f%% — result exact\n",
+			mode, rs.Cycles, rs.TotalThreadInstrs(), 100*rs.MispredictionRate())
+	}
+}

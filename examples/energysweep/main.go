@@ -1,0 +1,84 @@
+// Energysweep: the Figure 7 story on a chosen subset of the suite.
+//
+// Runs a handful of kernels under both adder microarchitectures and
+// prints each kernel's energy breakdown and saving — quick-look version
+// of cmd/st2energy for programmatic use.
+//
+// Run with:
+//
+//	go run ./examples/energysweep [kernel ...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"st2gpu/internal/circuit"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/kernels"
+	"st2gpu/internal/power"
+)
+
+func main() {
+	names := []string{"walsh_K1", "binomial", "kmeans_K1", "sgemm", "qrng_K1"}
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	tbl, err := power.DefaultTable(circuit.SAED90())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %12s %12s %9s %9s %9s\n",
+		"kernel", "base (J)", "st2 (J)", "system", "chip", "mispred")
+	var sumSys, sumChip float64
+	for _, name := range names {
+		w, err := kernels.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var b [2]power.Breakdown
+		var mispred float64
+		for i, mode := range []gpusim.AdderMode{gpusim.BaselineAdders, gpusim.ST2Adders} {
+			spec, err := w.Build(1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := gpusim.DefaultConfig()
+			cfg.NumSMs = 2
+			cfg.AdderMode = mode
+			d, err := gpusim.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if spec.Setup != nil {
+				if err := spec.Setup(d.Memory()); err != nil {
+					log.Fatal(err)
+				}
+			}
+			rs, err := d.Launch(spec.Kernel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if spec.Verify != nil {
+				if err := spec.Verify(d.Memory()); err != nil {
+					log.Fatalf("%s: %v", name, err)
+				}
+			}
+			b[i] = power.FromRun(rs, d.Prices(), tbl)
+			if mode == gpusim.ST2Adders {
+				mispred = rs.MispredictionRate()
+			}
+		}
+		sys := 1 - b[1].Total()/b[0].Total()
+		chip := 1 - b[1].Chip()/b[0].Chip()
+		sumSys += sys
+		sumChip += chip
+		fmt.Printf("%-12s %12.3g %12.3g %8.1f%% %8.1f%% %8.2f%%\n",
+			name, b[0].Total(), b[1].Total(), 100*sys, 100*chip, 100*mispred)
+	}
+	n := float64(len(names))
+	fmt.Printf("%-12s %12s %12s %8.1f%% %8.1f%%\n", "average", "", "", 100*sumSys/n, 100*sumChip/n)
+	fmt.Println("\n(paper, full suite: 19% system / 21% chip savings)")
+}

@@ -1,0 +1,3 @@
+module st2gpu
+
+go 1.22

@@ -1,0 +1,76 @@
+package adder
+
+import "st2gpu/internal/bitmath"
+
+// CSLAResult reports one operation on the carry-select baseline.
+type CSLAResult struct {
+	Sum      uint64
+	CarryOut uint
+	// SliceComputations is the number of slice-level additions performed:
+	// a CSLA computes both carry alternatives for every slice above slice
+	// 0, always — 2n-1 computations. This is the energy-relevant contrast
+	// with ST², which pays the second computation only on mispredictions.
+	SliceComputations int
+}
+
+// CSLA models the classic carry-select adder (Bedrij, 1962) the paper
+// positions ST² against in Section IV-A: same slicing, but both carry-in
+// alternatives are computed unconditionally for every slice and the final
+// multiplexing picks the right one. Always single-cycle, never wrong,
+// roughly 2× the slice energy.
+type CSLA struct {
+	cfg Config
+}
+
+// NewCSLA returns a carry-select adder for the configuration.
+func NewCSLA(cfg Config) (*CSLA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CSLA{cfg: cfg}, nil
+}
+
+// Config returns the adder's configuration.
+func (c *CSLA) Config() Config { return c.cfg }
+
+// Execute performs one add/sub.
+func (c *CSLA) Execute(a, b uint64, op Op) CSLAResult {
+	cfg := c.cfg
+	m := bitmath.Mask(cfg.Width)
+	ea := a & m
+	eb := b & m
+	cin0 := uint(0)
+	if op == Sub {
+		eb = bitmath.OnesComplement(b, cfg.Width)
+		cin0 = 1
+	}
+	n := cfg.NumSlices()
+	var sum uint64
+	carry := cin0
+	comps := 0
+	for i := uint(0); i < n; i++ {
+		lo := i * cfg.SliceBits
+		w := bitmath.SliceWidthAt(i, cfg.Width, cfg.SliceBits)
+		sa := bitmath.Slice(ea, lo, w)
+		sb := bitmath.Slice(eb, lo, w)
+		if i == 0 {
+			s, co := bitmath.AddWithCarry(sa, sb, cin0, w)
+			sum |= s << lo
+			carry = co
+			comps++
+			continue
+		}
+		// Both alternatives computed in parallel; the true carry selects.
+		s0, co0 := bitmath.AddWithCarry(sa, sb, 0, w)
+		s1, co1 := bitmath.AddWithCarry(sa, sb, 1, w)
+		comps += 2
+		if carry == 0 {
+			sum |= s0 << lo
+			carry = co0
+		} else {
+			sum |= s1 << lo
+			carry = co1
+		}
+	}
+	return CSLAResult{Sum: sum & m, CarryOut: carry, SliceComputations: comps}
+}

@@ -1,0 +1,303 @@
+package bitmath
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		n    uint
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{8, 0xFF},
+		{16, 0xFFFF},
+		{63, 0x7FFFFFFFFFFFFFFF},
+		{64, ^uint64(0)},
+		{100, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.n); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	x := uint64(0x0123456789ABCDEF)
+	cases := []struct {
+		lo, w uint
+		want  uint64
+	}{
+		{0, 8, 0xEF},
+		{8, 8, 0xCD},
+		{56, 8, 0x01},
+		{60, 8, 0x0}, // runs off the top
+		{64, 8, 0},
+		{0, 64, x},
+	}
+	for _, c := range cases {
+		if got := Slice(x, c.lo, c.w); got != c.want {
+			t.Errorf("Slice(%#x, %d, %d) = %#x, want %#x", x, c.lo, c.w, got, c.want)
+		}
+	}
+}
+
+func TestCarryIntoKnownValues(t *testing.T) {
+	// 0xFF + 0x01 generates a carry out of bit 7 into bit 8.
+	if got := CarryInto(0xFF, 0x01, 0, 8); got != 1 {
+		t.Errorf("carry into bit 8 of 0xFF+0x01 = %d, want 1", got)
+	}
+	// ...but not into bit 16.
+	if got := CarryInto(0xFF, 0x01, 0, 16); got != 0 {
+		t.Errorf("carry into bit 16 of 0xFF+0x01 = %d, want 0", got)
+	}
+	// A carry injected at bit 0 through a full propagate chain reaches the top.
+	if got := CarryInto(^uint64(0), 0, 1, 64); got != 1 {
+		t.Errorf("carry out of ^0+0+1 = %d, want 1", got)
+	}
+	if got := CarryInto(1, 2, 1, 0); got != 1 {
+		t.Errorf("CarryInto k=0 should return cin")
+	}
+}
+
+func TestCarryIntoMatchesAdd64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		cin := uint(rng.Intn(2))
+		_, want := bits.Add64(a, b, uint64(cin))
+		if got := CarryInto(a, b, cin, 64); got != uint(want) {
+			t.Fatalf("CarryInto(%#x,%#x,%d,64) = %d, want %d", a, b, cin, got, want)
+		}
+	}
+}
+
+// Property: reassembling per-slice additions using the exact boundary
+// carries reproduces the full-width sum. This is the foundational identity
+// that makes sliced speculative addition possible at all.
+func TestBoundaryCarriesReassembleSum(t *testing.T) {
+	f := func(a, b uint64, cinRaw bool) bool {
+		cin := uint(0)
+		if cinRaw {
+			cin = 1
+		}
+		for _, sliceBits := range []uint{4, 8, 16, 32} {
+			carries := BoundaryCarries(a, b, cin, 64, sliceBits)
+			n := NumSlices(64, sliceBits)
+			var sum uint64
+			c := cin
+			for i := uint(0); i < n; i++ {
+				if i > 0 {
+					c = carries[i-1]
+				}
+				lo := i * sliceBits
+				sa := Slice(a, lo, sliceBits)
+				sb := Slice(b, lo, sliceBits)
+				s, _ := AddWithCarry(sa, sb, c, sliceBits)
+				sum |= s << lo
+			}
+			want := a + b + uint64(cin)
+			if sum != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryCarriesPackedAgrees(t *testing.T) {
+	f := func(a, b uint64) bool {
+		for _, sb := range []uint{8, 16} {
+			carries := BoundaryCarries(a, b, 0, 64, sb)
+			packed := BoundaryCarriesPacked(a, b, 0, 64, sb)
+			for i, c := range carries {
+				if uint((packed>>uint(i))&1) != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumSlices(t *testing.T) {
+	cases := []struct {
+		width, sliceBits, want uint
+	}{
+		{64, 8, 8},
+		{24, 8, 3}, // FP32 mantissa
+		{52, 8, 7}, // FP64 mantissa
+		{64, 16, 4},
+		{64, 64, 1},
+		{0, 8, 0},
+		{8, 0, 0},
+		{7, 8, 1},
+	}
+	for _, c := range cases {
+		if got := NumSlices(c.width, c.sliceBits); got != c.want {
+			t.Errorf("NumSlices(%d,%d) = %d, want %d", c.width, c.sliceBits, got, c.want)
+		}
+	}
+}
+
+func TestCarryChainLengthKnown(t *testing.T) {
+	cases := []struct {
+		a, b  uint64
+		cin   uint
+		width uint
+		want  uint
+	}{
+		{0, 0, 0, 64, 0},           // nothing happens
+		{1, 1, 0, 64, 0},           // generate at 0, dies at 1 (no propagate)
+		{1, 3, 0, 64, 1},           // generate at 0, propagates through bit 1
+		{0xFF, 0x01, 0, 64, 7},     // generate at 0, propagate run of 7
+		{^uint64(0), 1, 0, 64, 63}, // propagates to the top
+		{^uint64(0), 0, 1, 64, 64}, // injected carry rides the full chain
+		{0x8000000000000000, 0x8000000000000000, 0, 64, 0}, // generate at 63, exits
+	}
+	for _, c := range cases {
+		if got := CarryChainLength(c.a, c.b, c.cin, c.width); got != c.want {
+			t.Errorf("CarryChainLength(%#x,%#x,%d,%d) = %d, want %d",
+				c.a, c.b, c.cin, c.width, got, c.want)
+		}
+	}
+}
+
+func TestCarryChainSmallPositiveShort(t *testing.T) {
+	// The paper's core observation: small positive operands yield short
+	// chains. Confirm chains for sums of values < 2^8 never exceed 8.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a := uint64(rng.Intn(256))
+		b := uint64(rng.Intn(256))
+		if got := CarryChainLength(a, b, 0, 64); got > 8 {
+			t.Fatalf("small operands %d+%d produced chain %d > 8", a, b, got)
+		}
+	}
+}
+
+func TestSliceOperands(t *testing.T) {
+	a := uint64(0x1122334455667788)
+	b := uint64(0x99AABBCCDDEEFF00)
+	as, bs := SliceOperands(a, b, 64, 8)
+	if len(as) != 8 || len(bs) != 8 {
+		t.Fatalf("expected 8 slices, got %d/%d", len(as), len(bs))
+	}
+	if as[0] != 0x88 || as[7] != 0x11 || bs[0] != 0x00 || bs[7] != 0x99 {
+		t.Errorf("slice extraction wrong: %x %x", as, bs)
+	}
+	// Partial top slice: 52-bit split into 8-bit slices → last is 4 bits.
+	as52, _ := SliceOperands(^uint64(0), 0, 52, 8)
+	if len(as52) != 7 {
+		t.Fatalf("52/8 should give 7 slices, got %d", len(as52))
+	}
+	if as52[6] != 0xF {
+		t.Errorf("partial top slice = %#x, want 0xF", as52[6])
+	}
+}
+
+func TestSliceWidthAt(t *testing.T) {
+	if w := SliceWidthAt(6, 52, 8); w != 4 {
+		t.Errorf("top slice of 52-bit mantissa should be 4 bits, got %d", w)
+	}
+	if w := SliceWidthAt(2, 24, 8); w != 8 {
+		t.Errorf("slice 2 of 24 bits should be 8 wide, got %d", w)
+	}
+	if w := SliceWidthAt(3, 24, 8); w != 0 {
+		t.Errorf("slice 3 of 24 bits should not exist, got width %d", w)
+	}
+}
+
+func TestAddWithCarry(t *testing.T) {
+	sum, cout := AddWithCarry(0xFF, 0x01, 0, 8)
+	if sum != 0 || cout != 1 {
+		t.Errorf("0xFF+0x01 (8b) = %#x c=%d, want 0 c=1", sum, cout)
+	}
+	sum, cout = AddWithCarry(0x7F, 0x00, 1, 8)
+	if sum != 0x80 || cout != 0 {
+		t.Errorf("0x7F+0+1 (8b) = %#x c=%d, want 0x80 c=0", sum, cout)
+	}
+	sum, cout = AddWithCarry(^uint64(0), 1, 0, 64)
+	if sum != 0 || cout != 1 {
+		t.Errorf("full width wrap failed: %#x c=%d", sum, cout)
+	}
+	_, cout = AddWithCarry(0, 0, 1, 0)
+	if cout != 1 {
+		t.Errorf("zero-width add should pass carry through")
+	}
+}
+
+func TestMSB(t *testing.T) {
+	if MSB(0x80, 8) != 1 || MSB(0x7F, 8) != 0 {
+		t.Error("MSB of 8-bit values wrong")
+	}
+	if MSB(1, 1) != 1 {
+		t.Error("MSB width-1 wrong")
+	}
+	if MSB(123, 0) != 0 {
+		t.Error("MSB width-0 should be 0")
+	}
+}
+
+func TestOnesComplement(t *testing.T) {
+	if got := OnesComplement(0, 8); got != 0xFF {
+		t.Errorf("^0 (8b) = %#x", got)
+	}
+	if got := OnesComplement(0xF0F0, 16); got != 0x0F0F {
+		t.Errorf("^0xF0F0 (16b) = %#x", got)
+	}
+}
+
+// Property: subtraction via ones' complement + carry-in 1 equals native
+// subtraction, for all widths the units use.
+func TestSubtractionIdentity(t *testing.T) {
+	f := func(a, b uint64) bool {
+		for _, w := range []uint{8, 24, 32, 52, 64} {
+			m := Mask(w)
+			diff, _ := AddWithCarry(a&m, OnesComplement(b, w), 1, w)
+			if diff != (a-b)&m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if got := SignExtend(0xFF, 8); got != -1 {
+		t.Errorf("SignExtend(0xFF,8) = %d, want -1", got)
+	}
+	if got := SignExtend(0x7F, 8); got != 127 {
+		t.Errorf("SignExtend(0x7F,8) = %d, want 127", got)
+	}
+	if got := SignExtend(0x80000000, 32); got != -2147483648 {
+		t.Errorf("SignExtend 32-bit = %d", got)
+	}
+}
+
+// Property: CarryInto is monotone consistent — the carry into bit k is
+// exactly bit k of the exact (infinite-precision) sum of the low k bits.
+func TestCarryIntoExactSum(t *testing.T) {
+	f := func(a, b uint64, k8 uint8) bool {
+		k := uint(k8%63) + 1
+		exact := (a & Mask(k)) + (b & Mask(k))
+		return CarryInto(a, b, 0, k) == uint((exact>>k)&1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdderKind selects an adder microarchitecture to characterize.
+type AdderKind int
+
+const (
+	// RippleCarry is a chain of full adders — what each small ST² slice is.
+	RippleCarry AdderKind = iota
+	// ParallelPrefix is a Sklansky/Kogge-Stone style adder — the
+	// "industrial-strength DesignWare" reference design of the paper.
+	ParallelPrefix
+)
+
+func (k AdderKind) String() string {
+	switch k {
+	case RippleCarry:
+		return "ripple-carry"
+	case ParallelPrefix:
+		return "parallel-prefix"
+	default:
+		return fmt.Sprintf("AdderKind(%d)", int(k))
+	}
+}
+
+// AdderSpec describes an adder instance to characterize.
+type AdderSpec struct {
+	Kind  AdderKind
+	Width uint // bits
+}
+
+// AdderProfile is the characterization result at one supply voltage:
+// everything the energy model upstream needs.
+type AdderProfile struct {
+	Spec      AdderSpec
+	Supply    float64 // volts
+	Delay     float64 // seconds, critical path
+	EnergyOp  float64 // joules per addition (average activity)
+	Leakage   float64 // watts
+	Area      float64 // µm²
+	GateCount float64 // inverter-equivalents
+}
+
+// activityFactor is the average fraction of gates that switch per
+// operation; 0.5 is the standard random-input assumption the paper's
+// random-vector characterization uses.
+const activityFactor = 0.5
+
+// CharacterizeAdder evaluates an adder's delay/energy/leakage/area at the
+// given supply voltage.
+func (t Technology) CharacterizeAdder(spec AdderSpec, supply float64) (AdderProfile, error) {
+	if err := t.Validate(); err != nil {
+		return AdderProfile{}, err
+	}
+	if spec.Width == 0 || spec.Width > 64 {
+		return AdderProfile{}, fmt.Errorf("circuit: adder width %d outside (0,64]", spec.Width)
+	}
+	stage, err := t.GateDelay(supply)
+	if err != nil {
+		return AdderProfile{}, err
+	}
+	var depth, gates float64
+	n := float64(spec.Width)
+	switch spec.Kind {
+	case RippleCarry:
+		// Carry ripples through n FA carry stages, plus the final sum XOR.
+		depth = n*CellFA.DelayStages + CellFASum.DelayStages
+		gates = n * CellFA.EnergyGates
+	case ParallelPrefix:
+		// PG preprocessing + ceil(log2 n) prefix levels + sum XOR.
+		levels := math.Ceil(math.Log2(n))
+		depth = CellPG.DelayStages + levels*CellPrefix.DelayStages + CellXOR2.DelayStages
+		// Sklansky-ish cost: n PG cells + (n/2)·log2(n) prefix cells + n XORs.
+		gates = n*CellPG.EnergyGates + (n/2)*levels*CellPrefix.EnergyGates + n*CellXOR2.EnergyGates
+	default:
+		return AdderProfile{}, fmt.Errorf("circuit: unknown adder kind %v", spec.Kind)
+	}
+	return AdderProfile{
+		Spec:      spec,
+		Supply:    supply,
+		Delay:     depth * stage,
+		EnergyOp:  gates * activityFactor * t.GateEnergy(supply),
+		Leakage:   gates * t.GateLeakage(supply),
+		Area:      gates * t.AreaPerGate,
+		GateCount: gates,
+	}, nil
+}
+
+// NominalPeriod returns the paper's definition of the clock period: the
+// minimum execution delay of the reference (64-bit parallel-prefix) adder
+// at nominal voltage, padded by the usual 10% setup/clock margin.
+func (t Technology) NominalPeriod() (float64, error) {
+	ref, err := t.CharacterizeAdder(AdderSpec{Kind: ParallelPrefix, Width: 64}, t.VNominal)
+	if err != nil {
+		return 0, err
+	}
+	return ref.Delay * 1.1, nil
+}
+
+// MinSupplyForDelay finds, by bisection, the lowest supply voltage at
+// which the given adder still meets `period`. This mirrors the paper's
+// slice characterization: "identify the voltage at which we can scale the
+// slices while still fitting within the nominal clock period".
+func (t Technology) MinSupplyForDelay(spec AdderSpec, period float64) (float64, error) {
+	meets := func(v float64) bool {
+		p, err := t.CharacterizeAdder(spec, v)
+		return err == nil && p.Delay <= period
+	}
+	if !meets(t.VNominal) {
+		return 0, fmt.Errorf("circuit: %v %d-bit adder cannot meet %.3g s even at nominal voltage",
+			spec.Kind, spec.Width, period)
+	}
+	lo := t.VThreshold + 1e-4 // fails (delay → ∞)
+	hi := t.VNominal          // meets
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if meets(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// SliceCharacterization is the outcome of characterizing one candidate
+// slice width for the ST² adder (the Section V-B design-space point).
+type SliceCharacterization struct {
+	SliceBits        uint
+	Kind             AdderKind // sub-adder structure synthesis chose
+	NumSlices        uint
+	ScaledSupply     float64 // volts at which a slice still fits the nominal period
+	SupplyRatio      float64 // ScaledSupply / VNominal
+	SliceEnergy      float64 // joules per slice operation at scaled voltage
+	AdderEnergy      float64 // joules: all slices once (one speculative add)
+	RefEnergy        float64 // joules: the 64-bit reference adder at nominal
+	EnergySaving     float64 // 1 - AdderEnergy/RefEnergy (no mispredictions)
+	PredictionsPerOp uint    // carry predictions needed per 64-bit add
+}
+
+// CharacterizeSlices runs the Section V-B slice-bitwidth exploration for a
+// 64-bit adder split into sliceBits slices.
+func (t Technology) CharacterizeSlices(sliceBits uint) (SliceCharacterization, error) {
+	if sliceBits == 0 || sliceBits > 64 {
+		return SliceCharacterization{}, fmt.Errorf("circuit: slice width %d outside (0,64]", sliceBits)
+	}
+	period, err := t.NominalPeriod()
+	if err != nil {
+		return SliceCharacterization{}, err
+	}
+	// Synthesis picks the cheapest sub-adder structure that meets timing:
+	// small slices come out as ripple chains; wide ones need a prefix tree.
+	sliceSpec := AdderSpec{Kind: RippleCarry, Width: sliceBits}
+	v, err := t.MinSupplyForDelay(sliceSpec, period)
+	if err != nil {
+		sliceSpec.Kind = ParallelPrefix
+		v, err = t.MinSupplyForDelay(sliceSpec, period)
+		if err != nil {
+			return SliceCharacterization{}, err
+		}
+	}
+	slice, err := t.CharacterizeAdder(sliceSpec, v)
+	if err != nil {
+		return SliceCharacterization{}, err
+	}
+	ref, err := t.CharacterizeAdder(AdderSpec{Kind: ParallelPrefix, Width: 64}, t.VNominal)
+	if err != nil {
+		return SliceCharacterization{}, err
+	}
+	n := (64 + sliceBits - 1) / sliceBits
+	adderEnergy := float64(n) * slice.EnergyOp
+	return SliceCharacterization{
+		SliceBits:        sliceBits,
+		Kind:             sliceSpec.Kind,
+		NumSlices:        n,
+		ScaledSupply:     v,
+		SupplyRatio:      v / t.VNominal,
+		SliceEnergy:      slice.EnergyOp,
+		AdderEnergy:      adderEnergy,
+		RefEnergy:        ref.EnergyOp,
+		EnergySaving:     1 - adderEnergy/ref.EnergyOp,
+		PredictionsPerOp: n - 1,
+	}, nil
+}
+
+// SliceWidthDSE characterizes every candidate width and returns the
+// results plus the index of the best design. "Best" follows the paper:
+// maximize energy saving among widths whose speculation burden is
+// practical — we charge each predicted carry a small fixed CRF-access
+// energy so that 2-bit slices (63 predictions) lose to 8-bit slices even
+// though their supply scales lower.
+func (t Technology) SliceWidthDSE(widths []uint, crfBitEnergy float64) ([]SliceCharacterization, int, error) {
+	if len(widths) == 0 {
+		return nil, -1, fmt.Errorf("circuit: no widths given")
+	}
+	out := make([]SliceCharacterization, 0, len(widths))
+	best := -1
+	bestNet := math.Inf(-1)
+	for _, w := range widths {
+		c, err := t.CharacterizeSlices(w)
+		if err != nil {
+			return nil, -1, fmt.Errorf("width %d: %w", w, err)
+		}
+		out = append(out, c)
+		net := c.RefEnergy - c.AdderEnergy - float64(c.PredictionsPerOp)*crfBitEnergy
+		if net > bestNet {
+			bestNet, best = net, len(out)-1
+		}
+	}
+	return out, best, nil
+}

@@ -1,0 +1,145 @@
+// Package circuit is the repository's substitute for the paper's Synopsys
+// synthesis + SPICE characterization flow (Section V-B). It provides an
+// analytic standard-cell model — alpha-power-law delay, CV² dynamic energy,
+// voltage-dependent leakage — and uses it to characterize the reference
+// 64-bit adder, the ST² adder slices, the Carry Register File, and the
+// level shifters, producing exactly the quantities the paper's evaluation
+// consumes: the nominal clock period, the scaled slice supply voltage, the
+// per-operation energies, and the area/power overhead budget.
+//
+// The technology constants are loosely modeled on the Synopsys SAED 90 nm
+// educational library the paper uses. Absolute values are synthetic;
+// *relative* behaviour (quadratic energy-vs-voltage, super-linear
+// delay-vs-voltage near threshold, logarithmic prefix-adder depth) follows
+// the same physics, which is what the paper's conclusions rest on.
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology captures the process parameters of the cell library.
+type Technology struct {
+	Name        string
+	VNominal    float64 // nominal supply voltage, volts
+	VThreshold  float64 // transistor threshold voltage, volts
+	Alpha       float64 // velocity-saturation exponent of the alpha-power law
+	CGate       float64 // effective switched capacitance of a 1x inverter, farads
+	LeakPerGate float64 // leakage power of a 1x inverter at VNominal, watts
+	AreaPerGate float64 // area of a 1x inverter, square micrometres
+}
+
+// SAED90 approximates the Synopsys SAED 90 nm educational library the
+// paper synthesizes with.
+func SAED90() Technology {
+	return Technology{
+		Name:        "saed90",
+		VNominal:    1.2,
+		VThreshold:  0.35,
+		Alpha:       1.3,
+		CGate:       1.8e-15, // 1.8 fF
+		LeakPerGate: 2.0e-9,  // 2 nW
+		AreaPerGate: 5.0,     // µm²
+	}
+}
+
+// FinFET12 approximates the 12 nm FinFET process of the TITAN V, used for
+// the scaling commentary in Section V-B.
+func FinFET12() Technology {
+	return Technology{
+		Name:        "finfet12",
+		VNominal:    0.8,
+		VThreshold:  0.30,
+		Alpha:       1.15,
+		CGate:       0.25e-15,
+		LeakPerGate: 0.6e-9,
+		AreaPerGate: 0.25,
+	}
+}
+
+// Validate reports whether the technology parameters are physical.
+func (t Technology) Validate() error {
+	if t.VNominal <= t.VThreshold {
+		return fmt.Errorf("circuit: VNominal %.3g must exceed VThreshold %.3g", t.VNominal, t.VThreshold)
+	}
+	if t.Alpha < 1 || t.Alpha > 2 {
+		return fmt.Errorf("circuit: alpha %.3g outside the physical range [1,2]", t.Alpha)
+	}
+	if t.CGate <= 0 || t.LeakPerGate < 0 || t.AreaPerGate <= 0 {
+		return fmt.Errorf("circuit: non-positive capacitance/leakage/area")
+	}
+	return nil
+}
+
+// Cell is a standard cell characterized in units of the 1x inverter:
+// Delay in inverter FO4-equivalent stages, Energy and Area in
+// inverter-equivalents.
+type Cell struct {
+	Name        string
+	DelayStages float64 // critical-path depth in inverter-equivalent stages
+	EnergyGates float64 // switched capacitance in inverter-equivalents
+	AreaGates   float64 // layout area in inverter-equivalents
+}
+
+// The cell library. Depth/energy/area ratios follow standard textbook
+// mirror-adder / transmission-gate implementations (Rabaey, Digital
+// Integrated Circuits), which is the reference the paper itself cites for
+// speculative-adder voltage scaling.
+var (
+	CellINV   = Cell{Name: "INV", DelayStages: 1, EnergyGates: 1, AreaGates: 1}
+	CellNAND2 = Cell{Name: "NAND2", DelayStages: 1.2, EnergyGates: 1.5, AreaGates: 1.4}
+	CellXOR2  = Cell{Name: "XOR2", DelayStages: 2.0, EnergyGates: 3.0, AreaGates: 3.0}
+	CellMUX2  = Cell{Name: "MUX2", DelayStages: 1.6, EnergyGates: 2.4, AreaGates: 2.6}
+	// CellFA is a mirror-style full adder. DelayStages is the per-bit
+	// carry-chain delay (Manchester-style optimized carry path ≈ 1 stage
+	// per bit); energy ≈ 28 transistors ≈ 7 inverter-equivalents.
+	CellFA = Cell{Name: "FA", DelayStages: 1.0, EnergyGates: 7.0, AreaGates: 7.0}
+	// CellFASum is the final sum-XOR tail added once at the end of a
+	// ripple chain.
+	CellFASum = Cell{Name: "FA.sum", DelayStages: 2.0, EnergyGates: 0, AreaGates: 0}
+	CellDFF   = Cell{Name: "DFF", DelayStages: 3.0, EnergyGates: 6.0, AreaGates: 6.0}
+	// CellPG / CellPrefix are the preprocessing and prefix-merge cells of a
+	// Kogge-Stone / Sklansky style parallel-prefix adder.
+	CellPG     = Cell{Name: "PG", DelayStages: 2.0, EnergyGates: 4.0, AreaGates: 4.0}
+	CellPrefix = Cell{Name: "PREFIX", DelayStages: 1.8, EnergyGates: 3.5, AreaGates: 3.6}
+	// CellSRAMBit is one bit of a small register-file array (storage +
+	// share of decode/wordline/bitline).
+	CellSRAMBit = Cell{Name: "SRAMBIT", DelayStages: 0, EnergyGates: 1.2, AreaGates: 1.5}
+)
+
+// GateDelay returns the absolute delay, in seconds, of one
+// inverter-equivalent stage at supply voltage v under the alpha-power law:
+// d(V) = k · V / (V − Vth)^α, normalized so that d(VNominal) = d0.
+//
+// d0 is the technology's nominal FO4 stage delay; we derive it from the
+// switched capacitance: d0 = 3 · C·Vnom / Isat with Isat folded into a
+// constant chosen to give ≈ 40 ps per stage at 90 nm — a standard figure.
+func (t Technology) GateDelay(v float64) (float64, error) {
+	if v <= t.VThreshold {
+		return 0, fmt.Errorf("circuit: supply %.3g V at or below threshold %.3g V", v, t.VThreshold)
+	}
+	const d0At90nm = 40e-12
+	d0 := d0At90nm * (t.CGate / 1.8e-15) // scale stage delay with device capacitance
+	nom := t.VNominal / pow(t.VNominal-t.VThreshold, t.Alpha)
+	cur := v / pow(v-t.VThreshold, t.Alpha)
+	return d0 * cur / nom, nil
+}
+
+// GateEnergy returns the dynamic switching energy, in joules, of one
+// inverter-equivalent at supply voltage v: E = C·V².
+func (t Technology) GateEnergy(v float64) float64 {
+	return t.CGate * v * v
+}
+
+// GateLeakage returns the leakage power, in watts, of one
+// inverter-equivalent at supply voltage v. Subthreshold leakage falls
+// roughly linearly-to-quadratically with VDD in this regime; we model
+// P ∝ V² against the nominal point.
+func (t Technology) GateLeakage(v float64) float64 {
+	r := v / t.VNominal
+	return t.LeakPerGate * r * r
+}
+
+// pow is math.Pow under a short local name; bases are always positive here.
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

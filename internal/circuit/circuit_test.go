@@ -1,0 +1,289 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTechnologyValidate(t *testing.T) {
+	if err := SAED90().Validate(); err != nil {
+		t.Errorf("SAED90 should validate: %v", err)
+	}
+	if err := FinFET12().Validate(); err != nil {
+		t.Errorf("FinFET12 should validate: %v", err)
+	}
+	bad := SAED90()
+	bad.VNominal = bad.VThreshold
+	if err := bad.Validate(); err == nil {
+		t.Error("VNominal == VThreshold should fail validation")
+	}
+	bad = SAED90()
+	bad.Alpha = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("alpha outside [1,2] should fail validation")
+	}
+	bad = SAED90()
+	bad.CGate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero capacitance should fail validation")
+	}
+}
+
+func TestGateDelayMonotone(t *testing.T) {
+	tech := SAED90()
+	prev := math.Inf(-1)
+	// Delay must strictly increase as voltage drops toward threshold.
+	for v := tech.VNominal; v > tech.VThreshold+0.05; v -= 0.05 {
+		d, err := tech.GateDelay(v)
+		if err != nil {
+			t.Fatalf("GateDelay(%.2f): %v", v, err)
+		}
+		if d <= prev {
+			t.Fatalf("delay not increasing as V drops: d(%.2f)=%.3g prev=%.3g", v, d, prev)
+		}
+		prev = d
+	}
+	if _, err := tech.GateDelay(tech.VThreshold); err == nil {
+		t.Error("delay at threshold should error")
+	}
+}
+
+func TestGateDelayNominalAnchor(t *testing.T) {
+	tech := SAED90()
+	d, err := tech.GateDelay(tech.VNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-40e-12) > 1e-15 {
+		t.Errorf("nominal stage delay = %.3g, want 40 ps anchor", d)
+	}
+}
+
+func TestGateEnergyQuadratic(t *testing.T) {
+	tech := SAED90()
+	e1 := tech.GateEnergy(1.2)
+	e2 := tech.GateEnergy(0.6)
+	if math.Abs(e1/e2-4) > 1e-9 {
+		t.Errorf("halving V should quarter energy: ratio %.3g", e1/e2)
+	}
+}
+
+func TestCharacterizeAdderBasics(t *testing.T) {
+	tech := SAED90()
+	rca, err := tech.CharacterizeAdder(AdderSpec{RippleCarry, 64}, tech.VNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfx, err := tech.CharacterizeAdder(AdderSpec{ParallelPrefix, 64}, tech.VNominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rca.Delay <= pfx.Delay {
+		t.Errorf("64-bit ripple (%.3g) should be slower than prefix (%.3g)", rca.Delay, pfx.Delay)
+	}
+	if rca.EnergyOp >= pfx.EnergyOp {
+		t.Errorf("64-bit ripple (%.3g J) should use less energy than prefix (%.3g J)", rca.EnergyOp, pfx.EnergyOp)
+	}
+	small, _ := tech.CharacterizeAdder(AdderSpec{RippleCarry, 8}, tech.VNominal)
+	if small.Delay >= rca.Delay || small.EnergyOp >= rca.EnergyOp {
+		t.Error("8-bit slice should be faster and cheaper than 64-bit ripple")
+	}
+	if _, err := tech.CharacterizeAdder(AdderSpec{RippleCarry, 0}, 1.2); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := tech.CharacterizeAdder(AdderSpec{AdderKind(99), 8}, 1.2); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestAdderKindString(t *testing.T) {
+	if RippleCarry.String() != "ripple-carry" || ParallelPrefix.String() != "parallel-prefix" {
+		t.Error("AdderKind strings wrong")
+	}
+	if AdderKind(7).String() != "AdderKind(7)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestNominalPeriodCoversReference(t *testing.T) {
+	tech := SAED90()
+	period, err := tech.NominalPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := tech.CharacterizeAdder(AdderSpec{ParallelPrefix, 64}, tech.VNominal)
+	if period <= ref.Delay {
+		t.Errorf("period %.3g should exceed reference delay %.3g", period, ref.Delay)
+	}
+}
+
+func TestMinSupplyForDelayBisection(t *testing.T) {
+	tech := SAED90()
+	period, _ := tech.NominalPeriod()
+	v, err := tech.MinSupplyForDelay(AdderSpec{RippleCarry, 8}, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= tech.VNominal || v <= tech.VThreshold {
+		t.Fatalf("scaled supply %.3g should be strictly between threshold and nominal", v)
+	}
+	// Verify it actually meets timing, and that a slightly lower voltage does not.
+	p, _ := tech.CharacterizeAdder(AdderSpec{RippleCarry, 8}, v)
+	if p.Delay > period {
+		t.Errorf("returned supply misses timing: %.3g > %.3g", p.Delay, period)
+	}
+	pLow, err := tech.CharacterizeAdder(AdderSpec{RippleCarry, 8}, v-0.01)
+	if err == nil && pLow.Delay <= period {
+		t.Errorf("supply 10 mV lower should miss timing (bisection not tight)")
+	}
+	// An adder slower than the period even at nominal must error.
+	if _, err := tech.MinSupplyForDelay(AdderSpec{RippleCarry, 64}, period); err == nil {
+		t.Error("64-bit ripple cannot meet the prefix-derived period; want error")
+	}
+}
+
+// The headline Section V-B claims: 8-bit slices scale to ≈60% of the
+// reference voltage and save 75–87% of adder energy before mispredictions.
+func TestEightBitSliceCharacterization(t *testing.T) {
+	tech := SAED90()
+	c, err := tech.CharacterizeSlices(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSlices != 8 || c.PredictionsPerOp != 7 {
+		t.Fatalf("8-bit slices: got %d slices, %d predictions", c.NumSlices, c.PredictionsPerOp)
+	}
+	if c.SupplyRatio < 0.45 || c.SupplyRatio > 0.75 {
+		t.Errorf("supply ratio %.3f outside the paper's ≈0.6 neighbourhood", c.SupplyRatio)
+	}
+	if c.EnergySaving < 0.60 || c.EnergySaving > 0.95 {
+		t.Errorf("potential adder energy saving %.3f outside the paper's 75–87%% neighbourhood", c.EnergySaving)
+	}
+}
+
+func TestSliceEnergyMonotoneInWidth(t *testing.T) {
+	// Wider slices must scale voltage less (higher supply ratio).
+	tech := SAED90()
+	prevRatio := 0.0
+	for _, w := range []uint{2, 4, 8, 16, 32} {
+		c, err := tech.CharacterizeSlices(w)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if c.SupplyRatio <= prevRatio {
+			t.Errorf("supply ratio should grow with width: width %d ratio %.3f prev %.3f",
+				w, c.SupplyRatio, prevRatio)
+		}
+		prevRatio = c.SupplyRatio
+	}
+}
+
+func TestSliceWidthDSEPicksEight(t *testing.T) {
+	tech := SAED90()
+	crf := DefaultCRF()
+	perBit := crf.ReadEnergy(tech) / float64(crf.BitsPerRow) * 8 // charge per predicted bit incl. write traffic
+	results, best, err := tech.SliceWidthDSE([]uint{2, 4, 8, 16, 32}, perBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 || best < 0 {
+		t.Fatalf("DSE returned %d results, best=%d", len(results), best)
+	}
+	if got := results[best].SliceBits; got != 8 {
+		for _, r := range results {
+			t.Logf("width %2d: ratio %.3f saving %.3f", r.SliceBits, r.SupplyRatio, r.EnergySaving)
+		}
+		t.Errorf("DSE picked %d-bit slices, paper picks 8", got)
+	}
+	if _, _, err := tech.SliceWidthDSE(nil, perBit); err == nil {
+		t.Error("empty width list should error")
+	}
+}
+
+func TestCharacterizeSlicesErrors(t *testing.T) {
+	tech := SAED90()
+	if _, err := tech.CharacterizeSlices(0); err == nil {
+		t.Error("zero slice width should error")
+	}
+	if _, err := tech.CharacterizeSlices(65); err == nil {
+		t.Error("slice wider than 64 should error")
+	}
+}
+
+func TestCRFGeometry(t *testing.T) {
+	crf := DefaultCRF()
+	if got := crf.Bytes(); got != 448 {
+		t.Errorf("CRF bytes = %d, want 448 (paper: 448-byte CRF per SM)", got)
+	}
+	if e := crf.ReadEnergy(SAED90()); e <= 0 {
+		t.Errorf("CRF read energy should be positive, got %g", e)
+	}
+}
+
+func TestTitanVConfig(t *testing.T) {
+	chip := TitanV()
+	if chip.Adders() != 80*(64+64+32) {
+		t.Errorf("TitanV adder count = %d", chip.Adders())
+	}
+}
+
+// Reproduces the Section VI overhead arithmetic and checks it stays in the
+// paper's ballpark: <1% chip area, <1 W static, sub-milliwatt dynamic at
+// realistic toggle rates, ≈50 kB of state ≈0.1% of on-chip SRAM.
+func TestOverheadBudgetSectionVI(t *testing.T) {
+	budget, err := ComputeOverheads(TitanV(), DefaultLevelShifter(), DefaultCRF(),
+		8, 1.0, 0.25, 1.2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget.ShifterAreaFraction <= 0 || budget.ShifterAreaFraction > 0.01 {
+		t.Errorf("shifter area fraction %.4f, paper reports 0.68%%", budget.ShifterAreaFraction)
+	}
+	if budget.ShifterStaticW <= 0 || budget.ShifterStaticW > 4 {
+		t.Errorf("shifter static power %.3g W, paper reports ≈0.6 W", budget.ShifterStaticW)
+	}
+	if budget.CRFBytesPerSM != 448 {
+		t.Errorf("CRF per SM = %d B, want 448", budget.CRFBytesPerSM)
+	}
+	if budget.CRFBytesChip != 448*80 {
+		t.Errorf("chip CRF = %d B", budget.CRFBytesChip)
+	}
+	if budget.TotalSRAMBytes < 40*1024 || budget.TotalSRAMBytes > 70*1024 {
+		t.Errorf("total added state %d B, paper reports ≈50 kB", budget.TotalSRAMBytes)
+	}
+	if budget.SRAMFraction > 0.002 {
+		t.Errorf("SRAM fraction %.5f, paper reports 0.09%%", budget.SRAMFraction)
+	}
+}
+
+func TestComputeOverheadsValidation(t *testing.T) {
+	if _, err := ComputeOverheads(TitanV(), DefaultLevelShifter(), DefaultCRF(), 8, 1.5, 0.2, 1e9); err == nil {
+		t.Error("toggle rate > 1 should error")
+	}
+	if _, err := ComputeOverheads(TitanV(), DefaultLevelShifter(), DefaultCRF(), 8, 0.5, -0.1, 1e9); err == nil {
+		t.Error("negative utilization should error")
+	}
+}
+
+// Property: for any valid voltage, energy scales exactly with V² and the
+// characterization never returns negative quantities.
+func TestCharacterizationProperties(t *testing.T) {
+	tech := SAED90()
+	f := func(raw uint8) bool {
+		v := tech.VThreshold + 0.05 + float64(raw)/255*(tech.VNominal-tech.VThreshold-0.05)
+		p, err := tech.CharacterizeAdder(AdderSpec{RippleCarry, 8}, v)
+		if err != nil {
+			return false
+		}
+		if p.Delay <= 0 || p.EnergyOp <= 0 || p.Leakage < 0 || p.Area <= 0 {
+			return false
+		}
+		ref, _ := tech.CharacterizeAdder(AdderSpec{RippleCarry, 8}, tech.VNominal)
+		wantRatio := (v * v) / (tech.VNominal * tech.VNominal)
+		return math.Abs(p.EnergyOp/ref.EnergyOp-wantRatio) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package circuit
+
+import "fmt"
+
+// LevelShifter models the voltage-domain crossing cells ST² adds around
+// each adder (Section VI). Constants default to the published figures the
+// paper cites: 2.8 µm² at 45 nm [20], 1.38 fJ/transition and 307 nW static
+// at 16 nm FinFET [21], 20.8 ps worst-case delay for a 500→790 mV crossing.
+type LevelShifter struct {
+	Area             float64 // µm² per shifter
+	EnergyTransition float64 // joules per transition
+	StaticPower      float64 // watts per shifter
+	Delay            float64 // seconds per crossing
+}
+
+// DefaultLevelShifter returns the published figures used in Section VI.
+func DefaultLevelShifter() LevelShifter {
+	return LevelShifter{
+		Area:             2.8,      // µm² (45 nm, [20])
+		EnergyTransition: 1.38e-15, // 1.38 fJ ([21])
+		StaticPower:      307e-9,   // 307 nW ([21])
+		Delay:            20.8e-12, // 20.8 ps ([21])
+	}
+}
+
+// ChipConfig describes the GPU-level quantities needed to turn per-cell
+// overheads into chip totals. Defaults model an NVIDIA TITAN V.
+type ChipConfig struct {
+	SMs             int
+	ALUsPerSM       int
+	FPUsPerSM       int
+	DPUsPerSM       int
+	ChipArea        float64 // mm²
+	OnChipSRAMBytes int64   // caches + register files, for the 0.09% comparison
+}
+
+// TitanV returns the TITAN V configuration the paper evaluates
+// (80 SMs × 64 ALUs, 64 FPUs, 32 DPUs; 815 mm²; ~55 MB of on-chip SRAM
+// counting register files, L1 and L2).
+func TitanV() ChipConfig {
+	return ChipConfig{
+		SMs:             80,
+		ALUsPerSM:       64,
+		FPUsPerSM:       64,
+		DPUsPerSM:       32,
+		ChipArea:        815,
+		OnChipSRAMBytes: 55 * 1024 * 1024,
+	}
+}
+
+// Adders returns the total number of ST²-equipped adder units on the chip.
+func (c ChipConfig) Adders() int {
+	return c.SMs * (c.ALUsPerSM + c.FPUsPerSM + c.DPUsPerSM)
+}
+
+// OverheadBudget aggregates the ST² area/power overheads of Section VI.
+type OverheadBudget struct {
+	Shifters            int     // level shifter instances on the chip
+	ShifterAreaMM2      float64 // total level-shifter area, mm²
+	ShifterAreaFraction float64 // of chip area
+	ShifterStaticW      float64 // total static power, watts
+	ShifterDynamicW     float64 // worst-case dynamic power at the given toggle rate, watts
+	CRFBytesPerSM       int     // carry register file per SM
+	CRFBytesChip        int64   // all SMs
+	StateDFFBytesChip   int64   // per-slice state/Cout DFF storage
+	TotalSRAMBytes      int64   // CRF + DFFs
+	SRAMFraction        float64 // of on-chip SRAM
+}
+
+// CRFGeometry describes the paper's Carry Register File: 16 entries
+// (PC[3:0]) × 224 bits (7 carry bits × 32 threads).
+type CRFGeometry struct {
+	Entries    int // history entries (2^pcBits)
+	BitsPerRow int // 7 predictions × 32 lanes
+}
+
+// DefaultCRF returns the 16×224-bit geometry of the final design.
+func DefaultCRF() CRFGeometry { return CRFGeometry{Entries: 16, BitsPerRow: 224} }
+
+// Bytes returns the CRF storage per SM.
+func (g CRFGeometry) Bytes() int { return g.Entries * g.BitsPerRow / 8 }
+
+// ReadEnergy returns the energy of one full-row CRF read at nominal
+// voltage (all BitsPerRow bits plus decode amortization).
+func (g CRFGeometry) ReadEnergy(t Technology) float64 {
+	bits := float64(g.BitsPerRow)
+	return bits * CellSRAMBit.EnergyGates * t.GateEnergy(t.VNominal)
+}
+
+// ComputeOverheads reproduces the Section VI overhead analysis.
+//
+// shiftersPerAdder: the paper places shifters on each adder's two input
+// operands and its output → 3 per adder unit (each handling a full word,
+// counted as one shifter instance per crossing as in the paper's budget).
+// toggleRate: fraction of shifter bits flipping per cycle (1.0 = the
+// paper's worst case); adderUtilization: fraction of cycles an adder is
+// busy; clockHz: core clock.
+func ComputeOverheads(chip ChipConfig, ls LevelShifter, crf CRFGeometry,
+	sliceCount int, toggleRate, adderUtilization, clockHz float64) (OverheadBudget, error) {
+	if toggleRate < 0 || toggleRate > 1 {
+		return OverheadBudget{}, fmt.Errorf("circuit: toggle rate %.3g outside [0,1]", toggleRate)
+	}
+	if adderUtilization < 0 || adderUtilization > 1 {
+		return OverheadBudget{}, fmt.Errorf("circuit: utilization %.3g outside [0,1]", adderUtilization)
+	}
+	const shiftersPerAdder = 3 // two operand inputs + one output domain crossing
+	// Each crossing shifts a 64-bit word: the per-bit published cell is
+	// multiplied by the word width for area and energy.
+	const bitsPerCrossing = 64
+	// Shifter cells are per bit: every crossing needs one cell per wire.
+	n := chip.Adders() * shiftersPerAdder * bitsPerCrossing
+	areaUM2 := float64(n) * ls.Area
+	budget := OverheadBudget{
+		Shifters:            n,
+		ShifterAreaMM2:      areaUM2 / 1e6,
+		ShifterAreaFraction: areaUM2 / 1e6 / chip.ChipArea,
+		ShifterStaticW:      float64(n) * ls.StaticPower,
+		ShifterDynamicW: float64(n) * toggleRate *
+			adderUtilization * ls.EnergyTransition * clockHz,
+	}
+	budget.CRFBytesPerSM = crf.Bytes()
+	budget.CRFBytesChip = int64(chip.SMs) * int64(crf.Bytes())
+	// Each slice except slice 0 carries a State DFF and a Cout DFF → 2 bits
+	// per slice; 14 bits per 8-slice ALU adder, 4 per FP32, 12 per FP64.
+	dffBitsPerALU := 2 * (sliceCount - 1)
+	const dffBitsPerFPU = 4  // 3 mantissa slices → 2·2
+	const dffBitsPerDPU = 12 // 7 mantissa slices → 2·6
+	dffBits := int64(chip.SMs) * (int64(chip.ALUsPerSM*dffBitsPerALU) +
+		int64(chip.FPUsPerSM*dffBitsPerFPU) + int64(chip.DPUsPerSM*dffBitsPerDPU))
+	budget.StateDFFBytesChip = dffBits / 8
+	budget.TotalSRAMBytes = budget.CRFBytesChip + budget.StateDFFBytesChip
+	if chip.OnChipSRAMBytes > 0 {
+		budget.SRAMFraction = float64(budget.TotalSRAMBytes) / float64(chip.OnChipSRAMBytes)
+	}
+	return budget, nil
+}

@@ -1,0 +1,117 @@
+// Package core assembles the paper's contribution into executable form:
+// the ST² execution unit — a sliced speculative adder (internal/adder)
+// driven by a carry-speculation source (internal/speculate) — with
+// warp-wide execution semantics, floating-point mantissa extraction, and
+// per-operation energy accounting priced by the circuit characterization.
+//
+// Everything the GPU pipeline model (internal/gpusim) knows about ST² goes
+// through this package.
+package core
+
+import (
+	"fmt"
+
+	"st2gpu/internal/circuit"
+)
+
+// EnergyParams prices one ST²-equipped adder unit. All values in joules.
+type EnergyParams struct {
+	// SliceEnergy is one slice computation at the scaled supply.
+	SliceEnergy float64
+	// RefAdderEnergy is one full-width reference-adder operation at
+	// nominal supply — what the baseline GPU pays per add.
+	RefAdderEnergy float64
+	// CRFReadEnergy is one full-row CRF read (charged once per warp op).
+	CRFReadEnergy float64
+	// CRFLaneWriteEnergy is the write-back of one lane's boundary bits.
+	CRFLaneWriteEnergy float64
+	// ShifterEnergyPerLaneOp is the level-shifter cost of moving one
+	// lane's operands and result across the voltage boundary.
+	ShifterEnergyPerLaneOp float64
+	// ScaledSupply and SupplyRatio record the operating point for reports.
+	ScaledSupply float64
+	SupplyRatio  float64
+	// NumSlices of the unit's geometry.
+	NumSlices uint
+}
+
+// DeriveEnergyParams builds the pricing for a width-bit ST² unit with
+// sliceBits slices from the circuit characterization, mirroring the
+// paper's Section V-B flow: the reference adder defines the nominal clock
+// period and baseline energy; the slice supply is scaled to the lowest
+// voltage that still meets that period.
+func DeriveEnergyParams(tech circuit.Technology, width, sliceBits uint) (EnergyParams, error) {
+	if width == 0 || sliceBits == 0 || sliceBits > width {
+		return EnergyParams{}, fmt.Errorf("core: bad geometry %d/%d", width, sliceBits)
+	}
+	period, err := tech.NominalPeriod()
+	if err != nil {
+		return EnergyParams{}, err
+	}
+	ref, err := tech.CharacterizeAdder(circuit.AdderSpec{Kind: circuit.ParallelPrefix, Width: width}, tech.VNominal)
+	if err != nil {
+		return EnergyParams{}, err
+	}
+	sliceSpec := circuit.AdderSpec{Kind: circuit.RippleCarry, Width: sliceBits}
+	v, err := tech.MinSupplyForDelay(sliceSpec, period)
+	if err != nil {
+		sliceSpec.Kind = circuit.ParallelPrefix
+		if v, err = tech.MinSupplyForDelay(sliceSpec, period); err != nil {
+			return EnergyParams{}, err
+		}
+	}
+	slice, err := tech.CharacterizeAdder(sliceSpec, v)
+	if err != nil {
+		return EnergyParams{}, err
+	}
+	crf := circuit.DefaultCRF()
+	rowRead := crf.ReadEnergy(tech)
+	perLaneBits := float64(crf.BitsPerRow) / 32.0
+	laneWrite := perLaneBits * circuit.CellSRAMBit.EnergyGates * tech.GateEnergy(tech.VNominal) * 1.5 // writes cost ~1.5× reads
+	ls := circuit.DefaultLevelShifter()
+	// Three word crossings per op (two operands in, one result out),
+	// `width` bits each, at the paper's average — not worst-case — toggle
+	// activity of one half of the bits.
+	shifter := 3 * float64(width) * 0.5 * ls.EnergyTransition
+
+	n := (width + sliceBits - 1) / sliceBits
+	return EnergyParams{
+		SliceEnergy:            slice.EnergyOp,
+		RefAdderEnergy:         ref.EnergyOp,
+		CRFReadEnergy:          rowRead,
+		CRFLaneWriteEnergy:     laneWrite,
+		ShifterEnergyPerLaneOp: shifter,
+		ScaledSupply:           v,
+		SupplyRatio:            v / tech.VNominal,
+		NumSlices:              n,
+	}, nil
+}
+
+// BaselineWarpEnergy returns the baseline (non-speculative) adder energy
+// for a warp operation with the given number of active lanes.
+func (p EnergyParams) BaselineWarpEnergy(activeLanes int) float64 {
+	return float64(activeLanes) * p.RefAdderEnergy
+}
+
+// ST2WarpEnergy prices one warp operation on the ST² unit:
+// every active lane computes all slices once; recomputedSlices slice
+// re-executions are added; one CRF row read per warp; one CRF lane write
+// per mispredicted lane; level shifting for every active lane.
+func (p EnergyParams) ST2WarpEnergy(activeLanes, recomputedSlices, mispredictedLanes int) float64 {
+	sliceOps := float64(activeLanes)*float64(p.NumSlices) + float64(recomputedSlices)
+	return sliceOps*p.SliceEnergy +
+		p.CRFReadEnergy +
+		float64(mispredictedLanes)*p.CRFLaneWriteEnergy +
+		float64(activeLanes)*p.ShifterEnergyPerLaneOp
+}
+
+// AdderSavingFraction reports the headline per-adder saving the paper
+// quotes (~70%): 1 − ST²/baseline at the given average behaviour.
+func (p EnergyParams) AdderSavingFraction(avgRecomputedPerLane, mispredRate float64) float64 {
+	lanes := 32
+	st2 := p.ST2WarpEnergy(lanes,
+		int(avgRecomputedPerLane*float64(lanes)*mispredRate+0.5),
+		int(mispredRate*float64(lanes)+0.5))
+	base := p.BaselineWarpEnergy(lanes)
+	return 1 - st2/base
+}

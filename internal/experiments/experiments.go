@@ -1,0 +1,600 @@
+// Package experiments contains one driver per figure and table of the
+// paper's evaluation: each function runs the right simulations and
+// returns the rows the paper plots, so the benchmarks in bench_test.go
+// and the cmd/ tools regenerate every result from scratch.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"st2gpu/internal/circuit"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+	"st2gpu/internal/kernels"
+	"st2gpu/internal/power"
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/stats"
+	"st2gpu/internal/trace"
+)
+
+// Config parameterizes every experiment run.
+type Config struct {
+	Scale  int   // workload scale (1 = default evaluation size)
+	NumSMs int   // simulated SM count
+	Seed   int64 // determinism seed
+}
+
+// Default returns the configuration used by the benchmark harness.
+func Default() Config { return Config{Scale: 1, NumSMs: 2, Seed: 1} }
+
+// deviceConfig builds the simulator configuration for a mode.
+func (c Config) deviceConfig(mode gpusim.AdderMode) gpusim.Config {
+	dc := gpusim.DefaultConfig()
+	dc.NumSMs = c.NumSMs
+	dc.AdderMode = mode
+	dc.Seed = c.Seed
+	return dc
+}
+
+// runSpec executes one workload spec on a fresh device.
+func (c Config) runSpec(spec *kernels.Spec, mode gpusim.AdderMode, tracer gpusim.AddTracer) (*gpusim.RunStats, *gpusim.Device, error) {
+	d, err := gpusim.New(c.deviceConfig(mode))
+	if err != nil {
+		return nil, nil, err
+	}
+	if tracer != nil {
+		d.SetTracer(tracer)
+	}
+	if spec.Setup != nil {
+		if err := spec.Setup(d.Memory()); err != nil {
+			return nil, nil, fmt.Errorf("experiments: %s setup: %w", spec.Name, err)
+		}
+	}
+	rs, err := d.Launch(spec.Kernel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+	if spec.Verify != nil {
+		if err := spec.Verify(d.Memory()); err != nil {
+			return nil, nil, fmt.Errorf("experiments: %s output check: %w", spec.Name, err)
+		}
+	}
+	return rs, d, nil
+}
+
+// forEachKernel runs fn over the evaluation suite concurrently (one
+// goroutine per kernel, bounded by GOMAXPROCS). Each invocation gets its
+// own device, so results are deterministic and order-independent; fn
+// receives the kernel's index for order-preserving collection.
+func forEachKernel(fn func(i int, w kernels.Workload) error) error {
+	ws := kernels.Suite()
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		i, w := i, w
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i, w)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWorkload builds and runs one named workload.
+func (c Config) runWorkload(w kernels.Workload, mode gpusim.AdderMode, tracer gpusim.AddTracer) (*gpusim.RunStats, *gpusim.Device, error) {
+	spec, err := w.Build(c.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.runSpec(spec, mode, tracer)
+}
+
+// --- Figure 1: dynamic instruction mix ---
+
+// MixRow is one bar of Figure 1.
+type MixRow struct {
+	Kernel   string
+	ALUAdd   float64 // fraction of dynamic thread instructions
+	FPUAdd   float64
+	ALUOther float64
+	FPUOther float64 // fp mul/div + SFU
+	Other    float64 // memory, control, int mul/div
+}
+
+// Fig1 reproduces Figure 1: the ALU/FPU add share of every kernel's
+// dynamic instructions, with an Average row appended.
+func Fig1(cfg Config) ([]MixRow, error) {
+	rows := make([]MixRow, 23)
+	err := forEachKernel(func(i int, w kernels.Workload) error {
+		rs, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, nil)
+		if err != nil {
+			return err
+		}
+		tot := float64(rs.TotalThreadInstrs())
+		row := MixRow{
+			Kernel:   w.Name,
+			ALUAdd:   float64(rs.ThreadInstrs[isa.FUAluAdd]) / tot,
+			FPUAdd:   float64(rs.ThreadInstrs[isa.FUFpAdd]) / tot,
+			ALUOther: float64(rs.ThreadInstrs[isa.FUAluOther]+rs.ThreadInstrs[isa.FUIntMul]+rs.ThreadInstrs[isa.FUIntDiv]) / tot,
+			FPUOther: float64(rs.ThreadInstrs[isa.FUFpMul]+rs.ThreadInstrs[isa.FUFpDiv]+rs.ThreadInstrs[isa.FUSfu]) / tot,
+		}
+		row.Other = 1 - row.ALUAdd - row.FPUAdd - row.ALUOther - row.FPUOther
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var avg MixRow
+	for _, row := range rows {
+		avg.ALUAdd += row.ALUAdd
+		avg.FPUAdd += row.FPUAdd
+		avg.ALUOther += row.ALUOther
+		avg.FPUOther += row.FPUOther
+		avg.Other += row.Other
+	}
+	n := float64(len(rows))
+	avg.Kernel = "Average"
+	avg.ALUAdd /= n
+	avg.FPUAdd /= n
+	avg.ALUOther /= n
+	avg.FPUOther /= n
+	avg.Other /= n
+	return append(rows, avg), nil
+}
+
+// --- Figure 2: value evolution in pathfinder ---
+
+// Fig2Series is one PC's value stream.
+type Fig2Series struct {
+	PC     uint32
+	Points []trace.ValuePoint
+}
+
+// Fig2 traces one pathfinder thread's additions per PC — the data behind
+// the paper's Figure 2 (bottom).
+func Fig2(cfg Config, gtid uint32, maxPts int) ([]Fig2Series, error) {
+	spec, err := kernels.Pathfinder(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	vt := trace.NewValueTrace(gtid, maxPts)
+	if _, _, err := cfg.runSpec(spec, gpusim.BaselineAdders, vt); err != nil {
+		return nil, err
+	}
+	out := make([]Fig2Series, 0, 8)
+	for _, pc := range vt.PCs() {
+		out = append(out, Fig2Series{PC: pc, Points: vt.Series(pc)})
+	}
+	return out, nil
+}
+
+// --- Figure 3: carry-in correlation ---
+
+// Fig3Row holds one kernel's three match rates (Fig3Designs order) and
+// the number of boundary observations behind them (kernels whose threads
+// execute each add PC only once contribute no per-thread-PC samples).
+type Fig3Row struct {
+	Kernel  string
+	Rates   [3]float64
+	Samples [3]uint64
+}
+
+// Fig3 measures the temporal/spatial carry correlation of every kernel
+// plus the op-weighted suite aggregate (appended as "Average").
+func Fig3(cfg Config) ([]Fig3Row, error) {
+	rows := make([]Fig3Row, 23)
+	raws := make([][3]stats.Rate, 23)
+	err := forEachKernel(func(i int, w kernels.Workload) error {
+		cm, err := trace.NewCorrMeter()
+		if err != nil {
+			return err
+		}
+		if _, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, cm); err != nil {
+			return err
+		}
+		rows[i].Kernel = w.Name
+		for j, d := range trace.Fig3Designs {
+			r, err := cm.RawRate(d)
+			if err != nil {
+				return err
+			}
+			rows[i].Rates[j] = r.Value()
+			rows[i].Samples[j] = r.Total
+			raws[i][j] = r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var agg [3]stats.Rate
+	for _, rw := range raws {
+		for j := range agg {
+			agg[j].Merge(rw[j])
+		}
+	}
+	var avg Fig3Row
+	avg.Kernel = "Average"
+	for i := range agg {
+		avg.Rates[i] = agg[i].Value()
+		avg.Samples[i] = agg[i].Total
+	}
+	return append(rows, avg), nil
+}
+
+// --- Figure 5: carry-speculation design space ---
+
+// Fig5Row is one design's average thread misprediction rate.
+type Fig5Row struct {
+	Design   string
+	MissRate float64
+}
+
+// Fig5 sweeps the speculation design space over the full suite with a
+// single simulation pass per kernel (all designs observe the identical
+// operation stream). The returned rows follow the paper's Figure 5
+// left-to-right order; rates are unweighted kernel averages.
+func Fig5(cfg Config, designs []string) ([]Fig5Row, error) {
+	if designs == nil {
+		designs = speculate.DesignSpace
+	}
+	perKernel := make([]map[string]float64, 23)
+	err := forEachKernel(func(i int, w kernels.Workload) error {
+		meter, err := trace.NewDSEMeter(designs)
+		if err != nil {
+			return err
+		}
+		if _, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, meter); err != nil {
+			return err
+		}
+		m := make(map[string]float64, len(designs))
+		for _, d := range designs {
+			r, err := meter.MissRate(d)
+			if err != nil {
+				return err
+			}
+			m[d] = r
+		}
+		perKernel[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perDesign := make(map[string][]float64, len(designs))
+	for _, m := range perKernel {
+		for _, d := range designs {
+			perDesign[d] = append(perDesign[d], m[d])
+		}
+	}
+	out := make([]Fig5Row, len(designs))
+	for i, d := range designs {
+		out[i] = Fig5Row{Design: d, MissRate: stats.Mean(perDesign[d])}
+	}
+	return out, nil
+}
+
+// --- Figure 6 + Section VI: the final design on the real pipeline ---
+
+// Fig6Row is one kernel under the hardware ST² path (CRF, contention,
+// write-back arbitration).
+type Fig6Row struct {
+	Kernel        string
+	MissRate      float64
+	MeanRecompute float64 // slices recomputed per misprediction
+	MaxRecompute  int
+	CRFConflicts  uint64
+}
+
+// Fig6 runs the full suite on the ST² GPU and reports the per-kernel
+// thread misprediction rates of Figure 6 plus the recompute statistics
+// quoted in Section VI (1.94 average, 2.73 max). The Average row is
+// appended last.
+func Fig6(cfg Config) ([]Fig6Row, error) {
+	rows := make([]Fig6Row, 23)
+	err := forEachKernel(func(i int, w kernels.Workload) error {
+		rs, _, err := cfg.runWorkload(w, gpusim.ST2Adders, nil)
+		if err != nil {
+			return err
+		}
+		var merged Fig6Row
+		merged.Kernel = w.Name
+		merged.MissRate = rs.MispredictionRate()
+		var mean float64
+		var n float64
+		for _, u := range rs.Units {
+			if u.RecomputeHistogram == nil || u.RecomputeHistogram.Total() == 0 {
+				continue
+			}
+			mean += u.RecomputeHistogram.Mean() * float64(u.RecomputeHistogram.Total())
+			n += float64(u.RecomputeHistogram.Total())
+			if mx := u.RecomputeHistogram.Max(); mx > merged.MaxRecompute {
+				merged.MaxRecompute = mx
+			}
+		}
+		if n > 0 {
+			merged.MeanRecompute = mean / n
+		}
+		merged.CRFConflicts = rs.CRF.Conflicts
+		rows[i] = merged
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rateSum, recompSum float64
+	maxRecomp := 0
+	for _, merged := range rows {
+		rateSum += merged.MissRate
+		recompSum += merged.MeanRecompute
+		if merged.MaxRecompute > maxRecomp {
+			maxRecomp = merged.MaxRecompute
+		}
+	}
+	avg := Fig6Row{
+		Kernel:        "Average",
+		MissRate:      rateSum / float64(len(rows)),
+		MeanRecompute: recompSum / float64(len(rows)),
+		MaxRecompute:  maxRecomp,
+	}
+	return append(rows, avg), nil
+}
+
+// --- Figure 7: energy breakdown ---
+
+// Fig7Row is one kernel's baseline and ST² energy breakdown.
+type Fig7Row struct {
+	Kernel   string
+	Baseline power.Breakdown
+	ST2      power.Breakdown
+	// Normalized savings.
+	SystemSaving float64 // 1 − ST2.Total/Baseline.Total
+	ChipSaving   float64 // excluding DRAM
+	// Arithmetic intensity of the baseline run (ALU+FPU share of system
+	// energy) — the paper's ">20% ALU+FPU system energy" classifier.
+	ALUFPUShare float64
+}
+
+// Fig7Summary aggregates the paper's headline numbers.
+type Fig7Summary struct {
+	AvgSystemSaving float64
+	AvgChipSaving   float64
+	AvgALUFPUShare  float64 // baseline, of system energy
+	AvgALUFPUChip   float64 // baseline, of chip energy
+	// The ">20% ALU+FPU" subset.
+	IntenseCount          int
+	IntenseSystemSaving   float64
+	IntenseChipSaving     float64
+	MaxSystemSaving       float64
+	MaxSystemSavingKernel string
+}
+
+// Fig7 runs every kernel under both adder microarchitectures and prices
+// the activity with the power model.
+func Fig7(cfg Config) ([]Fig7Row, Fig7Summary, error) {
+	tbl, err := power.DefaultTable(circuit.SAED90())
+	if err != nil {
+		return nil, Fig7Summary{}, err
+	}
+	rows := make([]Fig7Row, 23)
+	err = forEachKernel(func(i int, w kernels.Workload) error {
+		base, dBase, err := cfg.runWorkload(w, gpusim.BaselineAdders, nil)
+		if err != nil {
+			return err
+		}
+		st2, dST2, err := cfg.runWorkload(w, gpusim.ST2Adders, nil)
+		if err != nil {
+			return err
+		}
+		row := Fig7Row{
+			Kernel:   w.Name,
+			Baseline: power.FromRun(base, dBase.Prices(), tbl),
+			ST2:      power.FromRun(st2, dST2.Prices(), tbl),
+		}
+		row.SystemSaving = 1 - row.ST2.Total()/row.Baseline.Total()
+		row.ChipSaving = 1 - row.ST2.Chip()/row.Baseline.Chip()
+		row.ALUFPUShare = row.Baseline[power.CompALUFPU] / row.Baseline.Total()
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, Fig7Summary{}, err
+	}
+	var sum Fig7Summary
+	for _, row := range rows {
+		sum.AvgSystemSaving += row.SystemSaving
+		sum.AvgChipSaving += row.ChipSaving
+		sum.AvgALUFPUShare += row.ALUFPUShare
+		sum.AvgALUFPUChip += row.Baseline[power.CompALUFPU] / row.Baseline.Chip()
+		if row.ALUFPUShare > 0.20 {
+			sum.IntenseCount++
+			sum.IntenseSystemSaving += row.SystemSaving
+			sum.IntenseChipSaving += row.ChipSaving
+		}
+		if row.SystemSaving > sum.MaxSystemSaving {
+			sum.MaxSystemSaving = row.SystemSaving
+			sum.MaxSystemSavingKernel = row.Kernel
+		}
+	}
+	n := float64(len(rows))
+	sum.AvgSystemSaving /= n
+	sum.AvgChipSaving /= n
+	sum.AvgALUFPUShare /= n
+	sum.AvgALUFPUChip /= n
+	if sum.IntenseCount > 0 {
+		sum.IntenseSystemSaving /= float64(sum.IntenseCount)
+		sum.IntenseChipSaving /= float64(sum.IntenseCount)
+	}
+	return rows, sum, nil
+}
+
+// --- Section VI: performance overhead ---
+
+// PerfRow is one kernel's cycle comparison.
+type PerfRow struct {
+	Kernel     string
+	BaseCycles uint64
+	ST2Cycles  uint64
+	Slowdown   float64 // (ST2−base)/base
+}
+
+// PerfOverhead reproduces the "execution time within 0.36% of baseline,
+// worst case 3.5%" analysis. The Average row is appended last.
+func PerfOverhead(cfg Config) ([]PerfRow, error) {
+	rows := make([]PerfRow, 23)
+	err := forEachKernel(func(i int, w kernels.Workload) error {
+		base, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, nil)
+		if err != nil {
+			return err
+		}
+		st2, _, err := cfg.runWorkload(w, gpusim.ST2Adders, nil)
+		if err != nil {
+			return err
+		}
+		rows[i] = PerfRow{
+			Kernel:     w.Name,
+			BaseCycles: base.Cycles,
+			ST2Cycles:  st2.Cycles,
+			Slowdown:   float64(st2.Cycles)/float64(base.Cycles) - 1,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, row := range rows {
+		sum += row.Slowdown
+	}
+	rows = append(rows, PerfRow{Kernel: "Average", Slowdown: sum / float64(len(rows))})
+	return rows, nil
+}
+
+// --- Section V-C: power-model calibration and validation ---
+
+// PowerValidation reproduces the calibration workflow: run the 123
+// micro-stressors on the baseline device, "measure" them on the synthetic
+// silicon, solve Equation 1's factors, and validate on the 23-kernel
+// suite.
+func PowerValidation(cfg Config, noiseSigma float64) (power.ValidationReport, power.Model, error) {
+	tbl, err := power.DefaultTable(circuit.SAED90())
+	if err != nil {
+		return power.ValidationReport{}, power.Model{}, err
+	}
+	silicon := power.NewSilicon(cfg.Seed, noiseSigma)
+	// The synthetic silicon models a chip of 2× the simulated SM count so
+	// the busy/idle split varies enough across stressors to identify
+	// P_idleSM separately from P_const (the stressor grids span 1..4
+	// blocks → 1..NumSMs busy SMs).
+	chipSMs := 2 * cfg.NumSMs
+
+	sample := func(name string, rs *gpusim.RunStats, d *gpusim.Device) power.Sample {
+		b := power.FromRun(rs, d.Prices(), tbl)
+		secs := tbl.Seconds(rs)
+		idle := chipSMs - rs.SMsUsed
+		return power.Sample{
+			Name: name, B: b, Seconds: secs, IdleSMs: idle,
+			Measured: silicon.Measure(b, secs, idle),
+		}
+	}
+
+	train := make([]power.Sample, 0, kernels.NumMicro)
+	for i := 0; i < kernels.NumMicro; i++ {
+		spec, err := kernels.Micro(i)
+		if err != nil {
+			return power.ValidationReport{}, power.Model{}, err
+		}
+		rs, d, err := cfg.runSpec(spec, gpusim.BaselineAdders, nil)
+		if err != nil {
+			return power.ValidationReport{}, power.Model{}, err
+		}
+		train = append(train, sample(spec.Name, rs, d))
+	}
+	model, err := power.Calibrate(train)
+	if err != nil {
+		return power.ValidationReport{}, power.Model{}, err
+	}
+
+	val := make([]power.Sample, 0, 23)
+	for _, w := range kernels.Suite() {
+		rs, d, err := cfg.runWorkload(w, gpusim.BaselineAdders, nil)
+		if err != nil {
+			return power.ValidationReport{}, power.Model{}, err
+		}
+		val = append(val, sample(w.Name, rs, d))
+	}
+	rep, err := power.Validate(model, val)
+	return rep, model, err
+}
+
+// --- Section V-B / VI: circuit-level results ---
+
+// SliceWidthDSE re-exports the Section V-B sweep.
+func SliceWidthDSE() ([]circuit.SliceCharacterization, int, error) {
+	tech := circuit.SAED90()
+	crf := circuit.DefaultCRF()
+	perBit := crf.ReadEnergy(tech) / float64(crf.BitsPerRow) * 8
+	return tech.SliceWidthDSE([]uint{2, 4, 8, 16, 32}, perBit)
+}
+
+// Overheads reproduces the Section VI area/power overhead budget, using
+// measured average adder utilization from a suite run when provided
+// (falls back to the paper's conservative 25%).
+func Overheads(adderUtilization float64) (circuit.OverheadBudget, error) {
+	if adderUtilization <= 0 {
+		adderUtilization = 0.25
+	}
+	return circuit.ComputeOverheads(circuit.TitanV(), circuit.DefaultLevelShifter(),
+		circuit.DefaultCRF(), 8, 1.0, adderUtilization, 1.2e9)
+}
+
+// --- Section V-B: technology scaling ---
+
+// ScalingRow compares the slice characterization under two process nodes.
+type ScalingRow struct {
+	Tech         string
+	SliceBits    uint
+	SupplyRatio  float64
+	EnergySaving float64
+}
+
+// TechnologyScaling re-checks the paper's claim that "the relative energy
+// differences across adder designs will persist when we scale the designs
+// to the 12 nm FinFET process": it characterizes the 8-bit slice design
+// under the 90 nm library used for the main results and under the
+// FinFET-like node, and returns both (the savings fractions should agree
+// within a few points even though absolute energies differ by ~50×).
+func TechnologyScaling(widths []uint) ([]ScalingRow, error) {
+	if widths == nil {
+		widths = []uint{4, 8, 16}
+	}
+	out := make([]ScalingRow, 0, 2*len(widths))
+	for _, tech := range []circuit.Technology{circuit.SAED90(), circuit.FinFET12()} {
+		for _, w := range widths {
+			c, err := tech.CharacterizeSlices(w)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScalingRow{
+				Tech:         tech.Name,
+				SliceBits:    w,
+				SupplyRatio:  c.SupplyRatio,
+				EnergySaving: c.EnergySaving,
+			})
+		}
+	}
+	return out, nil
+}

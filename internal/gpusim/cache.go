@@ -1,0 +1,99 @@
+package gpusim
+
+import "fmt"
+
+// CacheStats counts accesses for the timing and energy models.
+type CacheStats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// HitRate returns hits/accesses (0 when idle).
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with LRU replacement, modeled at tag
+// granularity (no data storage — the simulator's memory is always
+// coherent, caches only shape timing and energy).
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	tags     []uint64 // sets×ways; 0 = invalid (tag 0 encoded as tag+1)
+	lru      []uint64 // per-line last-use stamp
+	stamp    uint64
+	stats    CacheStats
+}
+
+// NewCache builds a cache of sizeKB with the given line size and ways.
+func NewCache(sizeKB, lineBytes, ways int) (*Cache, error) {
+	if sizeKB <= 0 || lineBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("gpusim: bad cache geometry %d KB / %d B / %d ways", sizeKB, lineBytes, ways)
+	}
+	lines := sizeKB * 1024 / lineBytes
+	if lines < ways {
+		return nil, fmt.Errorf("gpusim: cache too small for %d ways", ways)
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("gpusim: set count %d not a power of two", sets)
+	}
+	var lb uint
+	for 1<<lb < lineBytes {
+		lb++
+	}
+	return &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lb,
+		tags:     make([]uint64, sets*ways),
+		lru:      make([]uint64, sets*ways),
+	}, nil
+}
+
+// Access looks up the line containing addr, filling it on a miss, and
+// reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.stamp++
+	c.stats.Accesses++
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	tag := line + 1 // +1 so a zero entry means invalid
+	base := set * c.ways
+	victim := base
+	oldest := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.lru[i] = c.stamp
+			c.stats.Hits++
+			return true
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	c.tags[victim] = tag
+	c.lru[victim] = c.stamp
+	return false
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.stamp = 0
+	c.stats = CacheStats{}
+}

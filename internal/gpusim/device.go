@@ -1,0 +1,376 @@
+package gpusim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"st2gpu/internal/circuit"
+	"st2gpu/internal/core"
+	"st2gpu/internal/isa"
+	"st2gpu/internal/speculate"
+)
+
+// Kernel is a launch request: a validated program, its grid geometry, and
+// the parameter buffer kernels read through the Param space.
+type Kernel struct {
+	Program  *isa.Program
+	GridDim  int // blocks
+	BlockDim int // threads per block
+	Params   []uint64
+}
+
+func (k *Kernel) paramLoad(off, size uint64) (uint64, error) {
+	buf := make([]byte, 8*len(k.Params))
+	for i, p := range k.Params {
+		binary.LittleEndian.PutUint64(buf[i*8:], p)
+	}
+	if off+size > uint64(len(buf)) {
+		return 0, fmt.Errorf("gpusim: param read [%#x,%#x) outside %d-byte param buffer",
+			off, off+size, len(buf))
+	}
+	if size == 4 {
+		return uint64(binary.LittleEndian.Uint32(buf[off:])), nil
+	}
+	return binary.LittleEndian.Uint64(buf[off:]), nil
+}
+
+// Validate checks the launch geometry.
+func (k *Kernel) Validate() error {
+	if k.Program == nil {
+		return fmt.Errorf("gpusim: kernel has no program")
+	}
+	if err := k.Program.Validate(); err != nil {
+		return err
+	}
+	if k.GridDim <= 0 || k.BlockDim <= 0 {
+		return fmt.Errorf("gpusim: bad launch geometry %d×%d", k.GridDim, k.BlockDim)
+	}
+	if k.BlockDim > 1024 {
+		return fmt.Errorf("gpusim: block dim %d exceeds 1024", k.BlockDim)
+	}
+	return nil
+}
+
+// WarpAddOp is one lane's effective adder operation within a traced warp
+// instruction.
+type WarpAddOp struct {
+	Active bool
+	EA, EB uint64 // effective operands (post subtraction transform)
+	Cin0   uint
+	Sum    uint64 // exact result
+}
+
+// AddTracer observes every executed warp-level adder operation (integer
+// add/sub and the FP mantissa additions), after execution, with all 32
+// lanes delivered together. Warp-synchronous delivery matters: hardware
+// predicts every lane of a warp from the *same* pre-update history state,
+// and meters that serialize lanes would overstate shared-history designs.
+// It powers the Figure 2/3 value-correlation analyses and the single-pass
+// design-space sweep.
+type AddTracer interface {
+	TraceWarpAdds(unit core.UnitKind, pc, gtidBase uint32, ops *[32]WarpAddOp)
+}
+
+// Device is the simulated GPU.
+type Device struct {
+	cfg    Config
+	mem    *Memory
+	l2     *Cache
+	prices map[core.UnitKind]core.EnergyParams
+	tracer AddTracer
+}
+
+// SetTracer installs (or clears, with nil) the adder-operation observer.
+func (d *Device) SetTracer(t AddTracer) { d.tracer = t }
+
+// New builds a device from the configuration.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2KB, cfg.LineBytes, cfg.L2Ways)
+	if err != nil {
+		return nil, err
+	}
+	tech := circuit.SAED90()
+	prices := make(map[core.UnitKind]core.EnergyParams)
+	for _, kind := range []core.UnitKind{core.ALU, core.ALU32, core.FPU, core.DPU} {
+		c, err := kind.AdderConfig(cfg.SliceBits)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.DeriveEnergyParams(tech, c.Width, cfg.SliceBits)
+		if err != nil {
+			return nil, err
+		}
+		prices[kind] = p
+	}
+	return &Device{
+		cfg:    cfg,
+		mem:    NewMemory(cfg.GlobalMemBytes),
+		l2:     l2,
+		prices: prices,
+	}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Memory exposes device global memory for host staging.
+func (d *Device) Memory() *Memory { return d.mem }
+
+// Prices returns the per-unit energy pricing.
+func (d *Device) Prices() map[core.UnitKind]core.EnergyParams { return d.prices }
+
+// latency returns (producer latency, FU occupancy) in cycles for an
+// opcode; memory ops are priced in execMemory instead.
+func (d *Device) latency(op isa.Opcode) (lat, occ uint64) {
+	switch op.Class() {
+	case isa.FUAluAdd, isa.FUAluOther:
+		return 4, 2
+	case isa.FUIntMul:
+		return 5, 2
+	case isa.FUIntDiv:
+		// Hardware expands division into an instruction sequence.
+		return 24, 8
+	case isa.FUFpAdd, isa.FUFpMul:
+		if op == isa.OpFFma {
+			return 4, 2
+		}
+		return 4, 2
+	case isa.FUFpDiv:
+		return 44, 16
+	case isa.FUSfu:
+		return 20, 8
+	case isa.FUMem:
+		return 4, 2 // overridden by execMemory's latency
+	default:
+		return 1, 1
+	}
+}
+
+// RunStats is the outcome of one kernel launch.
+type RunStats struct {
+	Kernel string
+	Mode   AdderMode
+
+	Cycles uint64 // max over SMs (they run concurrently)
+
+	ThreadInstrs map[isa.FUClass]uint64
+	WarpInstrs   map[isa.FUClass]uint64
+
+	// ST² unit statistics, merged across SMs, by unit kind.
+	Units map[core.UnitKind]core.UnitStats
+	// BaselineAdderOps counts thread-level add/sub ops per unit kind when
+	// running baseline adders (for pricing).
+	BaselineAdderOps map[core.UnitKind]uint64
+
+	CRF speculate.CRFStats
+
+	RegReads, RegWrites uint64
+	SharedAccesses      uint64
+	ParamAccesses       uint64
+	L1                  CacheStats
+	L2                  CacheStats
+	DRAMAccesses        uint64
+	AtomicLaneOps       uint64
+	ST2StallCycles      uint64
+
+	SMsUsed int
+}
+
+// TotalThreadInstrs sums the dynamic thread-level instruction count.
+func (r *RunStats) TotalThreadInstrs() uint64 {
+	var t uint64
+	for _, v := range r.ThreadInstrs {
+		t += v
+	}
+	return t
+}
+
+// AddFraction returns the fraction of dynamic thread instructions that
+// are ALU or FPU add/sub — the Figure 1 metric (DPU adds included with
+// FPU adds, as in the paper's "FPU Add" bucket).
+func (r *RunStats) AddFraction() (aluAdd, fpuAdd float64) {
+	t := float64(r.TotalThreadInstrs())
+	if t == 0 {
+		return 0, 0
+	}
+	return float64(r.ThreadInstrs[isa.FUAluAdd]) / t, float64(r.ThreadInstrs[isa.FUFpAdd]) / t
+}
+
+// SIMDEfficiency returns executed thread-slots over issued warp-slots
+// (thread instrs / (warp instrs × 32)): 1.0 means no divergence or
+// partial-warp waste.
+func (r *RunStats) SIMDEfficiency() float64 {
+	var warp uint64
+	for _, v := range r.WarpInstrs {
+		warp += v
+	}
+	if warp == 0 {
+		return 0
+	}
+	return float64(r.TotalThreadInstrs()) / float64(warp*32)
+}
+
+// MispredictionRate returns the overall thread misprediction rate across
+// all ST² units.
+func (r *RunStats) MispredictionRate() float64 {
+	var mis, tot uint64
+	for _, u := range r.Units {
+		mis += u.ThreadMispredicts
+		tot += u.ThreadOps
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(mis) / float64(tot)
+}
+
+// Launch runs the kernel to completion and returns its statistics.
+//
+// SMs are simulated sequentially (they share only the L2, whose hit rate
+// this distorts marginally); the reported Cycles is the maximum over SMs,
+// modeling their concurrent execution.
+func (d *Device) Launch(k *Kernel) (*RunStats, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	run := &RunStats{
+		Kernel:           k.Program.Name,
+		Mode:             d.cfg.AdderMode,
+		ThreadInstrs:     make(map[isa.FUClass]uint64),
+		WarpInstrs:       make(map[isa.FUClass]uint64),
+		Units:            make(map[core.UnitKind]core.UnitStats),
+		BaselineAdderOps: make(map[core.UnitKind]uint64),
+	}
+
+	// Distribute blocks round-robin over SMs.
+	numSMs := d.cfg.NumSMs
+	if k.GridDim < numSMs {
+		numSMs = k.GridDim
+	}
+	run.SMsUsed = numSMs
+
+	for smID := 0; smID < numSMs; smID++ {
+		sm, err := d.newSM(smID, k)
+		if err != nil {
+			return nil, err
+		}
+		for b := smID; b < k.GridDim; b += numSMs {
+			sm.blockQueue = append(sm.blockQueue, b)
+		}
+		if err := sm.run(); err != nil {
+			return nil, err
+		}
+		d.foldSM(run, sm)
+	}
+	return run, nil
+}
+
+func (d *Device) newSM(id int, k *Kernel) (*smState, error) {
+	l1, err := NewCache(d.cfg.L1KB, d.cfg.LineBytes, d.cfg.L1Ways)
+	if err != nil {
+		return nil, err
+	}
+	sm := &smState{
+		dev:              d,
+		id:               id,
+		lastWarp:         -1,
+		kernel:           k,
+		l1:               l1,
+		liveBlocks:       make(map[int]int),
+		baselineAdderOps: make(map[core.UnitKind]uint64),
+		stats:            newSMStats(),
+	}
+	// Execution pipe pools (Volta-like counts).
+	sm.pools[poolALU] = make([]uint64, d.cfg.SchedulersPerSM)
+	sm.pools[poolFP32] = make([]uint64, d.cfg.SchedulersPerSM)
+	sm.pools[poolFP64] = make([]uint64, 2)
+	sm.pools[poolSFU] = make([]uint64, 1)
+	sm.pools[poolMEM] = make([]uint64, 2)
+
+	for _, mk := range []struct {
+		kind core.UnitKind
+		dst  **core.Unit
+	}{
+		{core.ALU32, &sm.alu32},
+		{core.ALU, &sm.alu64},
+		{core.FPU, &sm.fpu},
+		{core.DPU, &sm.dpu},
+	} {
+		u, err := core.NewUnit(mk.kind, d.cfg.SliceBits, d.prices[mk.kind])
+		if err != nil {
+			return nil, err
+		}
+		*mk.dst = u
+	}
+
+	if d.cfg.AdderMode == ST2Adders {
+		if d.cfg.UseCRF {
+			entries := d.cfg.CRFEntries
+			if entries == 0 {
+				entries = 16
+			}
+			crf, err := speculate.NewCRF(entries, 32, 7, d.cfg.Seed+int64(id))
+			if err != nil {
+				return nil, err
+			}
+			sm.crf = crf
+			sm.spec = &core.CRFSpeculator{
+				CRF:         sm.crf,
+				Geom:        sm.alu64.Geometry(),
+				DisablePeek: d.cfg.DisablePeek,
+			}
+		} else {
+			p, err := speculate.NewDesign(d.cfg.Speculation, sm.alu64.Geometry())
+			if err != nil {
+				return nil, err
+			}
+			sm.spec = &core.PredictorSpeculator{P: p}
+		}
+	}
+	return sm, nil
+}
+
+// foldSM merges one finished SM's statistics into the run.
+func (d *Device) foldSM(run *RunStats, sm *smState) {
+	if sm.cycle > run.Cycles {
+		run.Cycles = sm.cycle
+	}
+	for c, v := range sm.stats.ThreadInstrs {
+		run.ThreadInstrs[c] += v
+	}
+	for c, v := range sm.stats.WarpInstrs {
+		run.WarpInstrs[c] += v
+	}
+	for _, u := range []*core.Unit{sm.alu32, sm.alu64, sm.fpu, sm.dpu} {
+		agg := run.Units[u.Kind]
+		agg.Merge(u.Stats())
+		run.Units[u.Kind] = agg
+	}
+	for kind, n := range sm.baselineAdderOps {
+		run.BaselineAdderOps[kind] += n
+	}
+	if sm.crf != nil {
+		sm.crf.Flush()
+		cs := sm.crf.Stats()
+		run.CRF.Reads += cs.Reads
+		run.CRF.WriteRequests += cs.WriteRequests
+		run.CRF.WritesCommitted += cs.WritesCommitted
+		run.CRF.Conflicts += cs.Conflicts
+		run.CRF.LaneBitsWritten += cs.LaneBitsWritten
+	}
+	run.RegReads += sm.stats.RegReads
+	run.RegWrites += sm.stats.RegWrites
+	run.SharedAccesses += sm.stats.SharedAccesses
+	run.ParamAccesses += sm.stats.ParamAccesses
+	l1 := sm.l1.Stats()
+	run.L1.Accesses += l1.Accesses
+	run.L1.Hits += l1.Hits
+	run.L1.Misses += l1.Misses
+	run.DRAMAccesses += sm.stats.DRAMAccesses
+	run.AtomicLaneOps += sm.stats.AtomicLaneOps
+	run.ST2StallCycles += sm.stats.ST2StallCycles
+	run.L2 = d.l2.Stats() // cumulative; device-level
+}

@@ -1,0 +1,153 @@
+package gpusim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Memory is the device's flat global memory. Kernels address it with byte
+// addresses; hosts stage inputs and read back outputs through the typed
+// helpers. All multi-byte values are little-endian.
+type Memory struct {
+	data []byte
+}
+
+// NewMemory allocates size bytes of zeroed device memory.
+func NewMemory(size uint64) *Memory {
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the capacity in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+func (m *Memory) check(addr, n uint64) error {
+	if addr+n > uint64(len(m.data)) || addr+n < addr {
+		return fmt.Errorf("gpusim: memory access [%#x,%#x) outside %#x-byte device memory",
+			addr, addr+n, len(m.data))
+	}
+	return nil
+}
+
+// Load reads n (4 or 8) bytes at addr.
+func (m *Memory) Load(addr, n uint64) (uint64, error) {
+	if err := m.check(addr, n); err != nil {
+		return 0, err
+	}
+	switch n {
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.data[addr:])), nil
+	case 8:
+		return binary.LittleEndian.Uint64(m.data[addr:]), nil
+	default:
+		return 0, fmt.Errorf("gpusim: unsupported access size %d", n)
+	}
+}
+
+// Store writes n (4 or 8) bytes at addr.
+func (m *Memory) Store(addr, n, val uint64) error {
+	if err := m.check(addr, n); err != nil {
+		return err
+	}
+	switch n {
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[addr:], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(m.data[addr:], val)
+	default:
+		return fmt.Errorf("gpusim: unsupported access size %d", n)
+	}
+	return nil
+}
+
+// --- Host-side staging helpers ---
+
+// WriteU32s stages a []uint32 at addr.
+func (m *Memory) WriteU32s(addr uint64, vals []uint32) error {
+	if err := m.check(addr, uint64(len(vals))*4); err != nil {
+		return err
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(m.data[addr+uint64(i)*4:], v)
+	}
+	return nil
+}
+
+// ReadU32s reads n uint32 values from addr.
+func (m *Memory) ReadU32s(addr uint64, n int) ([]uint32, error) {
+	if err := m.check(addr, uint64(n)*4); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(m.data[addr+uint64(i)*4:])
+	}
+	return out, nil
+}
+
+// WriteF32s stages a []float32 at addr.
+func (m *Memory) WriteF32s(addr uint64, vals []float32) error {
+	u := make([]uint32, len(vals))
+	for i, v := range vals {
+		u[i] = f32bits(v)
+	}
+	return m.WriteU32s(addr, u)
+}
+
+// ReadF32s reads n float32 values from addr.
+func (m *Memory) ReadF32s(addr uint64, n int) ([]float32, error) {
+	u, err := m.ReadU32s(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = f32fromBits(u[i])
+	}
+	return out, nil
+}
+
+// WriteF64s stages a []float64 at addr.
+func (m *Memory) WriteF64s(addr uint64, vals []float64) error {
+	if err := m.check(addr, uint64(len(vals))*8); err != nil {
+		return err
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(m.data[addr+uint64(i)*8:], f64bits(v))
+	}
+	return nil
+}
+
+// ReadF64s reads n float64 values from addr.
+func (m *Memory) ReadF64s(addr uint64, n int) ([]float64, error) {
+	if err := m.check(addr, uint64(n)*8); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = f64fromBits(binary.LittleEndian.Uint64(m.data[addr+uint64(i)*8:]))
+	}
+	return out, nil
+}
+
+// WriteU64s stages a []uint64 at addr.
+func (m *Memory) WriteU64s(addr uint64, vals []uint64) error {
+	if err := m.check(addr, uint64(len(vals))*8); err != nil {
+		return err
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(m.data[addr+uint64(i)*8:], v)
+	}
+	return nil
+}
+
+// ReadU64s reads n uint64 values from addr.
+func (m *Memory) ReadU64s(addr uint64, n int) ([]uint64, error) {
+	if err := m.check(addr, uint64(n)*8); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(m.data[addr+uint64(i)*8:])
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"st2gpu/internal/isa"
+)
+
+// evalOp runs a one-instruction program: r0 = <op>(inputs...) on a single
+// warp and returns lane 0's result. Inputs are staged with typed movs.
+func evalOp(t *testing.T, stage func(b *isa.Builder, dst isa.Reg)) uint64 {
+	t.Helper()
+	b := isa.NewBuilder("op")
+	dst := b.Reg()
+	stage(b, dst)
+	addr := b.Reg()
+	b.Mov(isa.U64, addr, isa.Imm(0x100))
+	b.St(isa.Global, isa.U64, isa.R(addr), isa.R(dst))
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(&Kernel{Program: prog, GridDim: 1, BlockDim: 32}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Memory().Load(0x100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// movI stages an integer constant of the given type.
+func movI(b *isa.Builder, ty isa.Type, v uint64) isa.Reg {
+	r := b.Reg()
+	b.Mov(ty, r, isa.Imm(v))
+	return r
+}
+
+func f32b(v float32) uint64 { return uint64(math.Float32bits(v)) }
+func f64b(v float64) uint64 { return math.Float64bits(v) }
+
+func TestIntegerOpcodeSemantics(t *testing.T) {
+	neg5 := uint64(0xFFFFFFFB) // raw 32-bit -5
+	cases := []struct {
+		name string
+		emit func(b *isa.Builder, dst isa.Reg)
+		want uint64
+	}{
+		{"min.s32 negative", func(b *isa.Builder, d isa.Reg) {
+			b.IMin(isa.S32, d, isa.R(movI(b, isa.S32, neg5)), isa.Imm(3))
+		}, ^uint64(4)}, // -5 sign-extended
+		{"max.s32 negative", func(b *isa.Builder, d isa.Reg) {
+			b.IMax(isa.S32, d, isa.R(movI(b, isa.S32, neg5)), isa.Imm(3))
+		}, 3},
+		{"min.u32 wraps", func(b *isa.Builder, d isa.Reg) {
+			b.IMin(isa.U32, d, isa.R(movI(b, isa.U32, neg5)), isa.Imm(3))
+		}, 3}, // 0xFFFFFFFB > 3 unsigned
+		{"min.s64", func(b *isa.Builder, d isa.Reg) {
+			b.IMin(isa.S64, d, isa.R(movI(b, isa.S64, ^uint64(8))), isa.Imm(2))
+		}, ^uint64(8)},
+		{"max.u64", func(b *isa.Builder, d isa.Reg) {
+			b.IMax(isa.U64, d, isa.R(movI(b, isa.U64, 1<<40)), isa.Imm(7))
+		}, 1 << 40},
+		{"not.u64", func(b *isa.Builder, d isa.Reg) {
+			b.Not(isa.U64, d, isa.R(movI(b, isa.U64, 0x0F0F)))
+		}, ^uint64(0x0F0F)},
+		{"shr.s32 arithmetic", func(b *isa.Builder, d isa.Reg) {
+			b.Shr(isa.S32, d, isa.R(movI(b, isa.S32, 0x80000000)), isa.Imm(4))
+		}, 0xFFFFFFFFF8000000},
+		{"shr.u32 logical", func(b *isa.Builder, d isa.Reg) {
+			b.Shr(isa.U32, d, isa.R(movI(b, isa.U32, 0x80000000)), isa.Imm(4))
+		}, 0x08000000},
+		{"shr.s64 arithmetic", func(b *isa.Builder, d isa.Reg) {
+			b.Shr(isa.S64, d, isa.R(movI(b, isa.S64, 1<<63)), isa.Imm(8))
+		}, 0xFF80000000000000}, // arithmetic shift fill
+		{"shr.u64 logical", func(b *isa.Builder, d isa.Reg) {
+			b.Shr(isa.U64, d, isa.R(movI(b, isa.U64, 1<<63)), isa.Imm(8))
+		}, 1 << 55},
+		{"abs.s32", func(b *isa.Builder, d isa.Reg) {
+			b.Abs(isa.S32, d, isa.R(movI(b, isa.S32, neg5)))
+		}, 5},
+		{"abs.s64", func(b *isa.Builder, d isa.Reg) {
+			b.Abs(isa.S64, d, isa.R(movI(b, isa.S64, ^uint64(76))))
+		}, 77},
+		{"mul.u64 wide", func(b *isa.Builder, d isa.Reg) {
+			b.IMul(isa.U64, d, isa.R(movI(b, isa.U64, 1<<33)), isa.Imm(4))
+		}, 1 << 35},
+		{"mad.u64", func(b *isa.Builder, d isa.Reg) {
+			b.IMad(isa.U64, d, isa.R(movI(b, isa.U64, 1<<32)), isa.Imm(2), isa.Imm(5))
+		}, 1<<33 + 5},
+		{"div.s32 negative", func(b *isa.Builder, d isa.Reg) {
+			b.IDiv(isa.S32, d, isa.R(movI(b, isa.S32, 0xFFFFFFF9)), isa.Imm(2))
+		}, ^uint64(2)}, // -3, sign-extended canonical S32 form
+		{"rem.s32 negative", func(b *isa.Builder, d isa.Reg) {
+			b.IRem(isa.S32, d, isa.R(movI(b, isa.S32, 0xFFFFFFF9)), isa.Imm(2))
+		}, ^uint64(0)}, // -1, sign-extended canonical S32 form
+		{"div.s64", func(b *isa.Builder, d isa.Reg) {
+			b.IDiv(isa.S64, d, isa.R(movI(b, isa.S64, ^uint64(99))), isa.Imm(7))
+		}, ^uint64(13)}, // -14
+		{"rem.s64", func(b *isa.Builder, d isa.Reg) {
+			b.IRem(isa.S64, d, isa.R(movI(b, isa.S64, ^uint64(99))), isa.Imm(7))
+		}, ^uint64(1)}, // -2
+		{"div.u64", func(b *isa.Builder, d isa.Reg) {
+			b.IDiv(isa.U64, d, isa.R(movI(b, isa.U64, 1<<40)), isa.Imm(1<<10))
+		}, 1 << 30},
+		{"rem.u64", func(b *isa.Builder, d isa.Reg) {
+			b.IRem(isa.U64, d, isa.R(movI(b, isa.U64, (1<<40)+123)), isa.Imm(1<<20))
+		}, 123},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if got := evalOp(t, c.emit); got != c.want {
+				t.Errorf("got %#x, want %#x", got, c.want)
+			}
+		})
+	}
+}
+
+func TestFloatOpcodeSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(b *isa.Builder, dst isa.Reg)
+		want uint64
+	}{
+		{"mul.f64", func(b *isa.Builder, d isa.Reg) {
+			b.FMul(isa.F64, d, isa.R(movI(b, isa.F64, f64b(1.5))), isa.ImmF64(-2))
+		}, f64b(-3)},
+		{"fma.f64", func(b *isa.Builder, d isa.Reg) {
+			b.FFma(isa.F64, d, isa.R(movI(b, isa.F64, f64b(2))), isa.ImmF64(3), isa.ImmF64(0.5))
+		}, f64b(6.5)},
+		{"div.f64", func(b *isa.Builder, d isa.Reg) {
+			b.FDiv(isa.F64, d, isa.R(movI(b, isa.F64, f64b(1))), isa.ImmF64(4))
+		}, f64b(0.25)},
+		{"min.f64", func(b *isa.Builder, d isa.Reg) {
+			b.FMin(isa.F64, d, isa.R(movI(b, isa.F64, f64b(-1))), isa.ImmF64(2))
+		}, f64b(-1)},
+		{"max.f32", func(b *isa.Builder, d isa.Reg) {
+			b.FMax(isa.F32, d, isa.R(movI(b, isa.F32, f32b(-1))), isa.ImmF32(2))
+		}, f32b(2)},
+		{"neg.f64", func(b *isa.Builder, d isa.Reg) {
+			b.FNeg(isa.F64, d, isa.R(movI(b, isa.F64, f64b(3.5))))
+		}, f64b(-3.5)},
+		{"abs.f32", func(b *isa.Builder, d isa.Reg) {
+			b.FAbs(isa.F32, d, isa.R(movI(b, isa.F32, f32b(-7))))
+		}, f32b(7)},
+		{"sqrt.f64", func(b *isa.Builder, d isa.Reg) {
+			b.Sqrt(isa.F64, d, isa.R(movI(b, isa.F64, f64b(9))))
+		}, f64b(3)},
+		{"rsqrt.f64", func(b *isa.Builder, d isa.Reg) {
+			b.Rsqrt(isa.F64, d, isa.R(movI(b, isa.F64, f64b(4))))
+		}, f64b(0.5)},
+		{"rcp.f64", func(b *isa.Builder, d isa.Reg) {
+			b.Rcp(isa.F64, d, isa.R(movI(b, isa.F64, f64b(8))))
+		}, f64b(0.125)},
+		{"ex2.f64", func(b *isa.Builder, d isa.Reg) {
+			b.Exp2(isa.F64, d, isa.R(movI(b, isa.F64, f64b(10))))
+		}, f64b(1024)},
+		{"lg2.f64", func(b *isa.Builder, d isa.Reg) {
+			b.Log2(isa.F64, d, isa.R(movI(b, isa.F64, f64b(1024))))
+		}, f64b(10)},
+		{"sin.f64 zero", func(b *isa.Builder, d isa.Reg) {
+			b.Sin(isa.F64, d, isa.R(movI(b, isa.F64, f64b(0))))
+		}, f64b(0)},
+		{"cos.f64 zero", func(b *isa.Builder, d isa.Reg) {
+			b.Cos(isa.F64, d, isa.R(movI(b, isa.F64, f64b(0))))
+		}, f64b(1)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if got := evalOp(t, c.emit); got != c.want {
+				t.Errorf("got %#x, want %#x", got, c.want)
+			}
+		})
+	}
+}
+
+func TestCvtSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to isa.Type
+		in       uint64
+		want     uint64
+	}{
+		{"u32→f32", isa.U32, isa.F32, 7, f32b(7)},
+		{"s32→f32 negative", isa.S32, isa.F32, 0xFFFFFFFD, f32b(-3)},
+		{"u32→f64", isa.U32, isa.F64, 1000, f64b(1000)},
+		{"s64→f64 negative", isa.S64, isa.F64, ^uint64(11), f64b(-12)},
+		{"f32→s32 truncates", isa.F32, isa.S32, f32b(-2.9), ^uint64(1)},
+		{"f32→u32", isa.F32, isa.U32, f32b(3.7), 3},
+		{"f64→f32", isa.F64, isa.F32, f64b(1.5), f32b(1.5)},
+		{"f32→f64", isa.F32, isa.F64, f32b(0.5), f64b(0.5)},
+		{"f64→s64", isa.F64, isa.S64, f64b(-123.9), ^uint64(122)},
+		{"u64→u32 truncates", isa.U64, isa.U32, 1<<40 | 5, 5},
+		{"s32→s64 sign extends", isa.S32, isa.S64, 0xFFFFFFFF, ^uint64(0)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := evalOp(t, func(b *isa.Builder, d isa.Reg) {
+				src := b.Reg()
+				b.Mov(c.from, src, isa.Imm(c.in))
+				b.Cvt(c.to, d, isa.R(src), c.from)
+			})
+			if got != c.want {
+				t.Errorf("got %#x, want %#x", got, c.want)
+			}
+		})
+	}
+}
+
+// Every comparison operator × representative type, captured through Selp.
+func TestSetpSemantics(t *testing.T) {
+	check := func(name string, ty isa.Type, cmp isa.CmpOp, a, b uint64, want bool) {
+		t.Helper()
+		got := evalOp(t, func(bb *isa.Builder, d isa.Reg) {
+			ra := bb.Reg()
+			rb := bb.Reg()
+			bb.Mov(ty, ra, isa.Imm(a))
+			bb.Mov(ty, rb, isa.Imm(b))
+			p := bb.PredReg()
+			bb.Setp(cmp, ty, p, isa.R(ra), isa.R(rb))
+			bb.Selp(isa.U64, d, isa.Imm(1), isa.Imm(0), p)
+		})
+		if (got == 1) != want {
+			t.Errorf("%s: got %d, want %v", name, got, want)
+		}
+	}
+	neg := uint64(0xFFFFFFFC)
+	check("lt.s32 neg", isa.S32, isa.LT, neg, 3, true)
+	check("lt.u32 neg-as-big", isa.U32, isa.LT, neg, 3, false)
+	check("le.s32 equal", isa.S32, isa.LE, 5, 5, true)
+	check("gt.s64", isa.S64, isa.GT, ^uint64(1), ^uint64(6), true)
+	check("ge.u64", isa.U64, isa.GE, 9, 9, true)
+	check("ne.u32", isa.U32, isa.NE, 1, 2, true)
+	check("eq.f32", isa.F32, isa.EQ, f32b(1.5), f32b(1.5), true)
+	check("lt.f32", isa.F32, isa.LT, f32b(-0.5), f32b(0.25), true)
+	check("gt.f64", isa.F64, isa.GT, f64b(2.5), f64b(2.4), true)
+	check("le.f64 nan is false", isa.F64, isa.LE, f64b(math.NaN()), f64b(1), false)
+}

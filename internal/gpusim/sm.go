@@ -1,0 +1,415 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"st2gpu/internal/core"
+	"st2gpu/internal/isa"
+	"st2gpu/internal/speculate"
+)
+
+// poolKind buckets functional-unit classes into the SM's physical
+// execution pipes (Volta-like: per-scheduler INT32/FP32 pipes, shared
+// FP64, shared SFU, shared LSU).
+type poolKind int
+
+const (
+	poolALU poolKind = iota
+	poolFP32
+	poolFP64
+	poolSFU
+	poolMEM
+	poolNone
+	poolCount
+)
+
+func poolFor(c isa.FUClass) poolKind {
+	switch c {
+	case isa.FUAluAdd, isa.FUAluOther, isa.FUIntMul, isa.FUIntDiv:
+		return poolALU
+	case isa.FUFpAdd, isa.FUFpMul, isa.FUFpDiv:
+		return poolFP32
+	case isa.FUSfu:
+		return poolSFU
+	case isa.FUMem:
+		return poolMEM
+	default:
+		return poolNone
+	}
+}
+
+// SMStats aggregates one SM's activity over a kernel run.
+type SMStats struct {
+	Cycles         uint64
+	WarpInstrs     map[isa.FUClass]uint64
+	ThreadInstrs   map[isa.FUClass]uint64
+	RegReads       uint64
+	RegWrites      uint64
+	SharedAccesses uint64
+	ParamAccesses  uint64
+	GlobalAccesses uint64 // warp-level global memory instructions
+	L2Accesses     uint64
+	DRAMAccesses   uint64
+	AtomicLaneOps  uint64
+	ST2StallCycles uint64
+	BarrierWaits   uint64
+}
+
+func newSMStats() *SMStats {
+	return &SMStats{
+		WarpInstrs:   make(map[isa.FUClass]uint64),
+		ThreadInstrs: make(map[isa.FUClass]uint64),
+	}
+}
+
+// smState is one streaming multiprocessor mid-simulation.
+type smState struct {
+	dev    *Device
+	id     int
+	kernel *Kernel
+
+	l1 *Cache
+
+	// ST² execution units and speculation source.
+	alu32, alu64, fpu, dpu *core.Unit
+	crf                    *speculate.CRF
+	spec                   core.Speculator
+	baselineAdderOps       map[core.UnitKind]uint64
+
+	// Execution state.
+	warps      []*warp
+	blockQueue []int               // global block indices awaiting launch
+	liveBlocks map[int]int         // blockIdx → live (not done) warp count
+	pools      [poolCount][]uint64 // busy-until per pipe
+
+	cycle    uint64
+	rrPos    int
+	lastWarp int // GTO: the warp that issued most recently (-1 none)
+	stats    *SMStats
+}
+
+func (sm *smState) poolPipes(k poolKind) []uint64 { return sm.pools[k] }
+
+// nextFreePipe returns the pipe index with the earliest busy-until time.
+func (sm *smState) nextFreePipe(k poolKind) int {
+	pipes := sm.pools[k]
+	best := 0
+	for i := 1; i < len(pipes); i++ {
+		if pipes[i] < pipes[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// launchBlock instantiates the warps of global block b on this SM.
+func (sm *smState) launchBlock(b int) {
+	prog := sm.kernel.Program
+	threads := sm.kernel.BlockDim
+	var shared []byte
+	if prog.SharedBytes > 0 {
+		shared = make([]byte, prog.SharedBytes)
+	}
+	nWarps := (threads + 31) / 32
+	for wi := 0; wi < nWarps; wi++ {
+		lanes := threads - wi*32
+		if lanes > 32 {
+			lanes = 32
+		}
+		w := &warp{
+			id:        len(sm.warps),
+			blockIdx:  b,
+			tidBase:   uint32(wi * 32),
+			gtidBase:  uint32(b*threads + wi*32),
+			nLanes:    lanes,
+			regs:      make([]uint64, prog.NumRegs*32),
+			preds:     make([]bool, max(prog.NumPreds, 1)*32),
+			shared:    shared,
+			regReady:  make([]uint64, max(prog.NumRegs, 1)),
+			nextIssue: sm.cycle,
+		}
+		for l := lanes; l < 32; l++ {
+			w.pc[l] = -1
+		}
+		sm.warps = append(sm.warps, w)
+	}
+	sm.liveBlocks[b] = nWarps
+}
+
+// residentWarps counts warps that have not finished.
+func (sm *smState) residentWarps() int {
+	n := 0
+	for _, w := range sm.warps {
+		if !w.done {
+			n++
+		}
+	}
+	return n
+}
+
+// refill launches queued blocks while resources allow.
+func (sm *smState) refill() {
+	warpsPerBlock := (sm.kernel.BlockDim + 31) / 32
+	for len(sm.blockQueue) > 0 &&
+		len(sm.liveBlocks) < sm.dev.cfg.MaxBlocksPerSM &&
+		sm.residentWarps()+warpsPerBlock <= sm.dev.cfg.MaxWarpsPerSM {
+		b := sm.blockQueue[0]
+		sm.blockQueue = sm.blockQueue[1:]
+		sm.launchBlock(b)
+	}
+}
+
+// releaseBarriers frees blocks whose live warps have all arrived.
+func (sm *smState) releaseBarriers() {
+	arrived := make(map[int]int)
+	for _, w := range sm.warps {
+		if !w.done && w.atBarrier {
+			arrived[w.blockIdx]++
+		}
+	}
+	for b, n := range arrived {
+		if n == sm.liveBlocks[b] {
+			for _, w := range sm.warps {
+				if w.blockIdx == b && w.atBarrier {
+					w.atBarrier = false
+					if w.nextIssue < sm.cycle+1 {
+						w.nextIssue = sm.cycle + 1
+					}
+				}
+			}
+		}
+	}
+}
+
+// srcReadyAt returns the cycle at which the warp's next instruction can
+// read all its operands.
+func (sm *smState) srcReadyAt(w *warp) uint64 {
+	pc := w.minPC()
+	if pc < 0 {
+		return w.nextIssue
+	}
+	in := sm.kernel.Program.Instrs[pc]
+	t := w.nextIssue
+	for s := 0; s < in.Op.NumSrcs(); s++ {
+		o := in.Srcs[s]
+		if o.Kind == isa.OpReg && in.Op != isa.OpSelp || (in.Op == isa.OpSelp && s < 2 && o.Kind == isa.OpReg) {
+			if r := w.regReady[o.Reg]; r > t {
+				t = r
+			}
+		}
+	}
+	// Write-after-write / write-after-read on the destination: the warp is
+	// in-order, so only the destination's pending latency matters.
+	if in.Op.HasDst() {
+		if r := w.regReady[in.Dst]; r > t {
+			t = r
+		}
+	}
+	return t
+}
+
+// earliestIssue computes when warp w could issue, considering scoreboard
+// and FU pool availability.
+func (sm *smState) earliestIssue(w *warp) uint64 {
+	t := sm.srcReadyAt(w)
+	pc := w.minPC()
+	if pc >= 0 {
+		pool := poolFor(sm.kernel.Program.Instrs[pc].Op.Class())
+		if pool != poolNone {
+			pipe := sm.nextFreePipe(pool)
+			if b := sm.pools[pool][pipe]; b > t {
+				t = b
+			}
+		}
+	}
+	return t
+}
+
+// tryIssue attempts to issue warp w at the current cycle; reports whether
+// it issued.
+func (sm *smState) tryIssue(w *warp) (bool, error) {
+	if w.done || w.atBarrier || w.nextIssue > sm.cycle {
+		return false, nil
+	}
+	if sm.srcReadyAt(w) > sm.cycle {
+		return false, nil
+	}
+	pc := w.minPC()
+	if pc < 0 {
+		w.done = true
+		return false, nil
+	}
+	in := sm.kernel.Program.Instrs[pc]
+	pool := poolFor(in.Op.Class())
+	pipe := -1
+	if pool != poolNone {
+		pipe = sm.nextFreePipe(pool)
+		if sm.pools[pool][pipe] > sm.cycle {
+			return false, nil
+		}
+	}
+
+	res, err := sm.executeStep(w)
+	if err != nil {
+		return false, err
+	}
+
+	// Occupancy and latency, with the ST² misprediction stall.
+	occ, lat := res.occupancy, res.latency
+	if res.st2Stall {
+		occ++
+		lat++
+		sm.stats.ST2StallCycles++
+	}
+	if res.memTransactions > 1 {
+		extra := uint64(res.memTransactions - 1)
+		occ += extra
+		lat += extra
+	}
+	if pipe >= 0 {
+		sm.pools[pool][pipe] = sm.cycle + occ
+	}
+	if res.hasDst {
+		w.regReady[res.dstReg] = sm.cycle + lat
+		sm.stats.RegWrites += uint64(res.activeLanes)
+	}
+	sm.stats.RegReads += uint64(res.activeLanes * in.Op.NumSrcs())
+	w.nextIssue = sm.cycle + 1
+
+	// Bookkeeping.
+	cls := in.Op.Class()
+	sm.stats.WarpInstrs[cls]++
+	sm.stats.ThreadInstrs[cls] += uint64(res.activeLanes)
+	if res.barrier {
+		w.atBarrier = true
+		sm.stats.BarrierWaits++
+	}
+	if res.exited {
+		w.done = true
+		sm.liveBlocks[w.blockIdx]--
+		if sm.liveBlocks[w.blockIdx] == 0 {
+			delete(sm.liveBlocks, w.blockIdx)
+			sm.refill()
+		}
+	}
+	return true, nil
+}
+
+// run simulates this SM to completion.
+func (sm *smState) run() error {
+	sm.refill()
+	for {
+		if len(sm.liveBlocks) == 0 && len(sm.blockQueue) == 0 {
+			break
+		}
+		if sm.cycle > sm.dev.cfg.MaxCycles {
+			return fmt.Errorf("gpusim: SM %d exceeded %d cycles (livelock?)", sm.id, sm.dev.cfg.MaxCycles)
+		}
+		if sm.crf != nil {
+			sm.crf.BeginCycle(sm.cycle)
+		}
+		sm.releaseBarriers()
+
+		issued := 0
+		n := len(sm.warps)
+		greedy := sm.dev.cfg.Scheduler == GTO
+		// GTO: give the most recent issuer first claim on a slot.
+		if greedy && sm.lastWarp >= 0 && sm.lastWarp < n {
+			ok, err := sm.tryIssue(sm.warps[sm.lastWarp])
+			if err != nil {
+				return err
+			}
+			if ok {
+				issued++
+			} else {
+				sm.lastWarp = -1
+			}
+		}
+		for scanned := 0; scanned < n && issued < sm.dev.cfg.SchedulersPerSM; scanned++ {
+			var idx int
+			if greedy {
+				idx = scanned // oldest-first
+			} else {
+				idx = (sm.rrPos + scanned) % n
+			}
+			if greedy && idx == sm.lastWarp {
+				continue
+			}
+			w := sm.warps[idx]
+			ok, err := sm.tryIssue(w)
+			if err != nil {
+				return err
+			}
+			if ok {
+				issued++
+				if greedy {
+					sm.lastWarp = idx
+				}
+			}
+		}
+		sm.rrPos++
+
+		if issued > 0 {
+			sm.cycle++
+			continue
+		}
+		// Nothing issuable: fast-forward to the next event.
+		next := ^uint64(0)
+		anyWaiting := false
+		for _, w := range sm.warps {
+			if w.done || w.atBarrier {
+				continue
+			}
+			anyWaiting = true
+			if t := sm.earliestIssue(w); t < next {
+				next = t
+			}
+		}
+		if !anyWaiting {
+			// Everyone is at a barrier (or done): barriers must be
+			// releasable next round; advance one cycle.
+			stuck := 0
+			for _, w := range sm.warps {
+				if !w.done && w.atBarrier {
+					stuck++
+				}
+			}
+			if stuck > 0 && len(sm.liveBlocks) > 0 {
+				sm.cycle++
+				// If releaseBarriers cannot free anyone, the kernel has a
+				// divergent barrier — detect by re-checking.
+				sm.releaseBarriers()
+				still := 0
+				for _, w := range sm.warps {
+					if !w.done && w.atBarrier {
+						still++
+					}
+				}
+				if still == stuck {
+					return fmt.Errorf("gpusim: SM %d: %d warps deadlocked at a barrier", sm.id, stuck)
+				}
+				continue
+			}
+			// No live warps but blocks remain queued: refill and continue.
+			sm.refill()
+			if len(sm.liveBlocks) == 0 && len(sm.blockQueue) == 0 {
+				break
+			}
+			sm.cycle++
+			continue
+		}
+		if next <= sm.cycle {
+			next = sm.cycle + 1
+		}
+		sm.cycle = next
+	}
+	sm.stats.Cycles = sm.cycle
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

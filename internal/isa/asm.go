@@ -1,0 +1,552 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the textual kernel format: Program.Text emits a
+// canonical assembly listing and Parse reads one back. The two functions
+// round-trip exactly (Parse(p.Text()) reproduces p's instruction stream),
+// so kernels can be written, stored and diffed as plain text.
+//
+// Format:
+//
+//	.kernel saxpy
+//	.regs 7
+//	.preds 1
+//	.shared 1024
+//	  mov.u32 r0, %gtid
+//	  setp.ge.u32 p0, r0, #1024
+//	  @p0 bra L9
+//	  ...
+//	L9:
+//	  exit
+
+// Text renders the program in the canonical assemblable form.
+func (p *Program) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s\n", p.Name)
+	fmt.Fprintf(&b, ".regs %d\n", p.NumRegs)
+	fmt.Fprintf(&b, ".preds %d\n", p.NumPreds)
+	if p.SharedBytes > 0 {
+		fmt.Fprintf(&b, ".shared %d\n", p.SharedBytes)
+	}
+	targets := map[int]bool{}
+	for _, in := range p.Instrs {
+		if in.Op == OpBra {
+			targets[in.Target] = true
+		}
+	}
+	for i, in := range p.Instrs {
+		if targets[i] {
+			fmt.Fprintf(&b, "L%d:\n", i)
+		}
+		fmt.Fprintf(&b, "  %s\n", formatAsm(in))
+	}
+	return b.String()
+}
+
+// formatAsm renders one instruction unambiguously (unlike the
+// human-oriented Format, it preserves CVT's source type).
+func formatAsm(in Instr) string {
+	guard := ""
+	if in.Guard != NoPred {
+		n := ""
+		if in.GuardNeg {
+			n = "!"
+		}
+		guard = fmt.Sprintf("@%sp%d ", n, in.Guard)
+	}
+	op := func(o Operand) string { return o.String() }
+	switch in.Op {
+	case OpNop:
+		return guard + "nop"
+	case OpExit:
+		return guard + "exit"
+	case OpBar:
+		return guard + "bar.sync"
+	case OpBra:
+		return fmt.Sprintf("%sbra L%d", guard, in.Target)
+	case OpSetp:
+		return fmt.Sprintf("%ssetp.%v.%v p%d, %s, %s",
+			guard, in.Cmp, in.Type, in.PDst, op(in.Srcs[0]), op(in.Srcs[1]))
+	case OpLd:
+		return fmt.Sprintf("%sld.%v.%v r%d, [%s]", guard, in.Space, in.Type, in.Dst, op(in.Srcs[0]))
+	case OpSt:
+		return fmt.Sprintf("%sst.%v.%v [%s], %s", guard, in.Space, in.Type, op(in.Srcs[0]), op(in.Srcs[1]))
+	case OpAtomAdd:
+		return fmt.Sprintf("%satom.%v.add.%v [%s], %s", guard, in.Space, in.Type, op(in.Srcs[0]), op(in.Srcs[1]))
+	case OpSelp:
+		return fmt.Sprintf("%sselp.%v r%d, %s, %s, p%d",
+			guard, in.Type, in.Dst, op(in.Srcs[0]), op(in.Srcs[1]), in.Srcs[2].Reg)
+	case OpCvt:
+		return fmt.Sprintf("%scvt.%v.%v r%d, %s",
+			guard, in.Type, Type(in.Srcs[1].Imm), in.Dst, op(in.Srcs[0]))
+	default:
+		s := fmt.Sprintf("%s%v.%v r%d", guard, in.Op, in.Type, in.Dst)
+		for i := 0; i < in.Op.NumSrcs(); i++ {
+			s += ", " + op(in.Srcs[i])
+		}
+		return s
+	}
+}
+
+// asmError reports a parse failure with its line number.
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e *asmError) Error() string { return fmt.Sprintf("isa: line %d: %s", e.line, e.msg) }
+
+// Parse assembles the canonical text format into a validated Program.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	labels := map[string]int{}
+	type fix struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixes []fix
+
+	maxReg, maxPred := -1, -1
+	noteReg := func(r Reg) {
+		if int(r) > maxReg {
+			maxReg = int(r)
+		}
+	}
+	notePred := func(pr PReg) {
+		if int(pr) > maxPred {
+			maxPred = int(pr)
+		}
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		n := lineNo + 1
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".kernel "):
+			p.Name = strings.TrimSpace(strings.TrimPrefix(line, ".kernel "))
+			continue
+		case strings.HasPrefix(line, ".regs "):
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".regs ")))
+			if err != nil {
+				return nil, &asmError{n, "bad .regs: " + err.Error()}
+			}
+			p.NumRegs = v
+			continue
+		case strings.HasPrefix(line, ".preds "):
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".preds ")))
+			if err != nil {
+				return nil, &asmError{n, "bad .preds: " + err.Error()}
+			}
+			p.NumPreds = v
+			continue
+		case strings.HasPrefix(line, ".shared "):
+			v, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, ".shared ")), 10, 64)
+			if err != nil {
+				return nil, &asmError{n, "bad .shared: " + err.Error()}
+			}
+			p.SharedBytes = v
+			continue
+		case strings.HasSuffix(line, ":"):
+			name := strings.TrimSuffix(line, ":")
+			if name == "" {
+				return nil, &asmError{n, "empty label"}
+			}
+			if _, dup := labels[name]; dup {
+				return nil, &asmError{n, "duplicate label " + name}
+			}
+			labels[name] = len(p.Instrs)
+			continue
+		}
+
+		in, target, err := parseInstr(line, n, noteReg, notePred)
+		if err != nil {
+			return nil, err
+		}
+		if in.Op == OpBra {
+			fixes = append(fixes, fix{instr: len(p.Instrs), label: target, line: n})
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, f := range fixes {
+		t, ok := labels[f.label]
+		if !ok {
+			return nil, &asmError{f.line, "undefined label " + f.label}
+		}
+		p.Instrs[f.instr].Target = t
+		p.Instrs[f.instr].Label = f.label
+	}
+	if p.NumRegs == 0 {
+		p.NumRegs = maxReg + 1
+	}
+	if p.NumPreds == 0 {
+		p.NumPreds = maxPred + 1
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// mnemonic tables for the regular two/one/three-operand opcodes.
+var intOps = map[string]Opcode{
+	"add": OpIAdd, "sub": OpISub, "min": OpIMin, "max": OpIMax,
+	"and": OpAnd, "or": OpOr, "xor": OpXor, "not": OpNot,
+	"shl": OpShl, "shr": OpShr, "mov": OpMov, "abs": OpAbs,
+	"mul": OpIMul, "mad": OpIMad, "div": OpIDiv, "rem": OpIRem,
+}
+
+var floatOps = map[string]Opcode{
+	"add": OpFAdd, "sub": OpFSub, "mul": OpFMul, "fma": OpFFma,
+	"div": OpFDiv, "min": OpFMin, "max": OpFMax, "neg": OpFNeg,
+	"abs": OpFAbs, "mov": OpMov,
+	"sqrt": OpSqrt, "rsqrt": OpRsqrt, "sin": OpSin, "cos": OpCos,
+	"ex2": OpExp2, "lg2": OpLog2, "rcp": OpRcp,
+}
+
+var typeNames = map[string]Type{
+	"u32": U32, "s32": S32, "u64": U64, "s64": S64, "f32": F32, "f64": F64,
+}
+
+var cmpNames = map[string]CmpOp{
+	"eq": EQ, "ne": NE, "lt": LT, "le": LE, "gt": GT, "ge": GE,
+}
+
+var spaceNames = map[string]MemSpace{
+	"global": Global, "shared": Shared, "param": Param,
+}
+
+var sregNames = map[string]SReg{
+	"%tid": SRegTid, "%ntid": SRegNTid, "%ctaid": SRegCtaid,
+	"%nctaid": SRegNCtaid, "%gtid": SRegGtid, "%lane": SRegLane,
+}
+
+func parseInstr(line string, n int, noteReg func(Reg), notePred func(PReg)) (Instr, string, error) {
+	in := Instr{Guard: NoPred}
+
+	// Guard prefix.
+	if strings.HasPrefix(line, "@") {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return in, "", &asmError{n, "guard without instruction"}
+		}
+		g := line[1:sp]
+		if strings.HasPrefix(g, "!") {
+			in.GuardNeg = true
+			g = g[1:]
+		}
+		if !strings.HasPrefix(g, "p") {
+			return in, "", &asmError{n, "bad guard " + g}
+		}
+		v, err := strconv.Atoi(g[1:])
+		if err != nil {
+			return in, "", &asmError{n, "bad guard " + g}
+		}
+		in.Guard = PReg(v)
+		notePred(in.Guard)
+		line = strings.TrimSpace(line[sp+1:])
+	}
+
+	head, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	parts := strings.Split(head, ".")
+
+	operands := splitOperands(rest)
+	parseOp := func(s string) (Operand, error) {
+		return parseOperand(s, n, noteReg)
+	}
+	needDst := func() (Reg, error) {
+		if len(operands) == 0 {
+			return 0, &asmError{n, "missing destination"}
+		}
+		o, err := parseOp(operands[0])
+		if err != nil {
+			return 0, err
+		}
+		if o.Kind != OpReg {
+			return 0, &asmError{n, "destination must be a register"}
+		}
+		return o.Reg, nil
+	}
+
+	switch parts[0] {
+	case "nop":
+		in.Op = OpNop
+		return in, "", nil
+	case "exit":
+		in.Op = OpExit
+		return in, "", nil
+	case "bar":
+		in.Op = OpBar
+		return in, "", nil
+	case "bra":
+		in.Op = OpBra
+		if rest == "" {
+			return in, "", &asmError{n, "bra needs a label"}
+		}
+		return in, rest, nil
+	case "setp":
+		if len(parts) != 3 {
+			return in, "", &asmError{n, "setp needs .cmp.type"}
+		}
+		cmp, ok := cmpNames[parts[1]]
+		if !ok {
+			return in, "", &asmError{n, "unknown comparison " + parts[1]}
+		}
+		ty, ok := typeNames[parts[2]]
+		if !ok {
+			return in, "", &asmError{n, "unknown type " + parts[2]}
+		}
+		if len(operands) != 3 || !strings.HasPrefix(operands[0], "p") {
+			return in, "", &asmError{n, "setp needs pN, a, b"}
+		}
+		pv, err := strconv.Atoi(operands[0][1:])
+		if err != nil {
+			return in, "", &asmError{n, "bad predicate " + operands[0]}
+		}
+		in.Op, in.Cmp, in.Type, in.PDst = OpSetp, cmp, ty, PReg(pv)
+		notePred(in.PDst)
+		for i := 0; i < 2; i++ {
+			o, err := parseOp(operands[i+1])
+			if err != nil {
+				return in, "", err
+			}
+			in.Srcs[i] = o
+		}
+		return in, "", nil
+	case "ld", "st":
+		if len(parts) != 3 {
+			return in, "", &asmError{n, parts[0] + " needs .space.type"}
+		}
+		space, ok := spaceNames[parts[1]]
+		if !ok {
+			return in, "", &asmError{n, "unknown space " + parts[1]}
+		}
+		ty, ok := typeNames[parts[2]]
+		if !ok {
+			return in, "", &asmError{n, "unknown type " + parts[2]}
+		}
+		in.Type, in.Space = ty, space
+		if parts[0] == "ld" {
+			in.Op = OpLd
+			if len(operands) != 2 {
+				return in, "", &asmError{n, "ld needs rD, [addr]"}
+			}
+			dst, err := needDst()
+			if err != nil {
+				return in, "", err
+			}
+			in.Dst = dst
+			addr, err := parseBracket(operands[1], n, noteReg)
+			if err != nil {
+				return in, "", err
+			}
+			in.Srcs[0] = addr
+			return in, "", nil
+		}
+		in.Op = OpSt
+		if len(operands) != 2 {
+			return in, "", &asmError{n, "st needs [addr], val"}
+		}
+		addr, err := parseBracket(operands[0], n, noteReg)
+		if err != nil {
+			return in, "", err
+		}
+		val, err := parseOp(operands[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Srcs[0], in.Srcs[1] = addr, val
+		return in, "", nil
+	case "atom":
+		// atom.<space>.add.<type>
+		if len(parts) != 4 || parts[2] != "add" {
+			return in, "", &asmError{n, "atomics support atom.<space>.add.<type>"}
+		}
+		space, ok := spaceNames[parts[1]]
+		if !ok {
+			return in, "", &asmError{n, "unknown space " + parts[1]}
+		}
+		ty, ok := typeNames[parts[3]]
+		if !ok {
+			return in, "", &asmError{n, "unknown type " + parts[3]}
+		}
+		in.Op, in.Space, in.Type = OpAtomAdd, space, ty
+		if len(operands) != 2 {
+			return in, "", &asmError{n, "atom needs [addr], val"}
+		}
+		addr, err := parseBracket(operands[0], n, noteReg)
+		if err != nil {
+			return in, "", err
+		}
+		val, err := parseOp(operands[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Srcs[0], in.Srcs[1] = addr, val
+		return in, "", nil
+	case "selp":
+		if len(parts) != 2 {
+			return in, "", &asmError{n, "selp needs .type"}
+		}
+		ty, ok := typeNames[parts[1]]
+		if !ok {
+			return in, "", &asmError{n, "unknown type " + parts[1]}
+		}
+		in.Op, in.Type = OpSelp, ty
+		if len(operands) != 4 || !strings.HasPrefix(operands[3], "p") {
+			return in, "", &asmError{n, "selp needs rD, a, b, pN"}
+		}
+		dst, err := needDst()
+		if err != nil {
+			return in, "", err
+		}
+		in.Dst = dst
+		for i := 0; i < 2; i++ {
+			o, err := parseOp(operands[i+1])
+			if err != nil {
+				return in, "", err
+			}
+			in.Srcs[i] = o
+		}
+		pv, err := strconv.Atoi(operands[3][1:])
+		if err != nil {
+			return in, "", &asmError{n, "bad predicate " + operands[3]}
+		}
+		in.Srcs[2] = Operand{Kind: OpReg, Reg: Reg(pv)}
+		notePred(PReg(pv))
+		return in, "", nil
+	case "cvt":
+		if len(parts) != 3 {
+			return in, "", &asmError{n, "cvt needs .to.from"}
+		}
+		to, ok := typeNames[parts[1]]
+		if !ok {
+			return in, "", &asmError{n, "unknown type " + parts[1]}
+		}
+		from, ok := typeNames[parts[2]]
+		if !ok {
+			return in, "", &asmError{n, "unknown type " + parts[2]}
+		}
+		in.Op, in.Type = OpCvt, to
+		if len(operands) != 2 {
+			return in, "", &asmError{n, "cvt needs rD, src"}
+		}
+		dst, err := needDst()
+		if err != nil {
+			return in, "", err
+		}
+		in.Dst = dst
+		src, err := parseOp(operands[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Srcs[0] = src
+		in.Srcs[1] = Imm(uint64(from))
+		return in, "", nil
+	}
+
+	// Regular typed ops: <mnemonic>.<type> rD, srcs...
+	if len(parts) != 2 {
+		return in, "", &asmError{n, "unknown instruction " + head}
+	}
+	ty, ok := typeNames[parts[1]]
+	if !ok {
+		return in, "", &asmError{n, "unknown type " + parts[1]}
+	}
+	var op Opcode
+	if ty.IsFloat() {
+		op, ok = floatOps[parts[0]]
+	} else {
+		op, ok = intOps[parts[0]]
+	}
+	if !ok {
+		return in, "", &asmError{n, "unknown mnemonic " + parts[0] + " for type " + parts[1]}
+	}
+	in.Op, in.Type = op, ty
+	want := 1 + op.NumSrcs()
+	if len(operands) != want {
+		return in, "", &asmError{n, fmt.Sprintf("%s expects %d operands, got %d", head, want, len(operands))}
+	}
+	dst, err := needDst()
+	if err != nil {
+		return in, "", err
+	}
+	in.Dst = dst
+	for i := 0; i < op.NumSrcs(); i++ {
+		o, err := parseOp(operands[i+1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Srcs[i] = o
+	}
+	return in, "", nil
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseBracket(s string, n int, noteReg func(Reg)) (Operand, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return Operand{}, &asmError{n, "expected [addr], got " + s}
+	}
+	return parseOperand(strings.TrimSpace(s[1:len(s)-1]), n, noteReg)
+}
+
+func parseOperand(s string, n int, noteReg func(Reg)) (Operand, error) {
+	switch {
+	case s == "":
+		return Operand{}, &asmError{n, "empty operand"}
+	case s[0] == 'r':
+		v, err := strconv.Atoi(s[1:])
+		if err != nil || v < 0 {
+			return Operand{}, &asmError{n, "bad register " + s}
+		}
+		noteReg(Reg(v))
+		return R(Reg(v)), nil
+	case s[0] == '#':
+		// Immediates round-trip as signed decimal of the raw bits.
+		v, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			// Accept unsigned and hex forms too.
+			u, uerr := strconv.ParseUint(strings.TrimPrefix(s[1:], "0x"), 16, 64)
+			if uerr != nil || !strings.HasPrefix(s[1:], "0x") {
+				return Operand{}, &asmError{n, "bad immediate " + s}
+			}
+			return Imm(u), nil
+		}
+		return ImmI(v), nil
+	case s[0] == '%':
+		sr, ok := sregNames[s]
+		if !ok {
+			return Operand{}, &asmError{n, "unknown special register " + s}
+		}
+		return Special(sr), nil
+	default:
+		return Operand{}, &asmError{n, "unparseable operand " + s}
+	}
+}

@@ -1,0 +1,209 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleKernel(t *testing.T) {
+	src := `
+.kernel vecadd
+.shared 128
+  mov.u32 r0, %gtid
+  setp.ge.u32 p0, r0, #1024
+  @p0 bra Ldone
+  shl.u64 r1, r0, #2
+  add.u64 r1, r1, #4096
+  ld.global.u32 r2, [r1]
+  add.u32 r2, r2, #1
+  st.global.u32 [r1], r2
+Ldone:
+  exit
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "vecadd" || p.SharedBytes != 128 {
+		t.Errorf("header: %q %d", p.Name, p.SharedBytes)
+	}
+	if p.NumRegs != 3 || p.NumPreds != 1 {
+		t.Errorf("inferred regs=%d preds=%d", p.NumRegs, p.NumPreds)
+	}
+	if len(p.Instrs) != 9 {
+		t.Fatalf("instrs = %d", len(p.Instrs))
+	}
+	bra := p.Instrs[2]
+	if bra.Op != OpBra || bra.Guard != 0 || bra.GuardNeg || p.Instrs[bra.Target].Op != OpExit {
+		t.Errorf("branch parsed wrong: %+v", bra)
+	}
+	if p.Instrs[5].Op != OpLd || p.Instrs[5].Space != Global || p.Instrs[5].Srcs[0].Reg != 1 {
+		t.Errorf("load parsed wrong: %+v", p.Instrs[5])
+	}
+}
+
+func TestParseAllForms(t *testing.T) {
+	src := `
+.kernel forms
+  mov.u32 r0, %tid
+  mov.u32 r1, %ntid
+  mov.u32 r2, %ctaid
+  mov.u32 r3, %nctaid
+  mov.u32 r4, %lane
+  nop
+  bar.sync
+  and.u32 r5, r0, #255
+  not.u64 r6, r5
+  mad.u32 r7, r0, #3, #7
+  div.s32 r8, r7, #3
+  rem.s32 r9, r7, #3
+  abs.s32 r9, r9
+  min.s32 r9, r9, #10
+  max.s32 r9, r9, #0
+  setp.lt.s32 p0, r9, #5
+  selp.u32 r10, r9, r8, p0
+  @!p0 add.u32 r10, r10, #1
+  cvt.f32.u32 r11, r10
+  add.f32 r12, r11, #1065353216
+  fma.f32 r12, r12, r11, r12
+  sqrt.f32 r13, r12
+  rsqrt.f32 r13, r13
+  sin.f32 r13, r13
+  cos.f32 r13, r13
+  ex2.f32 r13, r13
+  lg2.f32 r13, r13
+  rcp.f32 r13, r13
+  neg.f32 r13, r13
+  abs.f32 r13, r13
+  cvt.u32.f32 r14, r13
+  atom.global.add.u32 [r6], #1
+  st.shared.f32 [r5], r13
+  ld.param.u64 r15, [#0]
+  exit
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cvt must carry its source type.
+	var cvt *Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpCvt {
+			cvt = &p.Instrs[i]
+			break
+		}
+	}
+	if cvt == nil || Type(cvt.Srcs[1].Imm) != U32 {
+		t.Errorf("cvt source type lost: %+v", cvt)
+	}
+	// The shared store must need shared memory: Validate passed already.
+	if p.Instrs[6].Op != OpBar {
+		t.Error("bar.sync mis-parsed")
+	}
+}
+
+// Round-trip property: Text() output parses back to the same instruction
+// stream for every kernel in the evaluation suite (via their programs).
+func TestTextParseRoundTrip(t *testing.T) {
+	progs := []*Program{buildSaxpy(t)}
+	for _, orig := range progs {
+		src := orig.Text()
+		got, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse of own Text failed: %v\n%s", orig.Name, err, src)
+		}
+		if got.Name != orig.Name || got.SharedBytes != orig.SharedBytes {
+			t.Errorf("%s: header mismatch", orig.Name)
+		}
+		if len(got.Instrs) != len(orig.Instrs) {
+			t.Fatalf("%s: %d instrs vs %d", orig.Name, len(got.Instrs), len(orig.Instrs))
+		}
+		for i := range got.Instrs {
+			a, b := got.Instrs[i], orig.Instrs[i]
+			a.Label, b.Label = "", "" // labels are display-only
+			if a != b {
+				t.Errorf("%s @%d:\n got %+v\nwant %+v", orig.Name, i, a, b)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"undefined label", ".kernel k\n bra Lx\n exit"},
+		{"duplicate label", ".kernel k\nL0:\nL0:\n exit"},
+		{"empty label", ".kernel k\n:\n exit"},
+		{"bad regs", ".kernel k\n.regs x\n exit"},
+		{"bad preds", ".kernel k\n.preds x\n exit"},
+		{"bad shared", ".kernel k\n.shared x\n exit"},
+		{"unknown mnemonic", ".kernel k\n frob.u32 r0, r1\n exit"},
+		{"unknown type", ".kernel k\n add.q32 r0, r1, r2\n exit"},
+		{"wrong arity", ".kernel k\n add.u32 r0, r1\n exit"},
+		{"bad operand", ".kernel k\n add.u32 r0, r1, q5\n exit"},
+		{"bad register", ".kernel k\n add.u32 rx, r1, r2\n exit"},
+		{"bad immediate", ".kernel k\n add.u32 r0, r1, #zz\n exit"},
+		{"bad special", ".kernel k\n mov.u32 r0, %bogus\n exit"},
+		{"guard dangling", ".kernel k\n @p0\n exit"},
+		{"bad guard", ".kernel k\n @q0 add.u32 r0, r1, r2\n exit"},
+		{"ld missing bracket", ".kernel k\n ld.global.u32 r0, r1\n exit"},
+		{"st to param", ".kernel k\n st.param.u32 [r0], r1\n exit"},
+		{"setp bad pred", ".kernel k\n setp.lt.u32 r0, r1, r2\n exit"},
+		{"selp bad pred", ".kernel k\n selp.u32 r0, r1, r2, r3\n exit"},
+		{"atom non-add", ".kernel k\n atom.global.min.u32 [r0], r1\n exit"},
+		{"cvt missing from", ".kernel k\n cvt.f32 r0, r1\n exit"},
+		{"bra without label", ".kernel k\n bra\n exit"},
+		{"no exit", ".kernel k\n nop"},
+		{"float mnemonic on int", ".kernel k\n sqrt.u32 r0, r1\n exit"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: should fail", c.name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p, err := Parse(`
+.kernel c // trailing comment
+  // full-line comment
+  mov.u32 r0, #5 // another
+  exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "c" || len(p.Instrs) != 2 {
+		t.Errorf("comments mishandled: %q %d", p.Name, len(p.Instrs))
+	}
+}
+
+func TestParseHexImmediate(t *testing.T) {
+	p, err := Parse(".kernel h\n mov.u64 r0, #0xDEADBEEF\n exit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Srcs[0].Imm != 0xDEADBEEF {
+		t.Errorf("hex imm = %#x", p.Instrs[0].Srcs[0].Imm)
+	}
+}
+
+func TestTextIncludesDirectives(t *testing.T) {
+	b := NewBuilder("hdr")
+	b.Shared(64)
+	r := b.Reg()
+	b.Mov(U32, r, Imm(1))
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := p.Text()
+	for _, want := range []string{".kernel hdr", ".regs 1", ".preds 0", ".shared 64"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Text missing %q:\n%s", want, txt)
+		}
+	}
+}

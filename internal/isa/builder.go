@@ -1,0 +1,330 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder assembles a Program with symbolic labels and automatic register
+// allocation. The typical kernel shape:
+//
+//	b := isa.NewBuilder("saxpy")
+//	i := b.Reg()
+//	b.MovSpecial(i, isa.SRegGtid)
+//	b.Label("loop")
+//	...
+//	b.BraTo("loop", p, false)
+//	b.Exit()
+//	prog, err := b.Build()
+type Builder struct {
+	name     string
+	instrs   []Instr
+	labels   map[string]int
+	fixups   []fixup
+	nextReg  Reg
+	nextPred PReg
+	shared   uint64
+	errs     []error
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder starts a new kernel.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Reg allocates a fresh data register.
+func (b *Builder) Reg() Reg {
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+// Regs allocates n fresh data registers.
+func (b *Builder) Regs(n int) []Reg {
+	out := make([]Reg, n)
+	for i := range out {
+		out[i] = b.Reg()
+	}
+	return out
+}
+
+// PredReg allocates a fresh predicate register.
+func (b *Builder) PredReg() PReg {
+	p := b.nextPred
+	b.nextPred++
+	return p
+}
+
+// Shared reserves n bytes of block-shared memory and returns its base
+// byte offset.
+func (b *Builder) Shared(n uint64) uint64 {
+	base := b.shared
+	b.shared += (n + 7) &^ 7 // 8-byte align allocations
+	return base
+}
+
+// Label marks the next emitted instruction.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+// instr builds the common shape.
+func instr(op Opcode, ty Type, dst Reg, srcs ...Operand) Instr {
+	in := Instr{Op: op, Type: ty, Dst: dst, Guard: NoPred}
+	copy(in.Srcs[:], srcs)
+	return in
+}
+
+// Guarded wraps the most recently emitted instruction with a guard
+// predicate: the instruction executes only for threads where p is true
+// (or false, when neg is set).
+func (b *Builder) Guarded(p PReg, neg bool) *Builder {
+	if len(b.instrs) == 0 {
+		b.errs = append(b.errs, fmt.Errorf("isa: Guarded with no instruction"))
+		return b
+	}
+	b.instrs[len(b.instrs)-1].Guard = p
+	b.instrs[len(b.instrs)-1].GuardNeg = neg
+	return b
+}
+
+// --- Integer ALU ---
+
+// IAdd emits dst = a + b (type ty).
+func (b *Builder) IAdd(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpIAdd, ty, dst, a, c))
+}
+
+// ISub emits dst = a - b.
+func (b *Builder) ISub(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpISub, ty, dst, a, c))
+}
+
+// IMul emits dst = a * b (low bits).
+func (b *Builder) IMul(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpIMul, ty, dst, a, c))
+}
+
+// IMad emits dst = a * b + c.
+func (b *Builder) IMad(ty Type, dst Reg, a, c, d Operand) *Builder {
+	return b.emit(instr(OpIMad, ty, dst, a, c, d))
+}
+
+// IDiv emits dst = a / b.
+func (b *Builder) IDiv(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpIDiv, ty, dst, a, c))
+}
+
+// IRem emits dst = a % b.
+func (b *Builder) IRem(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpIRem, ty, dst, a, c))
+}
+
+// IMin / IMax / logic / shifts.
+func (b *Builder) IMin(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpIMin, ty, dst, a, c))
+}
+func (b *Builder) IMax(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpIMax, ty, dst, a, c))
+}
+func (b *Builder) And(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpAnd, ty, dst, a, c))
+}
+func (b *Builder) Or(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpOr, ty, dst, a, c))
+}
+func (b *Builder) Xor(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpXor, ty, dst, a, c))
+}
+func (b *Builder) Not(ty Type, dst Reg, a Operand) *Builder { return b.emit(instr(OpNot, ty, dst, a)) }
+func (b *Builder) Shl(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpShl, ty, dst, a, c))
+}
+func (b *Builder) Shr(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpShr, ty, dst, a, c))
+}
+func (b *Builder) Abs(ty Type, dst Reg, a Operand) *Builder { return b.emit(instr(OpAbs, ty, dst, a)) }
+
+// Mov emits dst = src.
+func (b *Builder) Mov(ty Type, dst Reg, src Operand) *Builder {
+	return b.emit(instr(OpMov, ty, dst, src))
+}
+
+// MovSpecial emits dst = special register.
+func (b *Builder) MovSpecial(dst Reg, s SReg) *Builder {
+	return b.emit(instr(OpMov, U32, dst, Special(s)))
+}
+
+// Cvt emits dst = convert(src) to type ty (from the type recorded in the
+// operand's producing instruction; the simulator converts via f64).
+func (b *Builder) Cvt(to Type, dst Reg, src Operand, from Type) *Builder {
+	in := instr(OpCvt, to, dst, src)
+	// The source type rides in Cmp's slot-free encoding: reuse Space field
+	// would be obscure; store in Srcs[1] as an immediate type tag.
+	in.Srcs[1] = Imm(uint64(from))
+	return b.emit(in)
+}
+
+// Selp emits dst = p ? a : b.
+func (b *Builder) Selp(ty Type, dst Reg, a, c Operand, p PReg) *Builder {
+	in := instr(OpSelp, ty, dst, a, c)
+	in.Srcs[2] = Operand{Kind: OpReg, Reg: Reg(p)}
+	return b.emit(in)
+}
+
+// --- Floating point ---
+
+func (b *Builder) FAdd(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpFAdd, ty, dst, a, c))
+}
+func (b *Builder) FSub(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpFSub, ty, dst, a, c))
+}
+func (b *Builder) FMul(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpFMul, ty, dst, a, c))
+}
+func (b *Builder) FFma(ty Type, dst Reg, a, c, d Operand) *Builder {
+	return b.emit(instr(OpFFma, ty, dst, a, c, d))
+}
+func (b *Builder) FDiv(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpFDiv, ty, dst, a, c))
+}
+func (b *Builder) FMin(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpFMin, ty, dst, a, c))
+}
+func (b *Builder) FMax(ty Type, dst Reg, a, c Operand) *Builder {
+	return b.emit(instr(OpFMax, ty, dst, a, c))
+}
+func (b *Builder) FNeg(ty Type, dst Reg, a Operand) *Builder {
+	return b.emit(instr(OpFNeg, ty, dst, a))
+}
+func (b *Builder) FAbs(ty Type, dst Reg, a Operand) *Builder {
+	return b.emit(instr(OpFAbs, ty, dst, a))
+}
+
+// SFU ops.
+func (b *Builder) Sqrt(ty Type, dst Reg, a Operand) *Builder {
+	return b.emit(instr(OpSqrt, ty, dst, a))
+}
+func (b *Builder) Rsqrt(ty Type, dst Reg, a Operand) *Builder {
+	return b.emit(instr(OpRsqrt, ty, dst, a))
+}
+func (b *Builder) Sin(ty Type, dst Reg, a Operand) *Builder { return b.emit(instr(OpSin, ty, dst, a)) }
+func (b *Builder) Cos(ty Type, dst Reg, a Operand) *Builder { return b.emit(instr(OpCos, ty, dst, a)) }
+func (b *Builder) Exp2(ty Type, dst Reg, a Operand) *Builder {
+	return b.emit(instr(OpExp2, ty, dst, a))
+}
+func (b *Builder) Log2(ty Type, dst Reg, a Operand) *Builder {
+	return b.emit(instr(OpLog2, ty, dst, a))
+}
+func (b *Builder) Rcp(ty Type, dst Reg, a Operand) *Builder { return b.emit(instr(OpRcp, ty, dst, a)) }
+
+// --- Predicates and control ---
+
+// Setp emits p = a <cmp> b.
+func (b *Builder) Setp(cmp CmpOp, ty Type, p PReg, a, c Operand) *Builder {
+	in := Instr{Op: OpSetp, Type: ty, PDst: p, Cmp: cmp, Guard: NoPred}
+	in.Srcs[0] = a
+	in.Srcs[1] = c
+	return b.emit(in)
+}
+
+// BraTo emits a branch to label, guarded by p (NoPred = unconditional);
+// neg inverts the guard.
+func (b *Builder) BraTo(label string, p PReg, neg bool) *Builder {
+	in := Instr{Op: OpBra, Guard: p, GuardNeg: neg}
+	b.fixups = append(b.fixups, fixup{instr: len(b.instrs), label: label})
+	return b.emit(in)
+}
+
+// Bra emits an unconditional branch.
+func (b *Builder) Bra(label string) *Builder { return b.BraTo(label, NoPred, false) }
+
+// Exit emits thread termination.
+func (b *Builder) Exit() *Builder { return b.emit(Instr{Op: OpExit, Guard: NoPred}) }
+
+// Bar emits a block-wide barrier.
+func (b *Builder) Bar() *Builder { return b.emit(Instr{Op: OpBar, Guard: NoPred}) }
+
+// --- Memory ---
+
+// Ld emits dst = space[addr].
+func (b *Builder) Ld(space MemSpace, ty Type, dst Reg, addr Operand) *Builder {
+	in := instr(OpLd, ty, dst, addr)
+	in.Space = space
+	return b.emit(in)
+}
+
+// St emits space[addr] = val.
+func (b *Builder) St(space MemSpace, ty Type, addr, val Operand) *Builder {
+	in := Instr{Op: OpSt, Type: ty, Space: space, Guard: NoPred}
+	in.Srcs[0] = addr
+	in.Srcs[1] = val
+	return b.emit(in)
+}
+
+// AtomAdd emits space[addr] += val atomically.
+func (b *Builder) AtomAdd(space MemSpace, ty Type, addr, val Operand) *Builder {
+	in := Instr{Op: OpAtomAdd, Type: ty, Space: space, Guard: NoPred}
+	in.Srcs[0] = addr
+	in.Srcs[1] = val
+	return b.emit(in)
+}
+
+// --- Immediates for floats ---
+
+// ImmF32 encodes a float32 immediate.
+func ImmF32(v float32) Operand { return Operand{Kind: OpImm, Imm: uint64(math.Float32bits(v))} }
+
+// ImmF64 encodes a float64 immediate.
+func ImmF64(v float64) Operand { return Operand{Kind: OpImm, Imm: math.Float64bits(v)} }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: %s: undefined label %q", b.name, f.label)
+		}
+		b.instrs[f.instr].Target = target
+		b.instrs[f.instr].Label = f.label
+	}
+	p := &Program{
+		Name:        b.name,
+		Instrs:      b.instrs,
+		NumRegs:     int(b.nextReg),
+		NumPreds:    int(b.nextPred),
+		SharedBytes: b.shared,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for statically-known-good
+// kernels in internal/kernels (their construction is covered by tests).
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,31 @@
+package isa
+
+import "testing"
+
+// FuzzParse: the assembler must reject or accept arbitrary input without
+// panicking, and anything it accepts must validate and re-emit text that
+// parses to the same instruction count.
+func FuzzParse(f *testing.F) {
+	f.Add(".kernel k\n  exit\n")
+	f.Add(".kernel k\n  add.u32 r0, r1, #5\n  exit\n")
+	f.Add(".kernel k\nL0:\n  bra L0\n  exit\n")
+	f.Add(".kernel k\n  @!p0 st.shared.f32 [r0], r1\n  exit\n")
+	f.Add(".kernel k\n .shared 64\n setp.lt.s32 p0, r0, #-1\n selp.u64 r1, r0, r0, p0\n exit")
+	f.Add(".kernel k\n cvt.f64.s32 r1, r0\n atom.global.add.u32 [r1], #1\n exit")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a program Validate rejects: %v", verr)
+		}
+		p2, err := Parse(p.Text())
+		if err != nil {
+			t.Fatalf("re-parse of Text failed: %v\n%s", err, p.Text())
+		}
+		if len(p2.Instrs) != len(p.Instrs) {
+			t.Fatalf("round trip changed instruction count: %d vs %d", len(p2.Instrs), len(p.Instrs))
+		}
+	})
+}

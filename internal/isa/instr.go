@@ -1,0 +1,266 @@
+package isa
+
+import "fmt"
+
+// Opcode enumerates the PTX-lite operations. The grouping mirrors the
+// functional-unit classes the paper's power model distinguishes: ALU
+// add/sub (ST² targets), ALU other, integer mul/div, FP add/sub (ST²
+// targets the mantissa adder), FP mul/div/FMA, SFU transcendental,
+// memory, and control.
+type Opcode uint8
+
+const (
+	OpNop Opcode = iota
+
+	// Integer ALU — add/sub class (ST² candidates).
+	OpIAdd
+	OpISub
+
+	// Integer ALU — other single-cycle ops.
+	OpIMin
+	OpIMax
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpShl
+	OpShr
+	OpMov
+	OpSelp
+	OpCvt
+	OpAbs
+
+	// Integer multiplier / divider class.
+	OpIMul
+	OpIMad
+	OpIDiv
+	OpIRem
+
+	// Floating point — add/sub class (ST² candidates on the mantissa adder).
+	OpFAdd
+	OpFSub
+
+	// Floating point — other.
+	OpFMul
+	OpFFma
+	OpFDiv
+	OpFMin
+	OpFMax
+	OpFNeg
+	OpFAbs
+
+	// SFU transcendentals.
+	OpSqrt
+	OpRsqrt
+	OpSin
+	OpCos
+	OpExp2
+	OpLog2
+	OpRcp
+
+	// Predicates and control.
+	OpSetp
+	OpBra
+	OpExit
+	OpBar
+
+	// Memory.
+	OpLd
+	OpSt
+	OpAtomAdd
+
+	opCount // sentinel
+)
+
+var opNames = map[Opcode]string{
+	OpNop: "nop", OpIAdd: "add", OpISub: "sub", OpIMin: "min", OpIMax: "max",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not", OpShl: "shl",
+	OpShr: "shr", OpMov: "mov", OpSelp: "selp", OpCvt: "cvt", OpAbs: "abs",
+	OpIMul: "mul", OpIMad: "mad", OpIDiv: "div", OpIRem: "rem",
+	OpFAdd: "add", OpFSub: "sub", OpFMul: "mul", OpFFma: "fma",
+	OpFDiv: "div", OpFMin: "min", OpFMax: "max", OpFNeg: "neg", OpFAbs: "abs",
+	OpSqrt: "sqrt", OpRsqrt: "rsqrt", OpSin: "sin", OpCos: "cos",
+	OpExp2: "ex2", OpLog2: "lg2", OpRcp: "rcp",
+	OpSetp: "setp", OpBra: "bra", OpExit: "exit", OpBar: "bar.sync",
+	OpLd: "ld", OpSt: "st", OpAtomAdd: "atom.add",
+}
+
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// FUClass is the functional-unit class an opcode executes on — the unit
+// taxonomy of the paper's Figure 7 energy breakdown.
+type FUClass uint8
+
+const (
+	FUNone     FUClass = iota
+	FUAluAdd           // integer add/sub: ST² ALU adders
+	FUAluOther         // other single-cycle integer/logic ops
+	FUIntMul           // integer multiply / MAD multiplier part
+	FUIntDiv           // integer division (multi-op sequence on real HW)
+	FUFpAdd            // FP add/sub: ST² mantissa adders
+	FUFpMul            // FP multiply / FMA
+	FUFpDiv            // FP division
+	FUSfu              // special function unit
+	FUMem              // LD/ST/atomics
+	FUCtrl             // branches, barriers, exit
+)
+
+func (c FUClass) String() string {
+	switch c {
+	case FUAluAdd:
+		return "ALU.add"
+	case FUAluOther:
+		return "ALU.other"
+	case FUIntMul:
+		return "INT.mul"
+	case FUIntDiv:
+		return "INT.div"
+	case FUFpAdd:
+		return "FPU.add"
+	case FUFpMul:
+		return "FPU.mul"
+	case FUFpDiv:
+		return "FPU.div"
+	case FUSfu:
+		return "SFU"
+	case FUMem:
+		return "MEM"
+	case FUCtrl:
+		return "CTRL"
+	default:
+		return "none"
+	}
+}
+
+// Class returns the functional-unit class of the opcode.
+func (op Opcode) Class() FUClass {
+	switch op {
+	case OpIAdd, OpISub:
+		return FUAluAdd
+	case OpIMin, OpIMax, OpAnd, OpOr, OpXor, OpNot, OpShl, OpShr,
+		OpMov, OpSelp, OpCvt, OpAbs, OpSetp:
+		return FUAluOther
+	case OpIMul, OpIMad:
+		return FUIntMul
+	case OpIDiv, OpIRem:
+		return FUIntDiv
+	case OpFAdd, OpFSub:
+		return FUFpAdd
+	case OpFMul, OpFFma, OpFMin, OpFMax, OpFNeg, OpFAbs:
+		return FUFpMul
+	case OpFDiv:
+		return FUFpDiv
+	case OpSqrt, OpRsqrt, OpSin, OpCos, OpExp2, OpLog2, OpRcp:
+		return FUSfu
+	case OpLd, OpSt, OpAtomAdd:
+		return FUMem
+	case OpBra, OpExit, OpBar:
+		return FUCtrl
+	default:
+		return FUNone
+	}
+}
+
+// IsST2Candidate reports whether the opcode's primary datapath is an
+// ST²-equipped adder (integer add/sub, FP add/sub). FMA also contains an
+// adder, but the paper applies ST² only to dedicated add/sub operations
+// ("we refrain from employing speculative adders ... in other complex
+// units such as multipliers").
+func (op Opcode) IsST2Candidate() bool {
+	c := op.Class()
+	return c == FUAluAdd || c == FUFpAdd
+}
+
+// NumSrcs returns how many source operands the opcode consumes.
+func (op Opcode) NumSrcs() int {
+	switch op {
+	case OpNop, OpExit, OpBar, OpBra:
+		return 0
+	case OpMov, OpNot, OpCvt, OpAbs, OpFNeg, OpFAbs,
+		OpSqrt, OpRsqrt, OpSin, OpCos, OpExp2, OpLog2, OpRcp, OpLd:
+		return 1
+	case OpIMad, OpFFma, OpSelp:
+		return 3
+	case OpSt, OpAtomAdd:
+		return 2
+	default:
+		return 2
+	}
+}
+
+// HasDst reports whether the opcode writes a data register.
+func (op Opcode) HasDst() bool {
+	switch op {
+	case OpNop, OpSetp, OpBra, OpExit, OpBar, OpSt:
+		return false
+	case OpAtomAdd:
+		return false // our atomics do not return the old value
+	default:
+		return true
+	}
+}
+
+// Instr is one PTX-lite instruction.
+type Instr struct {
+	Op   Opcode
+	Type Type
+	Dst  Reg
+	PDst PReg // SETP destination
+	Srcs [3]Operand
+
+	// Guard: execute only when (Guard) == !GuardNeg. NoPred = always.
+	Guard    PReg
+	GuardNeg bool
+
+	Cmp    CmpOp    // SETP
+	Space  MemSpace // LD/ST/ATOM
+	Target int      // BRA destination (instruction index, resolved by Builder)
+
+	Label string // optional source-level label (diagnostics)
+}
+
+// Format renders the instruction in a PTX-flavoured syntax.
+func (in Instr) Format(idx int) string {
+	guard := ""
+	if in.Guard != NoPred {
+		n := ""
+		if in.GuardNeg {
+			n = "!"
+		}
+		guard = fmt.Sprintf("@%sp%d ", n, in.Guard)
+	}
+	switch in.Op {
+	case OpNop:
+		return guard + "nop"
+	case OpExit:
+		return guard + "exit"
+	case OpBar:
+		return guard + "bar.sync 0"
+	case OpBra:
+		return fmt.Sprintf("%sbra L%d", guard, in.Target)
+	case OpSetp:
+		return fmt.Sprintf("%ssetp.%v.%v p%d, %v, %v", guard, in.Cmp, in.Type, in.PDst, in.Srcs[0], in.Srcs[1])
+	case OpLd:
+		return fmt.Sprintf("%sld.%v.%v r%d, [%v]", guard, in.Space, in.Type, in.Dst, in.Srcs[0])
+	case OpSt:
+		return fmt.Sprintf("%sst.%v.%v [%v], %v", guard, in.Space, in.Type, in.Srcs[0], in.Srcs[1])
+	case OpAtomAdd:
+		return fmt.Sprintf("%satom.%v.add.%v [%v], %v", guard, in.Space, in.Type, in.Srcs[0], in.Srcs[1])
+	case OpSelp:
+		return fmt.Sprintf("%sselp.%v r%d, %v, %v, p%d", guard, in.Type, in.Dst, in.Srcs[0], in.Srcs[1], in.Srcs[2].Reg)
+	default:
+		s := fmt.Sprintf("%s%v.%v", guard, in.Op, in.Type)
+		if in.Op.HasDst() {
+			s += fmt.Sprintf(" r%d", in.Dst)
+		}
+		for i := 0; i < in.Op.NumSrcs(); i++ {
+			s += fmt.Sprintf(", %v", in.Srcs[i])
+		}
+		return s
+	}
+}

@@ -1,0 +1,301 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTypeProperties(t *testing.T) {
+	cases := []struct {
+		ty     Type
+		size   uint64
+		float  bool
+		signed bool
+		is64   bool
+		str    string
+	}{
+		{U32, 4, false, false, false, "u32"},
+		{S32, 4, false, true, false, "s32"},
+		{U64, 8, false, false, true, "u64"},
+		{S64, 8, false, true, true, "s64"},
+		{F32, 4, true, false, false, "f32"},
+		{F64, 8, true, false, true, "f64"},
+		{Pred, 0, false, false, false, "pred"},
+	}
+	for _, c := range cases {
+		if c.ty.Size() != c.size || c.ty.IsFloat() != c.float ||
+			c.ty.IsSigned() != c.signed || c.ty.Is64() != c.is64 || c.ty.String() != c.str {
+			t.Errorf("type %v properties wrong", c.ty)
+		}
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := []struct {
+		op  Opcode
+		cls FUClass
+		st2 bool
+	}{
+		{OpIAdd, FUAluAdd, true},
+		{OpISub, FUAluAdd, true},
+		{OpFAdd, FUFpAdd, true},
+		{OpFSub, FUFpAdd, true},
+		{OpIMul, FUIntMul, false},
+		{OpIMad, FUIntMul, false},
+		{OpIDiv, FUIntDiv, false},
+		{OpFMul, FUFpMul, false},
+		{OpFFma, FUFpMul, false},
+		{OpFDiv, FUFpDiv, false},
+		{OpSin, FUSfu, false},
+		{OpLd, FUMem, false},
+		{OpBra, FUCtrl, false},
+		{OpMov, FUAluOther, false},
+		{OpSetp, FUAluOther, false},
+	}
+	for _, c := range cases {
+		if c.op.Class() != c.cls {
+			t.Errorf("%v class = %v, want %v", c.op, c.op.Class(), c.cls)
+		}
+		if c.op.IsST2Candidate() != c.st2 {
+			t.Errorf("%v ST² candidacy = %v, want %v", c.op, c.op.IsST2Candidate(), c.st2)
+		}
+	}
+}
+
+func TestOpcodeShape(t *testing.T) {
+	if OpIMad.NumSrcs() != 3 || OpMov.NumSrcs() != 1 || OpIAdd.NumSrcs() != 2 ||
+		OpExit.NumSrcs() != 0 || OpSt.NumSrcs() != 2 {
+		t.Error("NumSrcs wrong")
+	}
+	if !OpIAdd.HasDst() || OpSt.HasDst() || OpSetp.HasDst() || OpBra.HasDst() || OpAtomAdd.HasDst() {
+		t.Error("HasDst wrong")
+	}
+}
+
+func TestOperandConstructors(t *testing.T) {
+	if R(3).Kind != OpReg || Imm(7).Imm != 7 || ImmI(-1).Imm != ^uint64(0) {
+		t.Error("operand constructors wrong")
+	}
+	if Special(SRegTid).SReg != SRegTid {
+		t.Error("special operand wrong")
+	}
+	if ImmF32(1.5).Imm != uint64(math.Float32bits(1.5)) {
+		t.Error("ImmF32 encoding wrong")
+	}
+	if ImmF64(2.5).Imm != math.Float64bits(2.5) {
+		t.Error("ImmF64 encoding wrong")
+	}
+	if R(1).String() != "r1" || Imm(5).String() != "#5" || Special(SRegGtid).String() != "%gtid" {
+		t.Error("operand strings wrong")
+	}
+}
+
+func buildSaxpy(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("saxpy")
+	gtid := b.Reg()
+	n := b.Reg()
+	x := b.Reg()
+	y := b.Reg()
+	addrX := b.Reg()
+	addrY := b.Reg()
+	acc := b.Reg()
+	p := b.PredReg()
+	b.MovSpecial(gtid, SRegGtid)
+	b.Ld(Param, U32, n, Imm(0))
+	b.Setp(GE, U32, p, R(gtid), R(n))
+	b.BraTo("done", p, false)
+	b.IMad(U64, addrX, R(gtid), Imm(4), Imm(0x1000))
+	b.IMad(U64, addrY, R(gtid), Imm(4), Imm(0x9000))
+	b.Ld(Global, F32, x, R(addrX))
+	b.Ld(Global, F32, y, R(addrY))
+	b.FFma(F32, acc, R(x), ImmF32(2.0), R(y))
+	b.St(Global, F32, R(addrY), R(acc))
+	b.Label("done")
+	b.Exit()
+	p2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p2
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	p := buildSaxpy(t)
+	if p.NumRegs != 7 || p.NumPreds != 1 {
+		t.Errorf("regs=%d preds=%d", p.NumRegs, p.NumPreds)
+	}
+	// The guarded branch resolves to the exit label.
+	var bra *Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpBra {
+			bra = &p.Instrs[i]
+		}
+	}
+	if bra == nil || p.Instrs[bra.Target].Op != OpExit {
+		t.Error("branch should resolve to exit")
+	}
+	counts := p.StaticCounts()
+	if counts[FUMem] != 4 || counts[FUFpMul] != 1 || counts[FUIntMul] != 2 {
+		t.Errorf("static counts: %v", counts)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Bra("nowhere")
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("undefined label should fail: %v", err)
+	}
+
+	b = NewBuilder("dup")
+	b.Label("l")
+	b.Label("l")
+	b.Exit()
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+
+	b = NewBuilder("noexit")
+	b.Mov(U32, b.Reg(), Imm(1))
+	if _, err := b.Build(); err == nil {
+		t.Error("missing exit should fail")
+	}
+
+	b = NewBuilder("guard-nothing")
+	b.Guarded(0, false)
+	b.Exit()
+	if _, err := b.Build(); err == nil {
+		t.Error("Guarded before any instruction should fail")
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	mk := func(mod func(*Program)) error {
+		p := &Program{
+			Name:     "t",
+			NumRegs:  2,
+			NumPreds: 1,
+			Instrs: []Instr{
+				{Op: OpIAdd, Type: U32, Dst: 0, Srcs: [3]Operand{R(0), R(1)}, Guard: NoPred},
+				{Op: OpExit, Guard: NoPred},
+			},
+		}
+		mod(p)
+		return p.Validate()
+	}
+	if err := mk(func(*Program) {}); err != nil {
+		t.Fatalf("base program should validate: %v", err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*Program)
+	}{
+		{"empty name", func(p *Program) { p.Name = "" }},
+		{"no instrs", func(p *Program) { p.Instrs = nil }},
+		{"dst out of range", func(p *Program) { p.Instrs[0].Dst = 9 }},
+		{"src out of range", func(p *Program) { p.Instrs[0].Srcs[0] = R(5) }},
+		{"missing src", func(p *Program) { p.Instrs[0].Srcs[1] = Operand{} }},
+		{"guard out of range", func(p *Program) { p.Instrs[0].Guard = 3 }},
+		{"float type on int op", func(p *Program) { p.Instrs[0].Type = F32 }},
+		{"bad branch target", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpBra, Target: 99, Guard: NoPred}
+		}},
+		{"store to param", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpSt, Type: U32, Space: Param,
+				Srcs: [3]Operand{R(0), R(1)}, Guard: NoPred}
+		}},
+		{"atomic on param", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpAtomAdd, Type: U32, Space: Param,
+				Srcs: [3]Operand{R(0), R(1)}, Guard: NoPred}
+		}},
+		{"int type on float op", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpFAdd, Type: U32, Dst: 0,
+				Srcs: [3]Operand{R(0), R(1)}, Guard: NoPred}
+		}},
+		{"selp bad pred", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpSelp, Type: U32, Dst: 0,
+				Srcs: [3]Operand{R(0), R(1), {Kind: OpReg, Reg: 7}}, Guard: NoPred}
+		}},
+		{"setp pdst out of range", func(p *Program) {
+			p.Instrs[0] = Instr{Op: OpSetp, Type: U32, PDst: 4, Cmp: EQ,
+				Srcs: [3]Operand{R(0), R(1)}, Guard: NoPred}
+		}},
+	}
+	for _, c := range cases {
+		if err := mk(c.mod); err == nil {
+			t.Errorf("%s: should fail validation", c.name)
+		}
+	}
+}
+
+func TestSharedAllocation(t *testing.T) {
+	b := NewBuilder("shm")
+	a := b.Shared(10) // rounds to 16
+	c := b.Shared(8)
+	if a != 0 || c != 16 {
+		t.Errorf("shared offsets: %d %d", a, c)
+	}
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SharedBytes != 24 {
+		t.Errorf("shared bytes = %d", p.SharedBytes)
+	}
+}
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	p := buildSaxpy(t)
+	asm := p.Disassemble()
+	for _, want := range []string{"kernel saxpy", "mov.u32 r0, %gtid", "ld.param.u32",
+		"setp.ge.u32 p0", "bra L", "fma.f32", "st.global.f32", "exit"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+	// Guarded instruction renders its guard.
+	b := NewBuilder("g")
+	r := b.Reg()
+	pr := b.PredReg()
+	b.Setp(EQ, U32, pr, R(r), Imm(0))
+	b.Mov(U32, r, Imm(1))
+	b.Guarded(pr, true)
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Disassemble(), "@!p0 mov.u32") {
+		t.Errorf("negated guard not rendered:\n%s", prog.Disassemble())
+	}
+}
+
+func TestRegsHelper(t *testing.T) {
+	b := NewBuilder("regs")
+	rs := b.Regs(3)
+	if len(rs) != 3 || rs[0] != 0 || rs[2] != 2 {
+		t.Errorf("Regs = %v", rs)
+	}
+}
+
+func TestStringsForCoverage(t *testing.T) {
+	if Global.String() != "global" || Shared.String() != "shared" || Param.String() != "param" {
+		t.Error("MemSpace strings")
+	}
+	if EQ.String() != "eq" || GE.String() != "ge" {
+		t.Error("CmpOp strings")
+	}
+	if OpIAdd.String() != "add" || Opcode(200).String() != "op(200)" {
+		t.Error("Opcode strings")
+	}
+	if FUAluAdd.String() != "ALU.add" || FUNone.String() != "none" {
+		t.Error("FUClass strings")
+	}
+	if SRegLane.String() != "%lane" {
+		t.Error("SReg strings")
+	}
+}

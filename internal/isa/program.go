@@ -1,0 +1,136 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a validated PTX-lite kernel body.
+type Program struct {
+	Name     string
+	Instrs   []Instr
+	NumRegs  int // data registers per thread
+	NumPreds int // predicate registers per thread
+	// SharedBytes is the static shared-memory allocation per block.
+	SharedBytes uint64
+}
+
+// Validate checks structural well-formedness: operand counts and kinds,
+// register bounds, branch targets, and type/opcode compatibility. The
+// simulator assumes a validated program.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("isa: program has no name")
+	}
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("isa: %s: empty program", p.Name)
+	}
+	hasExit := false
+	for i, in := range p.Instrs {
+		if err := p.validateInstr(i, in); err != nil {
+			return err
+		}
+		if in.Op == OpExit {
+			hasExit = true
+		}
+	}
+	if !hasExit {
+		return fmt.Errorf("isa: %s: no exit instruction", p.Name)
+	}
+	return nil
+}
+
+func (p *Program) validateInstr(i int, in Instr) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("isa: %s: instr %d (%s): %s", p.Name, i, in.Format(i), fmt.Sprintf(format, args...))
+	}
+	if in.Op >= opCount {
+		return fail("unknown opcode")
+	}
+	if in.Guard != NoPred && int(in.Guard) >= p.NumPreds {
+		return fail("guard p%d out of range (%d preds)", in.Guard, p.NumPreds)
+	}
+	if in.Op.HasDst() && int(in.Dst) >= p.NumRegs {
+		return fail("dst r%d out of range (%d regs)", in.Dst, p.NumRegs)
+	}
+	if in.Op == OpSetp && int(in.PDst) >= p.NumPreds {
+		return fail("pdst p%d out of range", in.PDst)
+	}
+	for s := 0; s < in.Op.NumSrcs(); s++ {
+		o := in.Srcs[s]
+		switch o.Kind {
+		case OpReg:
+			if int(o.Reg) >= p.NumRegs {
+				return fail("src%d r%d out of range", s, o.Reg)
+			}
+		case OpImm, OpSpecial:
+		case OpNone:
+			return fail("missing src%d", s)
+		default:
+			return fail("bad operand kind %d", o.Kind)
+		}
+	}
+	switch in.Op {
+	case OpBra:
+		if in.Target < 0 || in.Target >= len(p.Instrs) {
+			return fail("branch target %d out of range", in.Target)
+		}
+	case OpLd, OpSt, OpAtomAdd:
+		if in.Type.Size() == 0 {
+			return fail("memory op needs a sized type, got %v", in.Type)
+		}
+		if in.Op == OpAtomAdd && in.Space == Param {
+			return fail("atomics not allowed on param space")
+		}
+		if in.Op == OpSt && in.Space == Param {
+			return fail("param space is read-only")
+		}
+	case OpSelp:
+		if in.Srcs[2].Kind != OpReg || int(in.Srcs[2].Reg) >= p.NumPreds {
+			return fail("selp needs an in-range predicate as src2")
+		}
+	}
+	isFloatOp := false
+	switch in.Op.Class() {
+	case FUFpAdd, FUFpMul, FUFpDiv, FUSfu:
+		isFloatOp = true
+	}
+	if isFloatOp && !in.Type.IsFloat() {
+		return fail("float opcode with non-float type %v", in.Type)
+	}
+	if in.Op.Class() == FUAluAdd || in.Op.Class() == FUIntMul || in.Op.Class() == FUIntDiv {
+		if in.Type.IsFloat() {
+			return fail("integer opcode with float type %v", in.Type)
+		}
+	}
+	return nil
+}
+
+// StaticCounts summarizes the static opcode mix by functional-unit class.
+func (p *Program) StaticCounts() map[FUClass]int {
+	m := make(map[FUClass]int)
+	for _, in := range p.Instrs {
+		m[in.Op.Class()]++
+	}
+	return m
+}
+
+// Disassemble renders the whole program.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// kernel %s: %d instrs, %d regs, %d preds, %d B shared\n",
+		p.Name, len(p.Instrs), p.NumRegs, p.NumPreds, p.SharedBytes)
+	targets := make(map[int]bool)
+	for _, in := range p.Instrs {
+		if in.Op == OpBra {
+			targets[in.Target] = true
+		}
+	}
+	for i, in := range p.Instrs {
+		if targets[i] {
+			fmt.Fprintf(&b, "L%d:\n", i)
+		}
+		fmt.Fprintf(&b, "  %3d: %s\n", i, in.Format(i))
+	}
+	return b.String()
+}

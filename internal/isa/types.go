@@ -1,0 +1,201 @@
+// Package isa defines the PTX-lite instruction set the GPU simulator
+// executes. It plays the role of NVIDIA's PTX in the paper's methodology
+// (GPGPU-Sim in PTX mode): a typed, register-based, SIMT-executed virtual
+// ISA. Kernels in internal/kernels are written against the Builder API and
+// validated before simulation.
+package isa
+
+import "fmt"
+
+// Type is the operand type of an instruction.
+type Type uint8
+
+const (
+	U32 Type = iota
+	S32
+	U64
+	S64
+	F32
+	F64
+	Pred
+)
+
+func (t Type) String() string {
+	switch t {
+	case U32:
+		return "u32"
+	case S32:
+		return "s32"
+	case U64:
+		return "u64"
+	case S64:
+		return "s64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case Pred:
+		return "pred"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Size returns the memory footprint of the type in bytes.
+func (t Type) Size() uint64 {
+	switch t {
+	case U32, S32, F32:
+		return 4
+	case U64, S64, F64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// IsFloat reports whether the type is floating point.
+func (t Type) IsFloat() bool { return t == F32 || t == F64 }
+
+// IsSigned reports whether the type is a signed integer.
+func (t Type) IsSigned() bool { return t == S32 || t == S64 }
+
+// Is64 reports whether the type is 64 bits wide.
+func (t Type) Is64() bool { return t == U64 || t == S64 || t == F64 }
+
+// Reg is a virtual data register index (thread-private, 64-bit storage).
+type Reg uint16
+
+// PReg is a virtual predicate register index.
+type PReg uint16
+
+// NoPred marks an unguarded instruction.
+const NoPred PReg = 0xFFFF
+
+// MemSpace selects the address space of a memory instruction.
+type MemSpace uint8
+
+const (
+	Global MemSpace = iota
+	Shared
+	Param
+)
+
+func (s MemSpace) String() string {
+	switch s {
+	case Global:
+		return "global"
+	case Shared:
+		return "shared"
+	case Param:
+		return "param"
+	default:
+		return fmt.Sprintf("space(%d)", uint8(s))
+	}
+}
+
+// CmpOp is a SETP comparison operator.
+type CmpOp uint8
+
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (c CmpOp) String() string {
+	switch c {
+	case EQ:
+		return "eq"
+	case NE:
+		return "ne"
+	case LT:
+		return "lt"
+	case LE:
+		return "le"
+	case GT:
+		return "gt"
+	case GE:
+		return "ge"
+	default:
+		return fmt.Sprintf("cmp(%d)", uint8(c))
+	}
+}
+
+// SReg is a special (read-only) register.
+type SReg uint8
+
+const (
+	SRegTid    SReg = iota // thread index within the block (x only)
+	SRegNTid               // block dimension
+	SRegCtaid              // block index
+	SRegNCtaid             // grid dimension
+	SRegGtid               // convenience: global thread id
+	SRegLane               // lane within the warp
+)
+
+func (s SReg) String() string {
+	switch s {
+	case SRegTid:
+		return "%tid"
+	case SRegNTid:
+		return "%ntid"
+	case SRegCtaid:
+		return "%ctaid"
+	case SRegNCtaid:
+		return "%nctaid"
+	case SRegGtid:
+		return "%gtid"
+	case SRegLane:
+		return "%lane"
+	default:
+		return fmt.Sprintf("%%sreg(%d)", uint8(s))
+	}
+}
+
+// OperandKind distinguishes register from immediate operands.
+type OperandKind uint8
+
+const (
+	OpNone OperandKind = iota
+	OpReg
+	OpImm
+	OpSpecial
+)
+
+// Operand is one instruction input.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  uint64 // raw bits; floats stored as their IEEE encoding
+	SReg SReg
+}
+
+// R makes a register operand.
+func R(r Reg) Operand { return Operand{Kind: OpReg, Reg: r} }
+
+// Imm makes an integer immediate operand.
+func Imm(v uint64) Operand { return Operand{Kind: OpImm, Imm: v} }
+
+// ImmI makes a signed integer immediate operand.
+func ImmI(v int64) Operand { return Operand{Kind: OpImm, Imm: uint64(v)} }
+
+// Special makes a special-register operand.
+func Special(s SReg) Operand { return Operand{Kind: OpSpecial, SReg: s} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpReg:
+		return fmt.Sprintf("r%d", o.Reg)
+	case OpImm:
+		return fmt.Sprintf("#%d", int64(o.Imm))
+	case OpSpecial:
+		return o.SReg.String()
+	case OpNone:
+		return "_"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,498 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+)
+
+// The paper's workloads are *applications*: backprop runs layerforward
+// then weight-adjust, mergesort runs a local sort followed by a ladder of
+// merge passes, fastWalshTransform alternates shared-memory and global
+// stages. This file provides the multi-kernel drivers: an Application is
+// a sequence of launches against one device memory image, with a final
+// whole-application verification. Running them exercises inter-kernel
+// dataflow through device memory and the ST² units across consecutive
+// launches.
+
+// Launch is one kernel invocation within an application.
+type Launch struct {
+	Name   string
+	Kernel *gpusim.Kernel
+}
+
+// Application is a multi-kernel workload.
+type Application struct {
+	Name     string
+	Launches []Launch
+	// Setup stages the application's initial memory image.
+	Setup func(m *gpusim.Memory) error
+	// Verify checks the final memory image.
+	Verify func(m *gpusim.Memory) error
+}
+
+// Apps returns the multi-kernel application drivers.
+func Apps() []struct {
+	Name  string
+	Build func(scale int) (*Application, error)
+} {
+	return []struct {
+		Name  string
+		Build func(scale int) (*Application, error)
+	}{
+		{"mergesort", MergesortApp},
+		{"fwt", WalshApp},
+		{"bitonic", BitonicApp},
+		{"backprop", BackpropApp},
+	}
+}
+
+// Run executes the application on a fresh device and returns the
+// per-launch statistics.
+func (a *Application) Run(cfg gpusim.Config) ([]*gpusim.RunStats, error) {
+	d, err := gpusim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if a.Setup != nil {
+		if err := a.Setup(d.Memory()); err != nil {
+			return nil, fmt.Errorf("kernels: %s setup: %w", a.Name, err)
+		}
+	}
+	out := make([]*gpusim.RunStats, 0, len(a.Launches))
+	for _, l := range a.Launches {
+		rs, err := d.Launch(l.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s/%s: %w", a.Name, l.Name, err)
+		}
+		out = append(out, rs)
+	}
+	if a.Verify != nil {
+		if err := a.Verify(d.Memory()); err != nil {
+			return nil, fmt.Errorf("kernels: %s verify: %w", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// mergePassKernel builds one global merge pass: each thread merges two
+// adjacent sorted runs of length `run` from src to dst.
+func mergePassKernel(name string, run int, src, dst uint64) (*isa.Program, error) {
+	b := isa.NewBuilder(name)
+	gtid := b.Reg()
+	ai := b.Reg()
+	bi := b.Reg()
+	av := b.Reg()
+	bv := b.Reg()
+	oaddr := b.Reg()
+	aaddr := b.Reg()
+	baddr := b.Reg()
+	k := b.Reg()
+	sel := b.Reg()
+	t := b.Reg()
+	t2 := b.Reg()
+	p := b.PredReg()
+	pa := b.PredReg()
+	pb := b.PredReg()
+	pTake := b.PredReg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IMul(isa.U32, k, isa.R(gtid), isa.Imm(uint64(run*2)))
+	b.IMad(isa.U64, aaddr, isa.R(k), isa.Imm(4), isa.Imm(src))
+	b.IAdd(isa.U64, baddr, isa.R(aaddr), isa.Imm(uint64(run*4)))
+	b.IMad(isa.U64, oaddr, isa.R(k), isa.Imm(4), isa.Imm(dst))
+	b.Mov(isa.U32, ai, isa.Imm(0))
+	b.Mov(isa.U32, bi, isa.Imm(0))
+	b.Mov(isa.U32, k, isa.Imm(0))
+	b.Label("merge")
+	b.Setp(isa.LT, isa.U32, pa, isa.R(ai), isa.Imm(uint64(run)))
+	b.Setp(isa.LT, isa.U32, pb, isa.R(bi), isa.Imm(uint64(run)))
+	b.Ld(isa.Global, isa.U32, av, isa.R(aaddr)).Guarded(pa, false)
+	b.Ld(isa.Global, isa.U32, bv, isa.R(baddr)).Guarded(pb, false)
+	b.Selp(isa.U32, sel, isa.Imm(1), isa.Imm(0), pa)
+	b.Setp(isa.LE, isa.U32, pTake, isa.R(av), isa.R(bv))
+	b.Selp(isa.U32, t, isa.Imm(1), isa.Imm(0), pTake)
+	b.Selp(isa.U32, t2, isa.R(t), isa.Imm(1), pb)
+	b.And(isa.U32, sel, isa.R(sel), isa.R(t2))
+	b.Setp(isa.NE, isa.U32, pTake, isa.R(sel), isa.Imm(0))
+	b.Selp(isa.U32, t, isa.R(av), isa.R(bv), pTake)
+	b.St(isa.Global, isa.U32, isa.R(oaddr), isa.R(t))
+	b.IAdd(isa.U64, oaddr, isa.R(oaddr), isa.Imm(4))
+	b.IAdd(isa.U32, ai, isa.R(ai), isa.Imm(1)).Guarded(pTake, false)
+	b.IAdd(isa.U64, aaddr, isa.R(aaddr), isa.Imm(4)).Guarded(pTake, false)
+	b.IAdd(isa.U32, bi, isa.R(bi), isa.Imm(1)).Guarded(pTake, true)
+	b.IAdd(isa.U64, baddr, isa.R(baddr), isa.Imm(4)).Guarded(pTake, true)
+	b.IAdd(isa.U32, k, isa.R(k), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(k), isa.Imm(uint64(run*2)))
+	b.BraTo("merge", p, false)
+	b.Exit()
+	return b.Build()
+}
+
+// MergesortApp sorts a full array: msort_K1-style local tile sort, then
+// log2(n/tile) global merge passes ping-ponging between two buffers.
+func MergesortApp(scale int) (*Application, error) {
+	scale = clampScale(scale)
+	const tile = 128
+	n := tile * 16 * scale
+
+	// Local sort (the suite's odd-even kernel shape) writing src → bufA.
+	lb := isa.NewBuilder("msort_local")
+	sh := lb.Shared(tile * 4)
+	tid := lb.Reg()
+	gtid := lb.Reg()
+	v := lb.Reg()
+	a0 := lb.Reg()
+	a1 := lb.Reg()
+	lo := lb.Reg()
+	hi := lb.Reg()
+	addr := lb.Reg()
+	addr1 := lb.Reg()
+	idx := lb.Reg()
+	pAct := lb.PredReg()
+	lb.MovSpecial(tid, isa.SRegTid)
+	lb.MovSpecial(gtid, isa.SRegGtid)
+	lb.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrIn0))
+	lb.Ld(isa.Global, isa.U32, v, isa.R(addr))
+	lb.IMad(isa.U64, addr, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	lb.St(isa.Shared, isa.U32, isa.R(addr), isa.R(v))
+	lb.Bar()
+	for phase := 0; phase < tile; phase++ {
+		lb.Shl(isa.U32, idx, isa.R(tid), isa.Imm(1))
+		if phase%2 == 1 {
+			lb.IAdd(isa.U32, idx, isa.R(idx), isa.Imm(1))
+		}
+		lb.Setp(isa.LT, isa.U32, pAct, isa.R(idx), isa.Imm(tile-1))
+		lb.IMad(isa.U64, addr, isa.R(idx), isa.Imm(4), isa.Imm(sh))
+		lb.IAdd(isa.U64, addr1, isa.R(addr), isa.Imm(4))
+		lb.Ld(isa.Shared, isa.U32, a0, isa.R(addr)).Guarded(pAct, false)
+		lb.Ld(isa.Shared, isa.U32, a1, isa.R(addr1)).Guarded(pAct, false)
+		lb.IMin(isa.U32, lo, isa.R(a0), isa.R(a1)).Guarded(pAct, false)
+		lb.IMax(isa.U32, hi, isa.R(a0), isa.R(a1)).Guarded(pAct, false)
+		lb.St(isa.Shared, isa.U32, isa.R(addr), isa.R(lo)).Guarded(pAct, false)
+		lb.St(isa.Shared, isa.U32, isa.R(addr1), isa.R(hi)).Guarded(pAct, false)
+		lb.Bar()
+	}
+	lb.IMad(isa.U64, addr, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	lb.Ld(isa.Shared, isa.U32, v, isa.R(addr))
+	lb.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	lb.St(isa.Global, isa.U32, isa.R(addr), isa.R(v))
+	lb.Exit()
+	localProg, err := lb.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	app := &Application{Name: "mergesort"}
+	app.Launches = append(app.Launches, Launch{
+		Name: "local_sort",
+		Kernel: &gpusim.Kernel{
+			Program:  localProg,
+			GridDim:  n / tile,
+			BlockDim: tile,
+		},
+	})
+
+	// Merge ladder: bufA (AddrOut0) ↔ bufB (AddrOut1).
+	src, dst := AddrOut0, AddrOut1
+	finalAddr := src
+	for run := tile; run < n; run *= 2 {
+		pairs := n / (run * 2)
+		block := pairs
+		if block > 128 {
+			block = 128
+		}
+		prog, err := mergePassKernel(fmt.Sprintf("merge_%d", run), run, src, dst)
+		if err != nil {
+			return nil, err
+		}
+		app.Launches = append(app.Launches, Launch{
+			Name: prog.Name,
+			Kernel: &gpusim.Kernel{
+				Program:  prog,
+				GridDim:  (pairs + block - 1) / block,
+				BlockDim: block,
+			},
+		})
+		finalAddr = dst
+		src, dst = dst, src
+	}
+
+	r := rng(40)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32(r.Intn(1 << 24))
+	}
+	want := make([]uint32, n)
+	copy(want, in)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	app.Setup = func(m *gpusim.Memory) error { return m.WriteU32s(AddrIn0, in) }
+	app.Verify = func(m *gpusim.Memory) error {
+		return expectU32(m, finalAddr, want, "mergesort result")
+	}
+	return app, nil
+}
+
+// WalshApp computes a complete Walsh–Hadamard transform: the
+// shared-memory kernel handles intra-tile strides, then global butterfly
+// passes cover the cross-tile strides.
+func WalshApp(scale int) (*Application, error) {
+	scale = clampScale(scale)
+	const tile = 256
+	n := tile * 4 * scale
+	// Round n to a power of two for a clean full transform.
+	pow2 := 1
+	for pow2 < n {
+		pow2 *= 2
+	}
+	n = pow2
+
+	app := &Application{Name: "fwt"}
+
+	// Stage 1: local tiles (strides 1..tile/2), in place on AddrIn0.
+	lb := isa.NewBuilder("fwt_local")
+	sh := lb.Shared(tile * 4)
+	tid := lb.Reg()
+	gbase := lb.Reg()
+	va := lb.Reg()
+	vb := lb.Reg()
+	sum := lb.Reg()
+	diff := lb.Reg()
+	stride := lb.Reg()
+	strideM1 := lb.Reg()
+	logStride := lb.Reg()
+	pos := lb.Reg()
+	lofs := lb.Reg()
+	t0 := lb.Reg()
+	addrA := lb.Reg()
+	addrB := lb.Reg()
+	p := lb.PredReg()
+	pHalf := lb.PredReg()
+	lb.MovSpecial(tid, isa.SRegTid)
+	lb.MovSpecial(gbase, isa.SRegGtid)
+	lb.IMad(isa.U64, addrA, isa.R(gbase), isa.Imm(4), isa.Imm(AddrIn0))
+	lb.Ld(isa.Global, isa.F32, va, isa.R(addrA))
+	lb.IMad(isa.U64, addrA, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	lb.St(isa.Shared, isa.F32, isa.R(addrA), isa.R(va))
+	lb.Bar()
+	lb.Setp(isa.LT, isa.U32, pHalf, isa.R(tid), isa.Imm(tile/2))
+	lb.Mov(isa.U32, stride, isa.Imm(1))
+	lb.Mov(isa.U32, strideM1, isa.Imm(0))
+	lb.Mov(isa.U32, logStride, isa.Imm(0))
+	lb.Label("stage")
+	lb.Shr(isa.U32, t0, isa.R(tid), isa.R(logStride))
+	lb.Shl(isa.U32, pos, isa.R(t0), isa.R(logStride))
+	lb.Shl(isa.U32, pos, isa.R(pos), isa.Imm(1))
+	lb.And(isa.U32, lofs, isa.R(tid), isa.R(strideM1))
+	lb.IAdd(isa.U32, pos, isa.R(pos), isa.R(lofs))
+	lb.IMad(isa.U64, addrA, isa.R(pos), isa.Imm(4), isa.Imm(sh))
+	lb.IMad(isa.U64, addrB, isa.R(stride), isa.Imm(4), isa.R(addrA))
+	lb.Ld(isa.Shared, isa.F32, va, isa.R(addrA)).Guarded(pHalf, false)
+	lb.Ld(isa.Shared, isa.F32, vb, isa.R(addrB)).Guarded(pHalf, false)
+	lb.FAdd(isa.F32, sum, isa.R(va), isa.R(vb)).Guarded(pHalf, false)
+	lb.FSub(isa.F32, diff, isa.R(va), isa.R(vb)).Guarded(pHalf, false)
+	lb.St(isa.Shared, isa.F32, isa.R(addrA), isa.R(sum)).Guarded(pHalf, false)
+	lb.St(isa.Shared, isa.F32, isa.R(addrB), isa.R(diff)).Guarded(pHalf, false)
+	lb.Bar()
+	lb.Shl(isa.U32, strideM1, isa.R(strideM1), isa.Imm(1))
+	lb.Or(isa.U32, strideM1, isa.R(strideM1), isa.Imm(1))
+	lb.Shl(isa.U32, stride, isa.R(stride), isa.Imm(1))
+	lb.IAdd(isa.U32, logStride, isa.R(logStride), isa.Imm(1))
+	lb.Setp(isa.LT, isa.U32, p, isa.R(stride), isa.Imm(tile))
+	lb.BraTo("stage", p, false)
+	lb.IMad(isa.U64, addrA, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	lb.Ld(isa.Shared, isa.F32, va, isa.R(addrA))
+	lb.IMad(isa.U64, addrA, isa.R(gbase), isa.Imm(4), isa.Imm(AddrIn0))
+	lb.St(isa.Global, isa.F32, isa.R(addrA), isa.R(va))
+	lb.Exit()
+	localProg, err := lb.Build()
+	if err != nil {
+		return nil, err
+	}
+	app.Launches = append(app.Launches, Launch{
+		Name:   "fwt_local",
+		Kernel: &gpusim.Kernel{Program: localProg, GridDim: n / tile, BlockDim: tile},
+	})
+
+	// Stage 2: global butterflies for strides tile..n/2, in place.
+	for stride := tile; stride < n; stride *= 2 {
+		gb := isa.NewBuilder(fmt.Sprintf("fwt_global_%d", stride))
+		gtid := gb.Reg()
+		pos := gb.Reg()
+		t := gb.Reg()
+		a := gb.Reg()
+		c := gb.Reg()
+		s := gb.Reg()
+		d := gb.Reg()
+		aa := gb.Reg()
+		ab := gb.Reg()
+		gb.MovSpecial(gtid, isa.SRegGtid)
+		// pos = 2·stride·(gtid/stride) + gtid%stride, via shifts.
+		log := 0
+		for 1<<log < stride {
+			log++
+		}
+		gb.Shr(isa.U32, t, isa.R(gtid), isa.Imm(uint64(log)))
+		gb.Shl(isa.U32, pos, isa.R(t), isa.Imm(uint64(log+1)))
+		gb.And(isa.U32, t, isa.R(gtid), isa.Imm(uint64(stride-1)))
+		gb.IAdd(isa.U32, pos, isa.R(pos), isa.R(t))
+		gb.IMad(isa.U64, aa, isa.R(pos), isa.Imm(4), isa.Imm(AddrIn0))
+		gb.IAdd(isa.U64, ab, isa.R(aa), isa.Imm(uint64(stride*4)))
+		gb.Ld(isa.Global, isa.F32, a, isa.R(aa))
+		gb.Ld(isa.Global, isa.F32, c, isa.R(ab))
+		gb.FAdd(isa.F32, s, isa.R(a), isa.R(c))
+		gb.FSub(isa.F32, d, isa.R(a), isa.R(c))
+		gb.St(isa.Global, isa.F32, isa.R(aa), isa.R(s))
+		gb.St(isa.Global, isa.F32, isa.R(ab), isa.R(d))
+		gb.Exit()
+		prog, err := gb.Build()
+		if err != nil {
+			return nil, err
+		}
+		app.Launches = append(app.Launches, Launch{
+			Name:   prog.Name,
+			Kernel: &gpusim.Kernel{Program: prog, GridDim: n / 2 / 256, BlockDim: 256},
+		})
+	}
+
+	r := rng(41)
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(r.NormFloat64())
+	}
+	want := make([]float32, n)
+	copy(want, in)
+	for stride := 1; stride < n; stride *= 2 {
+		for i := 0; i < n/2; i++ {
+			pos := 2*stride*(i/stride) + i%stride
+			a, c := want[pos], want[pos+stride]
+			want[pos], want[pos+stride] = a+c, a-c
+		}
+	}
+
+	app.Setup = func(m *gpusim.Memory) error { return m.WriteF32s(AddrIn0, in) }
+	app.Verify = func(m *gpusim.Memory) error {
+		return expectF32(m, AddrIn0, want, "full FWT")
+	}
+	return app, nil
+}
+
+// BitonicApp sorts a power-of-two array with the full bitonic network:
+// the local kernel handles k ≤ tile; every larger (k, j) pair is a global
+// compare-exchange pass.
+func BitonicApp(scale int) (*Application, error) {
+	scale = clampScale(scale)
+	n := 2048 * scale
+	pow2 := 1
+	for pow2 < n {
+		pow2 *= 2
+	}
+	n = pow2
+	const block = 256
+
+	app := &Application{Name: "bitonic"}
+	pass := func(k, j int) error {
+		gb := isa.NewBuilder(fmt.Sprintf("bitonic_k%d_j%d", k, j))
+		gtid := gb.Reg()
+		partner := gb.Reg()
+		mine := gb.Reg()
+		other := gb.Reg()
+		dir := gb.Reg()
+		lo := gb.Reg()
+		hi := gb.Reg()
+		addr := gb.Reg()
+		paddr := gb.Reg()
+		t := gb.Reg()
+		pAct := gb.PredReg()
+		pDir := gb.PredReg()
+		gb.MovSpecial(gtid, isa.SRegGtid)
+		gb.Xor(isa.U32, partner, isa.R(gtid), isa.Imm(uint64(j)))
+		gb.Setp(isa.GT, isa.U32, pAct, isa.R(partner), isa.R(gtid))
+		gb.And(isa.U32, dir, isa.R(gtid), isa.Imm(uint64(k)))
+		gb.Setp(isa.EQ, isa.U32, pDir, isa.R(dir), isa.Imm(0))
+		gb.Shl(isa.U64, t, isa.R(gtid), isa.Imm(2))
+		gb.IAdd(isa.U64, addr, isa.R(t), isa.Imm(AddrIn0))
+		gb.Shl(isa.U64, t, isa.R(partner), isa.Imm(2))
+		gb.IAdd(isa.U64, paddr, isa.R(t), isa.Imm(AddrIn0))
+		gb.Ld(isa.Global, isa.U32, mine, isa.R(addr)).Guarded(pAct, false)
+		gb.Ld(isa.Global, isa.U32, other, isa.R(paddr)).Guarded(pAct, false)
+		gb.IMin(isa.U32, lo, isa.R(mine), isa.R(other)).Guarded(pAct, false)
+		gb.IMax(isa.U32, hi, isa.R(mine), isa.R(other)).Guarded(pAct, false)
+		gb.Selp(isa.U32, t, isa.R(lo), isa.R(hi), pDir)
+		gb.St(isa.Global, isa.U32, isa.R(addr), isa.R(t)).Guarded(pAct, false)
+		gb.Selp(isa.U32, t, isa.R(hi), isa.R(lo), pDir)
+		gb.St(isa.Global, isa.U32, isa.R(paddr), isa.R(t)).Guarded(pAct, false)
+		gb.Exit()
+		prog, err := gb.Build()
+		if err != nil {
+			return err
+		}
+		app.Launches = append(app.Launches, Launch{
+			Name:   prog.Name,
+			Kernel: &gpusim.Kernel{Program: prog, GridDim: n / block, BlockDim: block},
+		})
+		return nil
+	}
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			if err := pass(k, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	r := rng(42)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = r.Uint32() >> 4
+	}
+	want := make([]uint32, n)
+	copy(want, in)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	app.Setup = func(m *gpusim.Memory) error { return m.WriteU32s(AddrIn0, in) }
+	app.Verify = func(m *gpusim.Memory) error {
+		return expectU32(m, AddrIn0, want, "bitonic result")
+	}
+	return app, nil
+}
+
+// BackpropApp chains the two backprop kernels the way the Rodinia
+// application does: layerforward (K1) produces hidden activations that
+// the host-side delta computation feeds into weight adjustment (K2).
+func BackpropApp(scale int) (*Application, error) {
+	k1, err := BpropK1(scale)
+	if err != nil {
+		return nil, err
+	}
+	k2, err := BpropK2(scale)
+	if err != nil {
+		return nil, err
+	}
+	app := &Application{
+		Name: "backprop",
+		Launches: []Launch{
+			{Name: "layerforward", Kernel: k1.Kernel},
+			{Name: "adjust_weights", Kernel: k2.Kernel},
+		},
+		// Staging order matters: the kernels share the input regions, so
+		// K2's (smaller) arrays are staged last and stay intact for its
+		// verification. K1's forward pass then runs on a partially
+		// overwritten image — a realistic instruction stream whose values
+		// are not separately checked here (K1 is verified standalone in
+		// the suite).
+		Setup: func(m *gpusim.Memory) error {
+			if err := k1.Setup(m); err != nil {
+				return err
+			}
+			return k2.Setup(m)
+		},
+		// K2 runs last and overwrites AddrOut0, so its invariants are the
+		// application's checkable final state.
+		Verify: k2.Verify,
+	}
+	return app, nil
+}

@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"testing"
+
+	"st2gpu/internal/gpusim"
+)
+
+// Every multi-kernel application runs end to end under both adder modes
+// and verifies its final memory image — mergesort and bitonic check a
+// fully sorted array, fwt a complete transform. This exercises
+// inter-kernel dataflow through device memory.
+func TestApplicationsBothModes(t *testing.T) {
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, mode := range []gpusim.AdderMode{gpusim.BaselineAdders, gpusim.ST2Adders} {
+				app, err := a.Build(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(app.Launches) == 0 {
+					t.Fatal("application has no launches")
+				}
+				cfg := gpusim.DefaultConfig()
+				cfg.NumSMs = 2
+				cfg.AdderMode = mode
+				stats, err := app.Run(cfg)
+				if err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+				if len(stats) != len(app.Launches) {
+					t.Fatalf("stats for %d of %d launches", len(stats), len(app.Launches))
+				}
+				for i, rs := range stats {
+					if rs.Cycles == 0 {
+						t.Errorf("launch %s reported zero cycles", app.Launches[i].Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The merge ladder must consist of log2(n/tile) passes and the bitonic
+// network of the full (k, j) triangle.
+func TestApplicationShapes(t *testing.T) {
+	ms, err := MergesortApp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 128·16, tile = 128 → 4 merge passes + local sort.
+	if len(ms.Launches) != 5 {
+		t.Errorf("mergesort launches = %d, want 5", len(ms.Launches))
+	}
+	bt, err := BitonicApp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n = 2048 = 2^11 → k stages 2..2048 (11), Σj = 1+2+...+11 = 66 passes.
+	if len(bt.Launches) != 66 {
+		t.Errorf("bitonic launches = %d, want 66", len(bt.Launches))
+	}
+	bp, err := BackpropApp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp.Launches) != 2 {
+		t.Errorf("backprop launches = %d", len(bp.Launches))
+	}
+}

@@ -1,0 +1,52 @@
+package kernels
+
+import (
+	"testing"
+
+	"st2gpu/internal/isa"
+)
+
+// Every kernel in the evaluation suite must survive the text round trip:
+// Parse(prog.Text()) reproduces the exact instruction stream. This pins
+// the assembler against the full breadth of real programs (guards,
+// shared memory, atomics, unrolled networks, all operand kinds).
+func TestSuiteTextRoundTrip(t *testing.T) {
+	check := func(name string, orig *isa.Program) {
+		t.Helper()
+		got, err := isa.Parse(orig.Text())
+		if err != nil {
+			t.Fatalf("%s: re-parse failed: %v", name, err)
+		}
+		if got.Name != orig.Name || got.SharedBytes != orig.SharedBytes ||
+			got.NumRegs != orig.NumRegs || got.NumPreds != orig.NumPreds {
+			t.Fatalf("%s: header mismatch: %+v vs %+v", name,
+				[4]any{got.Name, got.SharedBytes, got.NumRegs, got.NumPreds},
+				[4]any{orig.Name, orig.SharedBytes, orig.NumRegs, orig.NumPreds})
+		}
+		if len(got.Instrs) != len(orig.Instrs) {
+			t.Fatalf("%s: %d instrs vs %d", name, len(got.Instrs), len(orig.Instrs))
+		}
+		for i := range got.Instrs {
+			a, b := got.Instrs[i], orig.Instrs[i]
+			a.Label, b.Label = "", ""
+			if a != b {
+				t.Fatalf("%s @%d:\n got  %+v\n want %+v\n text: %s",
+					name, i, a, b, orig.Instrs[i].Format(i))
+			}
+		}
+	}
+	for _, w := range Suite() {
+		spec, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(w.Name, spec.Kernel.Program)
+	}
+	for i := 0; i < NumMicro; i += 7 {
+		spec, err := Micro(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(spec.Name, spec.Kernel.Program)
+	}
+}

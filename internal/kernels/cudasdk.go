@@ -1,0 +1,1207 @@
+package kernels
+
+import (
+	"sort"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+)
+
+// Binomial is BinomialOptions: one block per option prices it on an
+// additive binomial lattice — payoff initialization followed by backward
+// induction v[i] = pu·v[i+1] + pd·v[i] with a barrier per step. The FMA
+// accumulation over slowly-shrinking live thread sets is the paper's
+// archetype of correlated FP adds.
+func Binomial(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const steps = 128 // lattice nodes = threads per block
+	options := 4 * scale
+
+	b := isa.NewBuilder("binomial")
+	sh := b.Shared(steps * 4)
+	tid := b.Reg()
+	opt := b.Reg()
+	s0 := b.Reg()
+	strike := b.Reg()
+	v := b.Reg()
+	vn := b.Reg()
+	t := b.Reg()
+	addr := b.Reg()
+	saddr := b.Reg()
+	step := b.Reg()
+	p := b.PredReg()
+	pLive := b.PredReg()
+
+	b.MovSpecial(tid, isa.SRegTid)
+	b.MovSpecial(opt, isa.SRegCtaid)
+	// s0, strike from the option table: AddrIn0[opt*2], [opt*2+1].
+	b.Shl(isa.U32, t, isa.R(opt), isa.Imm(3))
+	b.IAdd(isa.U64, addr, isa.R(t), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, s0, isa.R(addr))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(4))
+	b.Ld(isa.Global, isa.F32, strike, isa.R(addr))
+	// payoff: v = max(s0 + tid·dS − strike, 0), dS = 0.5
+	b.Cvt(isa.F32, v, isa.R(tid), isa.U32)
+	b.FFma(isa.F32, v, isa.R(v), isa.ImmF32(0.5), isa.R(s0))
+	b.FSub(isa.F32, v, isa.R(v), isa.R(strike))
+	b.FMax(isa.F32, v, isa.R(v), isa.ImmF32(0))
+	b.IMad(isa.U64, saddr, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	b.St(isa.Shared, isa.F32, isa.R(saddr), isa.R(v))
+	b.Bar()
+	// Backward induction: step = steps-1 .. 1; threads tid < step update.
+	b.Mov(isa.U32, step, isa.Imm(steps-1))
+	b.Label("induct")
+	b.Setp(isa.LT, isa.U32, pLive, isa.R(tid), isa.R(step))
+	// vn = shared[tid+1]; v = shared[tid]; v = pu·vn + pd·v
+	b.IAdd(isa.U64, addr, isa.R(saddr), isa.Imm(4))
+	b.Ld(isa.Shared, isa.F32, vn, isa.R(addr)).Guarded(pLive, false)
+	b.Ld(isa.Shared, isa.F32, v, isa.R(saddr)).Guarded(pLive, false)
+	b.FMul(isa.F32, t, isa.R(vn), isa.ImmF32(0.515)).Guarded(pLive, false)
+	b.FFma(isa.F32, v, isa.R(v), isa.ImmF32(0.480), isa.R(t)).Guarded(pLive, false)
+	b.Bar()
+	b.St(isa.Shared, isa.F32, isa.R(saddr), isa.R(v)).Guarded(pLive, false)
+	b.Bar()
+	b.ISub(isa.U32, step, isa.R(step), isa.Imm(1))
+	b.Setp(isa.GT, isa.U32, p, isa.R(step), isa.Imm(0))
+	b.BraTo("induct", p, false)
+	// Thread 0 stores the option value.
+	b.Setp(isa.EQ, isa.U32, p, isa.R(tid), isa.Imm(0))
+	b.IMad(isa.U64, addr, isa.R(opt), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(v)).Guarded(p, false)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(10)
+	table := make([]float32, options*2)
+	for o := 0; o < options; o++ {
+		table[o*2] = float32(20 + 60*r.Float64())   // spot
+		table[o*2+1] = float32(30 + 50*r.Float64()) // strike
+	}
+	want := make([]float32, options)
+	for o := 0; o < options; o++ {
+		vals := make([]float32, steps)
+		for i := 0; i < steps; i++ {
+			v := fmaf(float32(i), 0.5, table[o*2])
+			v -= table[o*2+1]
+			if v < 0 {
+				v = 0
+			}
+			vals[i] = v
+		}
+		for step := steps - 1; step >= 1; step-- {
+			for i := 0; i < step; i++ {
+				vals[i] = fmaf(vals[i], 0.480, vals[i+1]*0.515)
+			}
+		}
+		want[o] = vals[0]
+	}
+
+	return &Spec{
+		Name:  "binomial",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  options,
+			BlockDim: steps,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteF32s(AddrIn0, table)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32Near(m, AddrOut0, want, 1e-4, "binomial value")
+		},
+	}, nil
+}
+
+// WalshK1 is fastWalshTransform's shared-memory kernel: log2(block)
+// butterfly stages, each computing (a+b, a−b) — the purest FADD/FSUB
+// workload in the suite.
+func WalshK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	n := block * 4 * scale
+
+	b := isa.NewBuilder("walsh_K1")
+	sh := b.Shared(block * 4)
+	tid := b.Reg()
+	gbase := b.Reg()
+	va := b.Reg()
+	vb := b.Reg()
+	sum := b.Reg()
+	diff := b.Reg()
+	stride := b.Reg()
+	strideM1 := b.Reg()
+	logStride := b.Reg()
+	pos := b.Reg()
+	lofs := b.Reg()
+	t0 := b.Reg()
+	addrA := b.Reg()
+	addrB := b.Reg()
+	p := b.PredReg()
+	pHalf := b.PredReg()
+
+	b.MovSpecial(tid, isa.SRegTid)
+	b.MovSpecial(gbase, isa.SRegGtid)
+	// Load shared[tid] = in[gtid].
+	b.IMad(isa.U64, addrA, isa.R(gbase), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, va, isa.R(addrA))
+	b.IMad(isa.U64, addrA, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	b.St(isa.Shared, isa.F32, isa.R(addrA), isa.R(va))
+	b.Bar()
+	// Butterfly stages: stride = 1,2,...,block/2. Threads tid<block/2 act.
+	b.Setp(isa.LT, isa.U32, pHalf, isa.R(tid), isa.Imm(block/2))
+	b.Mov(isa.U32, stride, isa.Imm(1))
+	b.Mov(isa.U32, strideM1, isa.Imm(0))
+	b.Mov(isa.U32, logStride, isa.Imm(0))
+	b.Label("stage")
+	// pos = ((tid >> log) << (log+1)) | (tid & (stride-1)) — the
+	// original's bit arithmetic.
+	b.Shr(isa.U32, t0, isa.R(tid), isa.R(logStride))
+	b.Shl(isa.U32, pos, isa.R(t0), isa.R(logStride))
+	b.Shl(isa.U32, pos, isa.R(pos), isa.Imm(1))
+	b.And(isa.U32, lofs, isa.R(tid), isa.R(strideM1))
+	b.IAdd(isa.U32, pos, isa.R(pos), isa.R(lofs))
+	b.IMad(isa.U64, addrA, isa.R(pos), isa.Imm(4), isa.Imm(sh))
+	b.IMad(isa.U64, addrB, isa.R(stride), isa.Imm(4), isa.R(addrA))
+	b.Ld(isa.Shared, isa.F32, va, isa.R(addrA)).Guarded(pHalf, false)
+	b.Ld(isa.Shared, isa.F32, vb, isa.R(addrB)).Guarded(pHalf, false)
+	b.FAdd(isa.F32, sum, isa.R(va), isa.R(vb)).Guarded(pHalf, false)
+	b.FSub(isa.F32, diff, isa.R(va), isa.R(vb)).Guarded(pHalf, false)
+	b.St(isa.Shared, isa.F32, isa.R(addrA), isa.R(sum)).Guarded(pHalf, false)
+	b.St(isa.Shared, isa.F32, isa.R(addrB), isa.R(diff)).Guarded(pHalf, false)
+	b.Bar()
+	b.Shl(isa.U32, strideM1, isa.R(strideM1), isa.Imm(1))
+	b.Or(isa.U32, strideM1, isa.R(strideM1), isa.Imm(1))
+	b.Shl(isa.U32, stride, isa.R(stride), isa.Imm(1))
+	b.IAdd(isa.U32, logStride, isa.R(logStride), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(stride), isa.Imm(block))
+	b.BraTo("stage", p, false)
+	// Store back.
+	b.IMad(isa.U64, addrA, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	b.Ld(isa.Shared, isa.F32, va, isa.R(addrA))
+	b.IMad(isa.U64, addrA, isa.R(gbase), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addrA), isa.R(va))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(11)
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(r.NormFloat64() * 4)
+	}
+	want := make([]float32, n)
+	copy(want, in)
+	for blk := 0; blk < n/block; blk++ {
+		seg := want[blk*block : (blk+1)*block]
+		for stride := 1; stride < block; stride *= 2 {
+			for tid := 0; tid < block/2; tid++ {
+				pos := 2*stride*(tid/stride) + tid%stride
+				a, c := seg[pos], seg[pos+stride]
+				seg[pos], seg[pos+stride] = a+c, a-c
+			}
+		}
+	}
+
+	return &Spec{
+		Name:  "walsh_K1",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteF32s(AddrIn0, in)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32(m, AddrOut0, want, "walsh K1")
+		},
+	}, nil
+}
+
+// WalshK2 is fastWalshTransform's global-stride kernel: one butterfly
+// with a stride spanning blocks, straight from and to global memory.
+func WalshK2(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	n := block * 8 * scale
+	stride := n / 2
+
+	b := isa.NewBuilder("walsh_K2")
+	gtid := b.Reg()
+	va := b.Reg()
+	vb := b.Reg()
+	addrA := b.Reg()
+	addrB := b.Reg()
+	sum := b.Reg()
+	diff := b.Reg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IMad(isa.U64, addrA, isa.R(gtid), isa.Imm(4), isa.Imm(AddrIn0))
+	b.IAdd(isa.U64, addrB, isa.R(addrA), isa.Imm(uint64(stride)*4))
+	b.Ld(isa.Global, isa.F32, va, isa.R(addrA))
+	b.Ld(isa.Global, isa.F32, vb, isa.R(addrB))
+	b.FAdd(isa.F32, sum, isa.R(va), isa.R(vb))
+	b.FSub(isa.F32, diff, isa.R(va), isa.R(vb))
+	b.IMad(isa.U64, addrA, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.IAdd(isa.U64, addrB, isa.R(addrA), isa.Imm(uint64(stride)*4))
+	b.St(isa.Global, isa.F32, isa.R(addrA), isa.R(sum))
+	b.St(isa.Global, isa.F32, isa.R(addrB), isa.R(diff))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(12)
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(r.NormFloat64() * 4)
+	}
+	want := make([]float32, n)
+	for i := 0; i < stride; i++ {
+		want[i] = in[i] + in[i+stride]
+		want[i+stride] = in[i] - in[i+stride]
+	}
+
+	return &Spec{
+		Name:  "walsh_K2",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  stride / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteF32s(AddrIn0, in)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32(m, AddrOut0, want, "walsh K2")
+		},
+	}, nil
+}
+
+// Dct8x8K1 is the dct8x8 row-pass kernel: one thread per 8-pixel row
+// computes the AAN butterfly (adds/subs) with four constant multiplies.
+func Dct8x8K1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 128
+	rowsN := block * 2 * scale
+	n := rowsN * 8
+
+	b := isa.NewBuilder("dct8x8_K1")
+	gtid := b.Reg()
+	addr := b.Reg()
+	x := b.Regs(8)
+	s := b.Regs(8)
+	o := b.Regs(8)
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(32), isa.Imm(AddrIn0))
+	for i := 0; i < 8; i++ {
+		b.Ld(isa.Global, isa.F32, x[i], isa.R(addr))
+		if i < 7 {
+			b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(4))
+		}
+	}
+	// Stage 1 butterflies.
+	b.FAdd(isa.F32, s[0], isa.R(x[0]), isa.R(x[7]))
+	b.FSub(isa.F32, s[7], isa.R(x[0]), isa.R(x[7]))
+	b.FAdd(isa.F32, s[1], isa.R(x[1]), isa.R(x[6]))
+	b.FSub(isa.F32, s[6], isa.R(x[1]), isa.R(x[6]))
+	b.FAdd(isa.F32, s[2], isa.R(x[2]), isa.R(x[5]))
+	b.FSub(isa.F32, s[5], isa.R(x[2]), isa.R(x[5]))
+	b.FAdd(isa.F32, s[3], isa.R(x[3]), isa.R(x[4]))
+	b.FSub(isa.F32, s[4], isa.R(x[3]), isa.R(x[4]))
+	// Stage 2 (even part).
+	b.FAdd(isa.F32, o[0], isa.R(s[0]), isa.R(s[3]))
+	b.FSub(isa.F32, o[3], isa.R(s[0]), isa.R(s[3]))
+	b.FAdd(isa.F32, o[1], isa.R(s[1]), isa.R(s[2]))
+	b.FSub(isa.F32, o[2], isa.R(s[1]), isa.R(s[2]))
+	// DC & mid coefficients.
+	b.FAdd(isa.F32, x[0], isa.R(o[0]), isa.R(o[1]))
+	b.FSub(isa.F32, x[4], isa.R(o[0]), isa.R(o[1]))
+	b.FMul(isa.F32, o[2], isa.R(o[2]), isa.ImmF32(0.5411961))
+	b.FFma(isa.F32, x[2], isa.R(o[3]), isa.ImmF32(1.3065630), isa.R(o[2]))
+	b.FMul(isa.F32, o[3], isa.R(o[3]), isa.ImmF32(0.5411961))
+	b.FFma(isa.F32, x[6], isa.R(o[2]), isa.ImmF32(-1.0), isa.R(o[3]))
+	// Odd part (simplified rotation chain).
+	b.FAdd(isa.F32, o[4], isa.R(s[4]), isa.R(s[5]))
+	b.FAdd(isa.F32, o[5], isa.R(s[5]), isa.R(s[6]))
+	b.FAdd(isa.F32, o[6], isa.R(s[6]), isa.R(s[7]))
+	b.FMul(isa.F32, x[1], isa.R(o[4]), isa.ImmF32(0.7071068))
+	b.FFma(isa.F32, x[3], isa.R(o[5]), isa.ImmF32(0.9238795), isa.R(s[7]))
+	b.FMul(isa.F32, x[5], isa.R(o[6]), isa.ImmF32(0.3826834))
+	b.FSub(isa.F32, x[7], isa.R(s[7]), isa.R(o[5]))
+	// Store 8 coefficients.
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(32), isa.Imm(AddrOut0))
+	for i := 0; i < 8; i++ {
+		b.St(isa.Global, isa.F32, isa.R(addr), isa.R(x[i]))
+		if i < 7 {
+			b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(4))
+		}
+	}
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(13)
+	img := make([]float32, n)
+	for i := range img {
+		img[i] = float32(r.Intn(256)) - 128
+	}
+	want := make([]float32, n)
+	for row := 0; row < rowsN; row++ {
+		x := img[row*8 : row*8+8]
+		var s, o [8]float32
+		s[0], s[7] = x[0]+x[7], x[0]-x[7]
+		s[1], s[6] = x[1]+x[6], x[1]-x[6]
+		s[2], s[5] = x[2]+x[5], x[2]-x[5]
+		s[3], s[4] = x[3]+x[4], x[3]-x[4]
+		o[0], o[3] = s[0]+s[3], s[0]-s[3]
+		o[1], o[2] = s[1]+s[2], s[1]-s[2]
+		w := want[row*8 : row*8+8]
+		w[0] = o[0] + o[1]
+		w[4] = o[0] - o[1]
+		o2 := o[2] * 0.5411961
+		w[2] = fmaf(o[3], 1.3065630, o2)
+		o3 := o[3] * 0.5411961
+		w[6] = fmaf(o2, -1.0, o3)
+		o[4] = s[4] + s[5]
+		o[5] = s[5] + s[6]
+		o[6] = s[6] + s[7]
+		w[1] = o[4] * 0.7071068
+		w[3] = fmaf(o[5], 0.9238795, s[7])
+		w[5] = o[6] * 0.3826834
+		w[7] = s[7] - o[5]
+	}
+
+	return &Spec{
+		Name:  "dct8x8_K1",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  rowsN / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteF32s(AddrIn0, img)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32(m, AddrOut0, want, "dct8x8")
+		},
+	}, nil
+}
+
+// SortNetsK1 is sortingNetworks' block-local bitonic sort: the full
+// k/j compare-exchange network over a shared-memory tile, barrier per
+// step — integer compare, min/max and XOR-index arithmetic.
+func SortNetsK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	n := block * 2 * scale
+
+	b := isa.NewBuilder("sortNets_K1")
+	sh := b.Shared(block * 4)
+	tid := b.Reg()
+	gtid := b.Reg()
+	v := b.Reg()
+	partner := b.Reg()
+	mine := b.Reg()
+	other := b.Reg()
+	dir := b.Reg()
+	lo := b.Reg()
+	hi := b.Reg()
+	addr := b.Reg()
+	paddr := b.Reg()
+	t := b.Reg()
+	pAct := b.PredReg()
+	pDir := b.PredReg()
+
+	b.MovSpecial(tid, isa.SRegTid)
+	b.MovSpecial(gtid, isa.SRegGtid)
+	// Strength-reduced addressing (shift + add), as NVCC emits for
+	// power-of-two element sizes.
+	b.Shl(isa.U64, t, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(t), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, v, isa.R(addr))
+	b.Shl(isa.U64, t, isa.R(tid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(t), isa.Imm(sh))
+	b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(v))
+	b.Bar()
+	// Unrolled bitonic network (k, j compile-time constants).
+	for k := 2; k <= block; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			// partner = tid ^ j; act when partner > tid.
+			b.Xor(isa.U32, partner, isa.R(tid), isa.Imm(uint64(j)))
+			b.Setp(isa.GT, isa.U32, pAct, isa.R(partner), isa.R(tid))
+			// dir = (tid & k) == 0 → ascending
+			b.And(isa.U32, dir, isa.R(tid), isa.Imm(uint64(k)))
+			b.Setp(isa.EQ, isa.U32, pDir, isa.R(dir), isa.Imm(0))
+			b.Shl(isa.U64, t, isa.R(partner), isa.Imm(2))
+			b.IAdd(isa.U64, paddr, isa.R(t), isa.Imm(sh))
+			b.Ld(isa.Shared, isa.U32, mine, isa.R(addr)).Guarded(pAct, false)
+			b.Ld(isa.Shared, isa.U32, other, isa.R(paddr)).Guarded(pAct, false)
+			b.IMin(isa.U32, lo, isa.R(mine), isa.R(other)).Guarded(pAct, false)
+			b.IMax(isa.U32, hi, isa.R(mine), isa.R(other)).Guarded(pAct, false)
+			// ascending: mine=lo, other=hi; descending: swap.
+			b.Selp(isa.U32, t, isa.R(lo), isa.R(hi), pDir)
+			b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(t)).Guarded(pAct, false)
+			b.Selp(isa.U32, t, isa.R(hi), isa.R(lo), pDir)
+			b.St(isa.Shared, isa.U32, isa.R(paddr), isa.R(t)).Guarded(pAct, false)
+			b.Bar()
+		}
+	}
+	b.Ld(isa.Shared, isa.U32, v, isa.R(addr))
+	b.Shl(isa.U64, t, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(t), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.U32, isa.R(addr), isa.R(v))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(14)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32(r.Intn(1 << 20))
+	}
+	want := make([]uint32, n)
+	copy(want, in)
+	for blk := 0; blk < n/block; blk++ {
+		seg := want[blk*block : (blk+1)*block]
+		// The bitonic network sorts every (tid & block) == 0 region
+		// ascending; with k reaching block the whole tile ends ascending.
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+
+	return &Spec{
+		Name:  "sortNets_K1",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteU32s(AddrIn0, in)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, want, "bitonic tile")
+		},
+	}, nil
+}
+
+// SortNetsK2 is the global bitonic-merge step: one compare-exchange pass
+// at a block-spanning stride.
+func SortNetsK2(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	n := block * 8 * scale
+	j := n / 4 // merge stride
+	k := n / 2 // direction period
+
+	b := isa.NewBuilder("sortNets_K2")
+	gtid := b.Reg()
+	partner := b.Reg()
+	mine := b.Reg()
+	other := b.Reg()
+	dir := b.Reg()
+	lo := b.Reg()
+	hi := b.Reg()
+	addr := b.Reg()
+	paddr := b.Reg()
+	t := b.Reg()
+	pAct := b.PredReg()
+	pDir := b.PredReg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.Xor(isa.U32, partner, isa.R(gtid), isa.Imm(uint64(j)))
+	b.Setp(isa.GT, isa.U32, pAct, isa.R(partner), isa.R(gtid))
+	b.And(isa.U32, dir, isa.R(gtid), isa.Imm(uint64(k)))
+	b.Setp(isa.EQ, isa.U32, pDir, isa.R(dir), isa.Imm(0))
+	b.Shl(isa.U64, t, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(t), isa.Imm(AddrIn0))
+	b.Shl(isa.U64, t, isa.R(partner), isa.Imm(2))
+	b.IAdd(isa.U64, paddr, isa.R(t), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, mine, isa.R(addr)).Guarded(pAct, false)
+	b.Ld(isa.Global, isa.U32, other, isa.R(paddr)).Guarded(pAct, false)
+	b.IMin(isa.U32, lo, isa.R(mine), isa.R(other)).Guarded(pAct, false)
+	b.IMax(isa.U32, hi, isa.R(mine), isa.R(other)).Guarded(pAct, false)
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrOut0-AddrIn0))
+	b.IAdd(isa.U64, paddr, isa.R(paddr), isa.Imm(AddrOut0-AddrIn0))
+	b.Selp(isa.U32, t, isa.R(lo), isa.R(hi), pDir)
+	b.St(isa.Global, isa.U32, isa.R(addr), isa.R(t)).Guarded(pAct, false)
+	b.Selp(isa.U32, t, isa.R(hi), isa.R(lo), pDir)
+	b.St(isa.Global, isa.U32, isa.R(paddr), isa.R(t)).Guarded(pAct, false)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(15)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32(r.Intn(1 << 20))
+	}
+	want := make([]uint32, n)
+	copy(want, in)
+	for g := 0; g < n; g++ {
+		partner := g ^ j
+		if partner <= g {
+			continue
+		}
+		asc := g&k == 0
+		lo, hi := want[g], want[partner]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if asc {
+			want[g], want[partner] = lo, hi
+		} else {
+			want[g], want[partner] = hi, lo
+		}
+	}
+
+	return &Spec{
+		Name:  "sortNets_K2",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteU32s(AddrIn0, in); err != nil {
+				return err
+			}
+			// Inactive elements copy through on the host oracle; stage the
+			// input into the output too so unwritten slots match.
+			return m.WriteU32s(AddrOut0, in)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, want, "bitonic merge")
+		},
+	}, nil
+}
+
+// QrngK1 is quasirandomGenerator's Niederreiter kernel: per sample, XOR
+// the table vectors selected by the sample index bits, then scale to
+// (0,1) — shift/AND/XOR integer work with one int→float convert.
+func QrngK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	n := block * 4 * scale
+
+	table := niederreiterTable()
+
+	b := isa.NewBuilder("qrng_K1")
+	gtid := b.Reg()
+	acc := b.Reg()
+	idx := b.Reg()
+	bit := b.Reg()
+	vec := b.Reg()
+	addr := b.Reg()
+	i := b.Reg()
+	f := b.Reg()
+	p := b.PredReg()
+	pBit := b.PredReg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.Mov(isa.U32, acc, isa.Imm(0))
+	b.Mov(isa.U32, idx, isa.R(gtid))
+	b.Mov(isa.U32, i, isa.Imm(0))
+	b.Label("bits")
+	b.And(isa.U32, bit, isa.R(idx), isa.Imm(1))
+	b.Setp(isa.NE, isa.U32, pBit, isa.R(bit), isa.Imm(0))
+	b.IMad(isa.U64, addr, isa.R(i), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, vec, isa.R(addr)).Guarded(pBit, false)
+	b.Xor(isa.U32, acc, isa.R(acc), isa.R(vec)).Guarded(pBit, false)
+	b.Shr(isa.U32, idx, isa.R(idx), isa.Imm(1))
+	b.IAdd(isa.U32, i, isa.R(i), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(i), isa.Imm(20))
+	b.BraTo("bits", p, false)
+	// f = acc · 2^-32
+	b.Cvt(isa.F32, f, isa.R(acc), isa.U32)
+	b.FMul(isa.F32, f, isa.R(f), isa.ImmF32(1.0/4294967296.0))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(f))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		acc := uint32(0)
+		idx := uint32(g)
+		for i := 0; i < 20; i++ {
+			if idx&1 != 0 {
+				acc ^= table[i]
+			}
+			idx >>= 1
+		}
+		want[g] = float32(acc) * (1.0 / 4294967296.0)
+	}
+
+	return &Spec{
+		Name:  "qrng_K1",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteU32s(AddrIn0, table)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32(m, AddrOut0, want, "qrng K1")
+		},
+	}, nil
+}
+
+// QrngK2 is quasirandomGenerator's inverse-CND kernel (Moro's
+// approximation): a rational-polynomial FMA chain with a log for the
+// tails.
+func QrngK2(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	n := block * 4 * scale
+
+	b := isa.NewBuilder("qrng_K2")
+	gtid := b.Reg()
+	u := b.Reg()
+	y := b.Reg()
+	num := b.Reg()
+	den := b.Reg()
+	z := b.Reg()
+	addr := b.Reg()
+
+	// Moro central-region coefficients.
+	a := []float32{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	c := []float32{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, u, isa.R(addr))
+	// y = u − 0.5; central region only (inputs kept in (0.08, 0.92)).
+	b.FSub(isa.F32, y, isa.R(u), isa.ImmF32(0.5))
+	b.FMul(isa.F32, z, isa.R(y), isa.R(y))
+	// num = ((a3·z + a2)·z + a1)·z + a0, times y.
+	b.Mov(isa.F32, num, isa.ImmF32(a[3]))
+	b.FFma(isa.F32, num, isa.R(num), isa.R(z), isa.ImmF32(a[2]))
+	b.FFma(isa.F32, num, isa.R(num), isa.R(z), isa.ImmF32(a[1]))
+	b.FFma(isa.F32, num, isa.R(num), isa.R(z), isa.ImmF32(a[0]))
+	b.FMul(isa.F32, num, isa.R(num), isa.R(y))
+	// den = ((c3·z + c2)·z + c1)·z + c0)·z + 1
+	b.Mov(isa.F32, den, isa.ImmF32(c[3]))
+	b.FFma(isa.F32, den, isa.R(den), isa.R(z), isa.ImmF32(c[2]))
+	b.FFma(isa.F32, den, isa.R(den), isa.R(z), isa.ImmF32(c[1]))
+	b.FFma(isa.F32, den, isa.R(den), isa.R(z), isa.ImmF32(c[0]))
+	b.FFma(isa.F32, den, isa.R(den), isa.R(z), isa.ImmF32(1))
+	b.FDiv(isa.F32, num, isa.R(num), isa.R(den))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(num))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(16)
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(0.08 + 0.84*r.Float64())
+	}
+	want := make([]float32, n)
+	for i, u := range in {
+		y := u - 0.5
+		z := y * y
+		num := a[3]
+		num = fmaf(num, z, a[2])
+		num = fmaf(num, z, a[1])
+		num = fmaf(num, z, a[0])
+		num = num * y
+		den := c[3]
+		den = fmaf(den, z, c[2])
+		den = fmaf(den, z, c[1])
+		den = fmaf(den, z, c[0])
+		den = fmaf(den, z, 1)
+		want[i] = num / den
+	}
+
+	return &Spec{
+		Name:  "qrng_K2",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteF32s(AddrIn0, in)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32(m, AddrOut0, want, "qrng K2")
+		},
+	}, nil
+}
+
+// HistoK1 is the 64-bin histogram kernel: per word, four byte extracts
+// feed shared-memory atomic increments; block partials merge into the
+// global histogram with global atomics.
+func HistoK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		block = 128
+		bins  = 64
+	)
+	words := block * 8 * scale
+
+	b := isa.NewBuilder("histo_K1")
+	sh := b.Shared(bins * 4)
+	tid := b.Reg()
+	gtid := b.Reg()
+	w := b.Reg()
+	byteV := b.Reg()
+	addr := b.Reg()
+	baddr := b.Reg()
+	part := b.Reg()
+	pInit := b.PredReg()
+
+	b.MovSpecial(tid, isa.SRegTid)
+	b.MovSpecial(gtid, isa.SRegGtid)
+	// Zero the shared histogram (threads < bins).
+	b.Setp(isa.LT, isa.U32, pInit, isa.R(tid), isa.Imm(bins))
+	tsh := b.Reg()
+	b.Shl(isa.U64, tsh, isa.R(tid), isa.Imm(2))
+	b.IAdd(isa.U64, baddr, isa.R(tsh), isa.Imm(sh))
+	b.St(isa.Shared, isa.U32, isa.R(baddr), isa.Imm(0)).Guarded(pInit, false)
+	b.Bar()
+	// Process one word: four byte lanes → shared atomics.
+	b.Shl(isa.U64, addr, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, w, isa.R(addr))
+	for shift := 0; shift < 32; shift += 8 {
+		b.Shr(isa.U32, byteV, isa.R(w), isa.Imm(uint64(shift)))
+		b.And(isa.U32, byteV, isa.R(byteV), isa.Imm(bins-1))
+		b.Shl(isa.U64, baddr, isa.R(byteV), isa.Imm(2))
+		b.IAdd(isa.U64, baddr, isa.R(baddr), isa.Imm(sh))
+		b.AtomAdd(isa.Shared, isa.U32, isa.R(baddr), isa.Imm(1))
+	}
+	b.Bar()
+	// Merge block partials.
+	b.IAdd(isa.U64, baddr, isa.R(tsh), isa.Imm(sh))
+	b.Ld(isa.Shared, isa.U32, part, isa.R(baddr)).Guarded(pInit, false)
+	b.IAdd(isa.U64, addr, isa.R(tsh), isa.Imm(AddrOut0))
+	b.AtomAdd(isa.Global, isa.U32, isa.R(addr), isa.R(part)).Guarded(pInit, false)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(17)
+	data := make([]uint32, words)
+	for i := range data {
+		data[i] = r.Uint32()
+	}
+	want := make([]uint32, bins)
+	for _, w := range data {
+		for shift := 0; shift < 32; shift += 8 {
+			want[(w>>shift)&(bins-1)]++
+		}
+	}
+
+	return &Spec{
+		Name:  "histo_K1",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  words / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteU32s(AddrIn0, data); err != nil {
+				return err
+			}
+			return m.WriteU32s(AddrOut0, make([]uint32, bins))
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, want, "histogram")
+		},
+	}, nil
+}
+
+// MsortK1 is mergesort's local step: odd-even transposition sort of a
+// shared-memory tile — compare/swap with a barrier per phase.
+func MsortK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 128
+	n := block * 2 * scale
+
+	b := isa.NewBuilder("msort_K1")
+	sh := b.Shared(block * 4)
+	tid := b.Reg()
+	gtid := b.Reg()
+	v := b.Reg()
+	a0 := b.Reg()
+	a1 := b.Reg()
+	lo := b.Reg()
+	hi := b.Reg()
+	addr := b.Reg()
+	addr1 := b.Reg()
+	idx := b.Reg()
+	pAct := b.PredReg()
+
+	b.MovSpecial(tid, isa.SRegTid)
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, v, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(v))
+	b.Bar()
+	// block phases of odd-even transposition; phase parity alternates.
+	for phase := 0; phase < block; phase++ {
+		// idx = 2·tid + (phase&1); active when idx+1 < block and tid < block/2.
+		b.Shl(isa.U32, idx, isa.R(tid), isa.Imm(1))
+		if phase%2 == 1 {
+			b.IAdd(isa.U32, idx, isa.R(idx), isa.Imm(1))
+		}
+		b.Setp(isa.LT, isa.U32, pAct, isa.R(idx), isa.Imm(block-1))
+		b.IMad(isa.U64, addr, isa.R(idx), isa.Imm(4), isa.Imm(sh))
+		b.IAdd(isa.U64, addr1, isa.R(addr), isa.Imm(4))
+		b.Ld(isa.Shared, isa.U32, a0, isa.R(addr)).Guarded(pAct, false)
+		b.Ld(isa.Shared, isa.U32, a1, isa.R(addr1)).Guarded(pAct, false)
+		b.IMin(isa.U32, lo, isa.R(a0), isa.R(a1)).Guarded(pAct, false)
+		b.IMax(isa.U32, hi, isa.R(a0), isa.R(a1)).Guarded(pAct, false)
+		b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(lo)).Guarded(pAct, false)
+		b.St(isa.Shared, isa.U32, isa.R(addr1), isa.R(hi)).Guarded(pAct, false)
+		b.Bar()
+	}
+	b.IMad(isa.U64, addr, isa.R(tid), isa.Imm(4), isa.Imm(sh))
+	b.Ld(isa.Shared, isa.U32, v, isa.R(addr))
+	b.Shl(isa.U64, idx, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(idx), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.U32, isa.R(addr), isa.R(v))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(18)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32(r.Intn(1 << 16))
+	}
+	want := make([]uint32, n)
+	copy(want, in)
+	for blk := 0; blk < n/block; blk++ {
+		seg := want[blk*block : (blk+1)*block]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+
+	return &Spec{
+		Name:  "msort_K1",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteU32s(AddrIn0, in)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, want, "msort tile")
+		},
+	}, nil
+}
+
+// MsortK2 is mergesort's merge pass: each thread sequentially merges two
+// adjacent sorted runs from global memory — a branchy pointer-walk of
+// compares and address increments.
+func MsortK2(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		run   = 64
+		block = 64
+	)
+	pairs := block * scale
+	n := pairs * run * 2
+
+	b := isa.NewBuilder("msort_K2")
+	gtid := b.Reg()
+	ai := b.Reg()
+	bi := b.Reg()
+	av := b.Reg()
+	bv := b.Reg()
+	oaddr := b.Reg()
+	aaddr := b.Reg()
+	baddr := b.Reg()
+	k := b.Reg()
+	sel := b.Reg()
+	p := b.PredReg()
+	pa := b.PredReg()
+	pb := b.PredReg()
+	pTake := b.PredReg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	// Runs at [gtid·2R, gtid·2R+R) and [gtid·2R+R, gtid·2R+2R).
+	b.IMul(isa.U32, k, isa.R(gtid), isa.Imm(run*2))
+	b.IMad(isa.U64, aaddr, isa.R(k), isa.Imm(4), isa.Imm(AddrIn0))
+	b.IAdd(isa.U64, baddr, isa.R(aaddr), isa.Imm(run*4))
+	b.IMad(isa.U64, oaddr, isa.R(k), isa.Imm(4), isa.Imm(AddrOut0))
+	b.Mov(isa.U32, ai, isa.Imm(0))
+	b.Mov(isa.U32, bi, isa.Imm(0))
+	b.Mov(isa.U32, k, isa.Imm(0))
+	b.Label("merge")
+	b.Setp(isa.LT, isa.U32, pa, isa.R(ai), isa.Imm(run))
+	b.Setp(isa.LT, isa.U32, pb, isa.R(bi), isa.Imm(run))
+	b.Ld(isa.Global, isa.U32, av, isa.R(aaddr)).Guarded(pa, false)
+	b.Ld(isa.Global, isa.U32, bv, isa.R(baddr)).Guarded(pb, false)
+	// take A when (a exhausted? no) and (b exhausted || av <= bv)
+	b.Selp(isa.U32, sel, isa.Imm(1), isa.Imm(0), pa)
+	b.Setp(isa.LE, isa.U32, pTake, isa.R(av), isa.R(bv))
+	// sel=1 (take A) iff pa && (!pb || av<=bv): compute with selps.
+	t := b.Reg()
+	b.Selp(isa.U32, t, isa.Imm(1), isa.Imm(0), pTake)
+	t2 := b.Reg()
+	b.Selp(isa.U32, t2, isa.R(t), isa.Imm(1), pb) // if b live: av<=bv, else 1
+	b.And(isa.U32, sel, isa.R(sel), isa.R(t2))
+	b.Setp(isa.NE, isa.U32, pTake, isa.R(sel), isa.Imm(0))
+	// Store the chosen value; advance the chosen pointer.
+	b.Selp(isa.U32, t, isa.R(av), isa.R(bv), pTake)
+	b.St(isa.Global, isa.U32, isa.R(oaddr), isa.R(t))
+	b.IAdd(isa.U64, oaddr, isa.R(oaddr), isa.Imm(4))
+	b.IAdd(isa.U32, ai, isa.R(ai), isa.Imm(1)).Guarded(pTake, false)
+	b.IAdd(isa.U64, aaddr, isa.R(aaddr), isa.Imm(4)).Guarded(pTake, false)
+	b.IAdd(isa.U32, bi, isa.R(bi), isa.Imm(1)).Guarded(pTake, true)
+	b.IAdd(isa.U64, baddr, isa.R(baddr), isa.Imm(4)).Guarded(pTake, true)
+	b.IAdd(isa.U32, k, isa.R(k), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(k), isa.Imm(run*2))
+	b.BraTo("merge", p, false)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(19)
+	in := make([]uint32, n)
+	for pr := 0; pr < pairs; pr++ {
+		for half := 0; half < 2; half++ {
+			base := pr*run*2 + half*run
+			cur := uint32(r.Intn(64))
+			for i := 0; i < run; i++ {
+				in[base+i] = cur
+				cur += uint32(r.Intn(16))
+			}
+		}
+	}
+	want := make([]uint32, n)
+	for pr := 0; pr < pairs; pr++ {
+		base := pr * run * 2
+		a := in[base : base+run]
+		c := in[base+run : base+2*run]
+		ai, bi := 0, 0
+		for k := 0; k < run*2; k++ {
+			takeA := ai < run && (bi >= run || a[ai] <= c[bi])
+			if takeA {
+				want[base+k] = a[ai]
+				ai++
+			} else {
+				want[base+k] = c[bi]
+				bi++
+			}
+		}
+	}
+
+	return &Spec{
+		Name:  "msort_K2",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  pairs / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteU32s(AddrIn0, in)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, want, "merge pass")
+		},
+	}, nil
+}
+
+// SobolQRNG is the Sobol quasirandom generator: each thread emits a
+// strip of samples via the gray-code recurrence x ^= v[ctz(i)] — XOR and
+// bit-scan loops with an int→float convert per output.
+func SobolQRNG(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		block   = 128
+		perThr  = 16
+		numDirs = 20
+	)
+	threads := block * 2 * scale
+
+	dirs := sobolDirections()
+
+	b := isa.NewBuilder("sobolQRNG")
+	gtid := b.Reg()
+	x := b.Reg()
+	i := b.Reg()
+	gray := b.Reg()
+	bitIdx := b.Reg()
+	tmp := b.Reg()
+	vec := b.Reg()
+	addr := b.Reg()
+	oaddr := b.Reg()
+	f := b.Reg()
+	j := b.Reg()
+	p := b.PredReg()
+	pBit := b.PredReg()
+	pz := b.PredReg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	// Seed x with the gray-coded thread origin: x = XOR of dirs over the
+	// set bits of gray(gtid·perThr).
+	b.IMul(isa.U32, i, isa.R(gtid), isa.Imm(perThr))
+	b.Shr(isa.U32, gray, isa.R(i), isa.Imm(1))
+	b.Xor(isa.U32, gray, isa.R(gray), isa.R(i))
+	b.Mov(isa.U32, x, isa.Imm(0))
+	b.Mov(isa.U32, j, isa.Imm(0))
+	b.Label("seed")
+	b.And(isa.U32, tmp, isa.R(gray), isa.Imm(1))
+	b.Setp(isa.NE, isa.U32, pBit, isa.R(tmp), isa.Imm(0))
+	b.IMad(isa.U64, addr, isa.R(j), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, vec, isa.R(addr)).Guarded(pBit, false)
+	b.Xor(isa.U32, x, isa.R(x), isa.R(vec)).Guarded(pBit, false)
+	b.Shr(isa.U32, gray, isa.R(gray), isa.Imm(1))
+	b.IAdd(isa.U32, j, isa.R(j), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(j), isa.Imm(numDirs))
+	b.BraTo("seed", p, false)
+	// Emit perThr samples with the gray-code update x ^= v[ctz(i+1)].
+	b.IMul(isa.U32, oaddr, isa.R(gtid), isa.Imm(perThr*4))
+	b.IAdd(isa.U64, oaddr, isa.R(oaddr), isa.Imm(AddrOut0))
+	b.IMul(isa.U32, i, isa.R(gtid), isa.Imm(perThr))
+	b.Mov(isa.U32, j, isa.Imm(0))
+	b.Label("emit")
+	b.Cvt(isa.F32, f, isa.R(x), isa.U32)
+	b.FMul(isa.F32, f, isa.R(f), isa.ImmF32(1.0/4294967296.0))
+	b.St(isa.Global, isa.F32, isa.R(oaddr), isa.R(f))
+	b.IAdd(isa.U64, oaddr, isa.R(oaddr), isa.Imm(4))
+	// bitIdx = ctz(i+1) via a loop.
+	b.IAdd(isa.U32, tmp, isa.R(i), isa.Imm(1))
+	b.Mov(isa.U32, bitIdx, isa.Imm(0))
+	b.Label("ctz")
+	b.And(isa.U32, gray, isa.R(tmp), isa.Imm(1))
+	b.Setp(isa.EQ, isa.U32, pz, isa.R(gray), isa.Imm(0))
+	b.Shr(isa.U32, tmp, isa.R(tmp), isa.Imm(1)).Guarded(pz, false)
+	b.IAdd(isa.U32, bitIdx, isa.R(bitIdx), isa.Imm(1)).Guarded(pz, false)
+	b.BraTo("ctz", pz, false)
+	b.IMin(isa.U32, bitIdx, isa.R(bitIdx), isa.Imm(numDirs-1))
+	b.IMad(isa.U64, addr, isa.R(bitIdx), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, vec, isa.R(addr))
+	b.Xor(isa.U32, x, isa.R(x), isa.R(vec))
+	b.IAdd(isa.U32, i, isa.R(i), isa.Imm(1))
+	b.IAdd(isa.U32, j, isa.R(j), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(j), isa.Imm(perThr))
+	b.BraTo("emit", p, false)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]float32, threads*perThr)
+	for g := 0; g < threads; g++ {
+		i := uint32(g * perThr)
+		gray := (i >> 1) ^ i
+		x := uint32(0)
+		for j := 0; j < numDirs; j++ {
+			if gray&1 != 0 {
+				x ^= dirs[j]
+			}
+			gray >>= 1
+		}
+		for j := 0; j < perThr; j++ {
+			want[g*perThr+j] = float32(x) * (1.0 / 4294967296.0)
+			t := i + 1
+			bit := 0
+			for t&1 == 0 {
+				t >>= 1
+				bit++
+			}
+			if bit > numDirs-1 {
+				bit = numDirs - 1
+			}
+			x ^= dirs[bit]
+			i++
+		}
+	}
+
+	return &Spec{
+		Name:  "sobolQRNG",
+		Suite: "cuda-sdk",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  threads / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteU32s(AddrIn0, dirs)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32(m, AddrOut0, want, "sobol")
+		},
+	}, nil
+}
+
+// niederreiterTable returns a deterministic 20-entry direction table.
+func niederreiterTable() []uint32 {
+	t := make([]uint32, 20)
+	v := uint32(0x9E3779B9)
+	for i := range t {
+		v = v*1664525 + 1013904223
+		t[i] = v | 1<<31>>uint(i%20)
+	}
+	return t
+}
+
+// sobolDirections returns the classic power-of-two direction vectors of
+// Sobol dimension 0 (v[j] = 2^(31-j)) — the real generator's first
+// dimension.
+func sobolDirections() []uint32 {
+	t := make([]uint32, 20)
+	for i := range t {
+		t[i] = 1 << (31 - uint(i))
+	}
+	return t
+}

@@ -1,0 +1,340 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+)
+
+// Extras returns additional workloads beyond the paper's 23-kernel suite.
+// They are not part of the Figure 1–7 reproductions, but broaden the
+// coverage of the ST² units: NBody drives the FP64 DPU mantissa adders
+// hard, BlackScholes mixes SFU transcendentals with FP32 adds, and Scan
+// is the classic barrier-synchronized integer-add ladder.
+func Extras() []Workload {
+	return []Workload{
+		{"nbody_fp64", "extra", NBodyFP64},
+		{"blackscholes", "extra", BlackScholes},
+		{"scan_K1", "extra", ScanK1},
+	}
+}
+
+// NBodyFP64 computes gravitational accelerations in double precision:
+// per body, a loop over all bodies accumulating the softened inverse-
+// square interaction — FP64 subs, FMAs and an rsqrt per pair, the
+// densest DPU-adder workload in the repository.
+func NBodyFP64(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 64
+	bodies := block * 2 * scale
+
+	b := isa.NewBuilder("nbody_fp64")
+	gtid := b.Reg()
+	xi := b.Reg()
+	yi := b.Reg()
+	xj := b.Reg()
+	yj := b.Reg()
+	dx := b.Reg()
+	dy := b.Reg()
+	r2 := b.Reg()
+	inv := b.Reg()
+	inv3 := b.Reg()
+	ax := b.Reg()
+	ay := b.Reg()
+	j := b.Reg()
+	addr := b.Reg()
+	jaddr := b.Reg()
+	p := b.PredReg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	// Positions: interleaved (x, y) float64 pairs at AddrIn0.
+	b.Shl(isa.U64, addr, isa.R(gtid), isa.Imm(4))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F64, xi, isa.R(addr))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(8))
+	b.Ld(isa.Global, isa.F64, yi, isa.R(addr))
+	b.Mov(isa.F64, ax, isa.ImmF64(0))
+	b.Mov(isa.F64, ay, isa.ImmF64(0))
+	b.Mov(isa.U64, jaddr, isa.Imm(AddrIn0))
+	b.Mov(isa.U32, j, isa.Imm(0))
+	b.Label("pairs")
+	b.Ld(isa.Global, isa.F64, xj, isa.R(jaddr))
+	b.IAdd(isa.U64, jaddr, isa.R(jaddr), isa.Imm(8))
+	b.Ld(isa.Global, isa.F64, yj, isa.R(jaddr))
+	b.IAdd(isa.U64, jaddr, isa.R(jaddr), isa.Imm(8))
+	// dx = xj − xi; dy = yj − yi; r² = dx² + dy² + ε
+	b.FSub(isa.F64, dx, isa.R(xj), isa.R(xi))
+	b.FSub(isa.F64, dy, isa.R(yj), isa.R(yi))
+	b.FMul(isa.F64, r2, isa.R(dx), isa.R(dx))
+	b.FFma(isa.F64, r2, isa.R(dy), isa.R(dy), isa.R(r2))
+	b.FAdd(isa.F64, r2, isa.R(r2), isa.ImmF64(1e-3))
+	// inv³ = r⁻³ via rsqrt; a += d·inv³
+	b.Rsqrt(isa.F64, inv, isa.R(r2))
+	b.FMul(isa.F64, inv3, isa.R(inv), isa.R(inv))
+	b.FMul(isa.F64, inv3, isa.R(inv3), isa.R(inv))
+	b.FFma(isa.F64, ax, isa.R(dx), isa.R(inv3), isa.R(ax))
+	b.FFma(isa.F64, ay, isa.R(dy), isa.R(inv3), isa.R(ay))
+	b.IAdd(isa.U32, j, isa.R(j), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(j), isa.Imm(uint64(bodies)))
+	b.BraTo("pairs", p, false)
+	// Accelerations out, interleaved.
+	b.Shl(isa.U64, addr, isa.R(gtid), isa.Imm(4))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F64, isa.R(addr), isa.R(ax))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(8))
+	b.St(isa.Global, isa.F64, isa.R(addr), isa.R(ay))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(30)
+	pos := make([]float64, bodies*2)
+	for i := range pos {
+		pos[i] = r.NormFloat64() * 10
+	}
+	want := make([]float64, bodies*2)
+	for i := 0; i < bodies; i++ {
+		xi, yi := pos[i*2], pos[i*2+1]
+		var ax, ay float64
+		for j := 0; j < bodies; j++ {
+			dx := pos[j*2] - xi
+			dy := pos[j*2+1] - yi
+			r2 := dx * dx
+			r2 = dy*dy + r2
+			r2 += 1e-3
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv * inv * inv
+			ax = dx*inv3 + ax
+			ay = dy*inv3 + ay
+		}
+		want[i*2], want[i*2+1] = ax, ay
+	}
+
+	return &Spec{
+		Name:  "nbody_fp64",
+		Suite: "extra",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  bodies / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteF64s(AddrIn0, pos)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			got, err := m.ReadF64s(AddrOut0, bodies*2)
+			if err != nil {
+				return err
+			}
+			for i := range want {
+				diff := math.Abs(got[i] - want[i])
+				if diff > 1e-9*(1+math.Abs(want[i])) {
+					return fmtErrF64("nbody acceleration", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// BlackScholes prices European call options with the closed-form model:
+// log/exp/sqrt SFU work feeding a polynomial CND built from FP32 FMAs.
+func BlackScholes(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 128
+	options := block * 4 * scale
+
+	b := isa.NewBuilder("blackscholes")
+	gtid := b.Reg()
+	s := b.Reg()
+	x := b.Reg()
+	tt := b.Reg()
+	d1 := b.Reg()
+	d2 := b.Reg()
+	cnd1 := b.Reg()
+	cnd2 := b.Reg()
+	tmp := b.Reg()
+	expRT := b.Reg()
+	addr := b.Reg()
+
+	const (
+		rate = 0.02
+		vol  = 0.30
+	)
+
+	// cnd approximates the cumulative normal via the logistic surrogate
+	// 1/(1+2^(-k·d)) — same SFU/FMA structure as the classic polynomial.
+	cnd := func(dst, d isa.Reg) {
+		b.FMul(isa.F32, tmp, isa.R(d), isa.ImmF32(-2.31))
+		b.Exp2(isa.F32, tmp, isa.R(tmp))
+		b.FAdd(isa.F32, tmp, isa.R(tmp), isa.ImmF32(1))
+		b.Rcp(isa.F32, dst, isa.R(tmp))
+	}
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.Shl(isa.U64, addr, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, s, isa.R(addr))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrIn1-AddrIn0))
+	b.Ld(isa.Global, isa.F32, x, isa.R(addr))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrIn2-AddrIn1))
+	b.Ld(isa.Global, isa.F32, tt, isa.R(addr))
+	// d1 = (lg2(S/X)/lg2(e) + (r+σ²/2)T) / (σ√T)
+	b.FDiv(isa.F32, d1, isa.R(s), isa.R(x))
+	b.Log2(isa.F32, d1, isa.R(d1))
+	b.FMul(isa.F32, d1, isa.R(d1), isa.ImmF32(0.6931472)) // ln
+	b.FMul(isa.F32, tmp, isa.R(tt), isa.ImmF32(rate+vol*vol/2))
+	b.FAdd(isa.F32, d1, isa.R(d1), isa.R(tmp))
+	b.Sqrt(isa.F32, tmp, isa.R(tt))
+	b.FMul(isa.F32, tmp, isa.R(tmp), isa.ImmF32(vol))
+	b.FDiv(isa.F32, d1, isa.R(d1), isa.R(tmp))
+	b.FSub(isa.F32, d2, isa.R(d1), isa.R(tmp))
+	cnd(cnd1, d1)
+	cnd(cnd2, d2)
+	// call = S·N(d1) − X·e^(−rT)·N(d2)
+	b.FMul(isa.F32, expRT, isa.R(tt), isa.ImmF32(-rate*1.4426950))
+	b.Exp2(isa.F32, expRT, isa.R(expRT))
+	b.FMul(isa.F32, cnd1, isa.R(cnd1), isa.R(s))
+	b.FMul(isa.F32, cnd2, isa.R(cnd2), isa.R(x))
+	b.FMul(isa.F32, cnd2, isa.R(cnd2), isa.R(expRT))
+	b.FSub(isa.F32, cnd1, isa.R(cnd1), isa.R(cnd2))
+	b.Shl(isa.U64, addr, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(cnd1))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(31)
+	sv := make([]float32, options)
+	xv := make([]float32, options)
+	tv := make([]float32, options)
+	for i := range sv {
+		sv[i] = float32(20 + 80*r.Float64())
+		xv[i] = float32(20 + 80*r.Float64())
+		tv[i] = float32(0.1 + 2*r.Float64())
+	}
+
+	return &Spec{
+		Name:  "blackscholes",
+		Suite: "extra",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  options / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteF32s(AddrIn0, sv); err != nil {
+				return err
+			}
+			if err := m.WriteF32s(AddrIn1, xv); err != nil {
+				return err
+			}
+			return m.WriteF32s(AddrIn2, tv)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			got, err := m.ReadF32s(AddrOut0, options)
+			if err != nil {
+				return err
+			}
+			for i, v := range got {
+				// Sanity bounds: a call is worth at most S and at least
+				// max(S − X, 0) − discounting slack.
+				if v != v || v < -1 || float64(v) > float64(sv[i])+1 {
+					return fmt32err("call price", i, v)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// ScanK1 is the classic Hillis–Steele inclusive prefix sum over a shared
+// memory tile: log2(block) barrier-separated add stages — the canonical
+// synchronized-adder-ladder workload.
+func ScanK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	n := block * 2 * scale
+
+	b := isa.NewBuilder("scan_K1")
+	sh := b.Shared(block * 4)
+	tid := b.Reg()
+	gtid := b.Reg()
+	v := b.Reg()
+	other := b.Reg()
+	addr := b.Reg()
+	oaddr := b.Reg()
+	pAct := b.PredReg()
+
+	b.MovSpecial(tid, isa.SRegTid)
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.Shl(isa.U64, addr, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, v, isa.R(addr))
+	b.Shl(isa.U64, addr, isa.R(tid), isa.Imm(2))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(sh))
+	b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(v))
+	b.Bar()
+	for stride := 1; stride < block; stride *= 2 {
+		// v += shared[tid-stride] for tid >= stride
+		b.Setp(isa.GE, isa.U32, pAct, isa.R(tid), isa.Imm(uint64(stride)))
+		b.IAdd(isa.U64, oaddr, isa.R(addr), isa.ImmI(int64(-4*stride)))
+		b.Ld(isa.Shared, isa.U32, other, isa.R(oaddr)).Guarded(pAct, false)
+		b.Bar()
+		b.IAdd(isa.U32, v, isa.R(v), isa.R(other)).Guarded(pAct, false)
+		b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(v)).Guarded(pAct, false)
+		b.Bar()
+	}
+	b.Shl(isa.U64, oaddr, isa.R(gtid), isa.Imm(2))
+	b.IAdd(isa.U64, oaddr, isa.R(oaddr), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.U32, isa.R(oaddr), isa.R(v))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(32)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32(r.Intn(100))
+	}
+	want := make([]uint32, n)
+	for blk := 0; blk < n/block; blk++ {
+		var acc uint32
+		for i := 0; i < block; i++ {
+			acc += in[blk*block+i]
+			want[blk*block+i] = acc
+		}
+	}
+
+	return &Spec{
+		Name:  "scan_K1",
+		Suite: "extra",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteU32s(AddrIn0, in)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, want, "scan")
+		},
+	}, nil
+}
+
+func fmtErrF64(what string, i int, got, want float64) error {
+	return fmt.Errorf("kernels: %s[%d] = %g, want %g", what, i, got, want)
+}

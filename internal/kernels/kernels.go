@@ -1,0 +1,194 @@
+// Package kernels contains the paper's 23-kernel evaluation suite
+// (Section V-A) re-implemented in PTX-lite: 6 Rodinia workloads, 9 NVIDIA
+// CUDA Samples workloads and 3 Parboil workloads, several contributing two
+// kernels. Each workload reproduces the arithmetic skeleton of the
+// original CUDA kernel — the loop iterators, index arithmetic,
+// accumulations and butterflies that give rise to the spatio-temporal
+// value correlation the paper exploits — on deterministic synthetic inputs
+// drawn from the same distributions (images, random matrices, sorted
+// runs, option chains).
+//
+// It also provides the 123 micro-benchmark stressors the power-model
+// calibration uses (Section V-C).
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"st2gpu/internal/gpusim"
+)
+
+// Spec is one runnable workload instance: the kernel launch, the host
+// code that stages its inputs, and an optional output check.
+type Spec struct {
+	Name   string
+	Suite  string
+	Kernel *gpusim.Kernel
+	// Setup stages inputs into device memory before launch.
+	Setup func(m *gpusim.Memory) error
+	// Verify checks kernel outputs against a host-computed reference; nil
+	// when the workload has no cheap host oracle.
+	Verify func(m *gpusim.Memory) error
+}
+
+// Workload is a named factory: Build produces a Spec at the given scale
+// (1 = the default evaluation size; tests use smaller scales).
+type Workload struct {
+	Name  string
+	Suite string
+	Build func(scale int) (*Spec, error)
+}
+
+// Suite lists the paper's 23 kernels in the order of Figure 6.
+func Suite() []Workload {
+	return []Workload{
+		{"binomial", "cuda-sdk", Binomial},
+		{"kmeans_K1", "rodinia", KmeansK1},
+		{"sgemm", "parboil", Sgemm},
+		{"walsh_K1", "cuda-sdk", WalshK1},
+		{"mri-q_K1", "parboil", MriQK1},
+		{"bprop_K2", "rodinia", BpropK2},
+		{"sradv1_K1", "rodinia", Sradv1K1},
+		{"pathfinder", "rodinia", Pathfinder},
+		{"dct8x8_K1", "cuda-sdk", Dct8x8K1},
+		{"dwt2d_K1", "rodinia", Dwt2dK1},
+		{"msort_K1", "cuda-sdk", MsortK1},
+		{"sortNets_K1", "cuda-sdk", SortNetsK1},
+		{"bprop_K1", "rodinia", BpropK1},
+		{"b+tree_K1", "rodinia", BTreeK1},
+		{"walsh_K2", "cuda-sdk", WalshK2},
+		{"b+tree_K2", "rodinia", BTreeK2},
+		{"sortNets_K2", "cuda-sdk", SortNetsK2},
+		{"qrng_K1", "cuda-sdk", QrngK1},
+		{"sad_K1", "parboil", SadK1},
+		{"msort_K2", "cuda-sdk", MsortK2},
+		{"sobolQRNG", "cuda-sdk", SobolQRNG},
+		{"qrng_K2", "cuda-sdk", QrngK2},
+		{"histo_K1", "cuda-sdk", HistoK1},
+	}
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (Workload, error) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("kernels: unknown workload %q", name)
+}
+
+// Names returns the suite's kernel names in Figure 6 order.
+func Names() []string {
+	ws := Suite()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// SuiteNamesSorted returns the distinct suite labels.
+func SuiteNamesSorted() []string {
+	set := map[string]bool{}
+	for _, w := range Suite() {
+		set[w.Suite] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Device memory layout used by every kernel: inputs and outputs live in
+// fixed, well-separated regions.
+const (
+	AddrIn0  uint64 = 1 << 20 // 1 MiB
+	AddrIn1  uint64 = 8 << 20
+	AddrIn2  uint64 = 16 << 20
+	AddrOut0 uint64 = 24 << 20
+	AddrOut1 uint64 = 32 << 20
+	AddrAux  uint64 = 40 << 20
+)
+
+// rng returns the deterministic generator every input uses; varying the
+// tag decorrelates streams across arrays without global state.
+func rng(tag int64) *rand.Rand { return rand.New(rand.NewSource(0x57C0FFEE + tag)) }
+
+// clampScale normalizes a workload scale.
+func clampScale(scale int) int {
+	if scale < 1 {
+		return 1
+	}
+	if scale > 64 {
+		return 64
+	}
+	return scale
+}
+
+// expectU32 compares device memory with a host reference.
+func expectU32(m *gpusim.Memory, addr uint64, want []uint32, what string) error {
+	got, err := m.ReadU32s(addr, len(want))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("kernels: %s[%d] = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// expectF32 compares float outputs bit-exactly (the simulator evaluates
+// the same operation order as the host oracle).
+func expectF32(m *gpusim.Memory, addr uint64, want []float32, what string) error {
+	got, err := m.ReadF32s(addr, len(want))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("kernels: %s[%d] = %g, want %g", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// expectF32Near compares with a relative tolerance for kernels whose host
+// oracle accumulates in a different order.
+func expectF32Near(m *gpusim.Memory, addr uint64, want []float32, tol float64, what string) error {
+	got, err := m.ReadF32s(addr, len(want))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		diff := float64(got[i] - want[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		lim := tol * (1 + abs64(float64(want[i])))
+		if diff > lim {
+			return fmt.Errorf("kernels: %s[%d] = %g, want %g (±%g)", what, i, got[i], want[i], lim)
+		}
+	}
+	return nil
+}
+
+// fmaf replicates the device's fused multiply-add: the product is exact
+// in float64 and a single rounding to float32 happens at the end —
+// matching internal/gpusim's FFma evaluation.
+func fmaf(a, b, c float32) float32 {
+	return float32(float64(a)*float64(b) + float64(c))
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,287 @@
+package kernels
+
+import (
+	"testing"
+
+	"st2gpu/internal/core"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+)
+
+func coreDPU() core.UnitKind { return core.DPU }
+
+func runSpec(t *testing.T, spec *Spec, mode gpusim.AdderMode) *gpusim.RunStats {
+	t.Helper()
+	cfg := gpusim.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.AdderMode = mode
+	d, err := gpusim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Setup != nil {
+		if err := spec.Setup(d.Memory()); err != nil {
+			t.Fatalf("%s setup: %v", spec.Name, err)
+		}
+	}
+	rs, err := d.Launch(spec.Kernel)
+	if err != nil {
+		t.Fatalf("%s launch: %v", spec.Name, err)
+	}
+	if spec.Verify != nil {
+		if err := spec.Verify(d.Memory()); err != nil {
+			t.Fatalf("%s verify (%v adders): %v", spec.Name, mode, err)
+		}
+	}
+	return rs
+}
+
+// Every workload in the suite builds, runs to completion, and verifies
+// its outputs under both the baseline and the ST² adders — the ST²
+// correctness guarantee, end to end through the full GPU model.
+func TestSuiteCorrectBothModes(t *testing.T) {
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			spec, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name != w.Name || spec.Suite != w.Suite {
+				t.Errorf("spec identity mismatch: %s/%s vs %s/%s",
+					spec.Name, spec.Suite, w.Name, w.Suite)
+			}
+			if spec.Kernel.Program == nil {
+				t.Fatal("no program")
+			}
+			base := runSpec(t, spec, gpusim.BaselineAdders)
+
+			spec2, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2 := runSpec(t, spec2, gpusim.ST2Adders)
+
+			if base.TotalThreadInstrs() != st2.TotalThreadInstrs() {
+				t.Errorf("instruction counts differ: %d vs %d",
+					base.TotalThreadInstrs(), st2.TotalThreadInstrs())
+			}
+			// ST² may come out a whisker faster through scheduling
+			// anomalies (a stall can re-align barrier/memory timing);
+			// anything beyond ±1% fast or +8% slow is a bug.
+			slowdown := float64(st2.Cycles)/float64(base.Cycles) - 1
+			if slowdown < -0.01 {
+				t.Errorf("ST² implausibly faster than baseline: %d vs %d", st2.Cycles, base.Cycles)
+			}
+			if slowdown > 0.08 {
+				t.Errorf("slowdown %.2f%% far beyond the paper's ≤3.5%%", slowdown*100)
+			}
+			if st2.MispredictionRate() > 0.45 {
+				t.Errorf("misprediction rate %.3f implausibly high", st2.MispredictionRate())
+			}
+		})
+	}
+}
+
+func TestSuiteHas23Kernels(t *testing.T) {
+	if got := len(Suite()); got != 23 {
+		t.Fatalf("suite has %d kernels, the paper evaluates 23", got)
+	}
+	seen := map[string]bool{}
+	for _, w := range Suite() {
+		if seen[w.Name] {
+			t.Errorf("duplicate kernel %q", w.Name)
+		}
+		seen[w.Name] = true
+		switch w.Suite {
+		case "rodinia", "cuda-sdk", "parboil":
+		default:
+			t.Errorf("%s: unknown suite %q", w.Name, w.Suite)
+		}
+	}
+	if len(Names()) != 23 {
+		t.Error("Names() length wrong")
+	}
+	if got := SuiteNamesSorted(); len(got) != 3 {
+		t.Errorf("suites = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("pathfinder")
+	if err != nil || w.Name != "pathfinder" {
+		t.Errorf("ByName: %v %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+// The Figure 1 premise: most kernels are arithmetically intense — in the
+// paper, 21 of 23 exceed 20% ALU+FPU dynamic instructions. Check the
+// suite-level shape (ALU.add + FPU.add + ALU.other + mul classes).
+func TestArithmeticIntensityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite shape check")
+	}
+	intense := 0
+	for _, w := range Suite() {
+		spec, err := w.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := runSpec(t, spec, gpusim.BaselineAdders)
+		tot := float64(rs.TotalThreadInstrs())
+		arith := float64(rs.ThreadInstrs[isa.FUAluAdd] + rs.ThreadInstrs[isa.FUFpAdd] +
+			rs.ThreadInstrs[isa.FUAluOther] + rs.ThreadInstrs[isa.FUIntMul] +
+			rs.ThreadInstrs[isa.FUFpMul])
+		if arith/tot > 0.20 {
+			intense++
+		}
+	}
+	if intense < 18 {
+		t.Errorf("only %d/23 kernels exceed 20%% arithmetic intensity; paper has 21/23", intense)
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	small, err := Pathfinder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Pathfinder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Kernel.GridDim <= small.Kernel.GridDim {
+		t.Error("scale should grow the grid")
+	}
+	if clampScale(0) != 1 || clampScale(100) != 64 || clampScale(5) != 5 {
+		t.Error("clampScale wrong")
+	}
+}
+
+func TestMicroSuite(t *testing.T) {
+	if _, err := Micro(-1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := Micro(NumMicro); err == nil {
+		t.Error("overflow index should error")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < NumMicro; i++ {
+		spec, err := Micro(i)
+		if err != nil {
+			t.Fatalf("micro %d: %v", i, err)
+		}
+		if seen[spec.Name] {
+			t.Fatalf("duplicate micro name %s", spec.Name)
+		}
+		seen[spec.Name] = true
+		if err := spec.Kernel.Program.Validate(); err != nil {
+			t.Fatalf("micro %d invalid: %v", i, err)
+		}
+	}
+	// Run a representative subset end to end.
+	for i := 0; i < len(microFamilies); i++ {
+		spec, err := Micro(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := runSpec(t, spec, gpusim.ST2Adders)
+		if rs.TotalThreadInstrs() == 0 {
+			t.Errorf("micro %s executed nothing", spec.Name)
+		}
+	}
+}
+
+// Each micro family must actually stress its component: its dominant
+// dynamic class should match the family intent.
+func TestMicroFamiliesStressTheirComponent(t *testing.T) {
+	wantDominant := map[string]isa.FUClass{
+		"micro_ialu_add_2": isa.FUAluAdd,
+		"micro_imul_2":     isa.FUIntMul,
+		"micro_idiv_2":     isa.FUIntDiv,
+		"micro_fadd_2":     isa.FUFpAdd,
+		"micro_fmul_2":     isa.FUFpMul,
+		"micro_fdiv_2":     isa.FUFpDiv,
+		"micro_sfu_2":      isa.FUSfu,
+	}
+	for i := len(microFamilies); i < 2*len(microFamilies); i++ {
+		spec, err := Micro(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := wantDominant[spec.Name]
+		if !ok {
+			continue
+		}
+		rs := runSpec(t, spec, gpusim.BaselineAdders)
+		// The intended class should dominate all other non-control,
+		// non-trivial classes except the loop overhead (ALU add + other).
+		top := want
+		var topCount uint64
+		for cls, n := range rs.ThreadInstrs {
+			if cls == isa.FUCtrl || cls == isa.FUAluOther || cls == isa.FUAluAdd || cls == isa.FUMem {
+				continue
+			}
+			if n > topCount {
+				top, topCount = cls, n
+			}
+		}
+		if want == isa.FUAluAdd {
+			// The add stressor is dominated by FUAluAdd including loop
+			// overhead; just require a high absolute share.
+			if frac := float64(rs.ThreadInstrs[isa.FUAluAdd]) / float64(rs.TotalThreadInstrs()); frac < 0.5 {
+				t.Errorf("%s: ALU add share %.2f < 0.5", spec.Name, frac)
+			}
+			continue
+		}
+		if top != want {
+			t.Errorf("%s: dominant class %v, want %v (%v)", spec.Name, top, want, rs.ThreadInstrs)
+		}
+	}
+}
+
+// Pathfinder is the paper's running example; pin its structure.
+func TestPathfinderMatchesFigure2Shape(t *testing.T) {
+	spec, err := Pathfinder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := runSpec(t, spec, gpusim.ST2Adders)
+	aluAdd, _ := rs.AddFraction()
+	if aluAdd < 0.15 {
+		t.Errorf("pathfinder ALU-add fraction %.3f; the Figure 2 loop is add-dominated", aluAdd)
+	}
+	// The ST² speculation should do very well on its loop-structured adds.
+	if rate := rs.MispredictionRate(); rate > 0.25 {
+		t.Errorf("pathfinder misprediction rate %.3f unexpectedly high", rate)
+	}
+}
+
+// The extra workloads (DPU-heavy n-body, SFU-heavy Black-Scholes, the
+// barrier scan ladder) run correct under both adder modes, and n-body
+// actually exercises the FP64 DPU units.
+func TestExtrasCorrectBothModes(t *testing.T) {
+	for _, w := range Extras() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			spec, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runSpec(t, spec, gpusim.BaselineAdders)
+			spec2, err := w.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := runSpec(t, spec2, gpusim.ST2Adders)
+			if w.Name == "nbody_fp64" {
+				if rs.Units[coreDPU()].ThreadOps == 0 {
+					t.Error("nbody should drive the DPU mantissa adders")
+				}
+			}
+		})
+	}
+}

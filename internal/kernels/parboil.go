@@ -1,0 +1,415 @@
+package kernels
+
+import (
+	"math"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+)
+
+// Sgemm is Parboil's dense matrix multiply: 16×16 thread tiles stage A
+// and B panels through shared memory (barriered) and run the classic
+// FMA-per-k inner loop. C = A·B with square matrices.
+func Sgemm(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const tile = 16
+	dim := 64
+	if scale > 1 {
+		dim = 64 + 32*(scale-1)
+		dim -= dim % tile
+	}
+
+	b := isa.NewBuilder("sgemm")
+	shA := b.Shared(tile * tile * 4)
+	shB := b.Shared(tile * tile * 4)
+	tid := b.Reg()
+	ty := b.Reg()
+	tx := b.Reg()
+	blk := b.Reg()
+	by := b.Reg()
+	bx := b.Reg()
+	row := b.Reg()
+	col := b.Reg()
+	acc := b.Reg()
+	av := b.Reg()
+	bv := b.Reg()
+	t := b.Reg()
+	kk := b.Reg()
+	addr := b.Reg()
+	saddr := b.Reg()
+	sbddr := b.Reg()
+	p := b.PredReg()
+
+	blocksPerRow := dim / tile
+
+	b.MovSpecial(tid, isa.SRegTid)
+	b.MovSpecial(blk, isa.SRegCtaid)
+	b.Shr(isa.U32, ty, isa.R(tid), isa.Imm(4))
+	b.And(isa.U32, tx, isa.R(tid), isa.Imm(tile-1))
+	b.IDiv(isa.U32, by, isa.R(blk), isa.Imm(uint64(blocksPerRow)))
+	b.IRem(isa.U32, bx, isa.R(blk), isa.Imm(uint64(blocksPerRow)))
+	// row = by·16 + ty; col = bx·16 + tx
+	b.Shl(isa.U32, row, isa.R(by), isa.Imm(4))
+	b.IAdd(isa.U32, row, isa.R(row), isa.R(ty))
+	b.Shl(isa.U32, col, isa.R(bx), isa.Imm(4))
+	b.IAdd(isa.U32, col, isa.R(col), isa.R(tx))
+	b.Mov(isa.F32, acc, isa.ImmF32(0))
+
+	b.Mov(isa.U32, kk, isa.Imm(0))
+	b.Label("tiles")
+	{
+		// Stage A[row, kk+tx] and B[kk+ty, col] into shared memory.
+		b.IMul(isa.U32, t, isa.R(row), isa.Imm(uint64(dim)))
+		b.IAdd(isa.U32, t, isa.R(t), isa.R(kk))
+		b.IAdd(isa.U32, t, isa.R(t), isa.R(tx))
+		b.IMad(isa.U64, addr, isa.R(t), isa.Imm(4), isa.Imm(AddrIn0))
+		b.Ld(isa.Global, isa.F32, av, isa.R(addr))
+		b.IMad(isa.U64, saddr, isa.R(tid), isa.Imm(4), isa.Imm(shA))
+		b.St(isa.Shared, isa.F32, isa.R(saddr), isa.R(av))
+
+		b.IAdd(isa.U32, t, isa.R(kk), isa.R(ty))
+		b.IMul(isa.U32, t, isa.R(t), isa.Imm(uint64(dim)))
+		b.IAdd(isa.U32, t, isa.R(t), isa.R(col))
+		b.IMad(isa.U64, addr, isa.R(t), isa.Imm(4), isa.Imm(AddrIn1))
+		b.Ld(isa.Global, isa.F32, bv, isa.R(addr))
+		b.IMad(isa.U64, sbddr, isa.R(tid), isa.Imm(4), isa.Imm(shB))
+		b.St(isa.Shared, isa.F32, isa.R(sbddr), isa.R(bv))
+		b.Bar()
+
+		// Inner product over the staged tile (unrolled 16 FMAs).
+		// saddr walks row ty of shA; sbddr walks column tx of shB.
+		b.Shl(isa.U32, t, isa.R(ty), isa.Imm(4))
+		b.IMad(isa.U64, saddr, isa.R(t), isa.Imm(4), isa.Imm(shA))
+		b.IMad(isa.U64, sbddr, isa.R(tx), isa.Imm(4), isa.Imm(shB))
+		for e := 0; e < tile; e++ {
+			b.Ld(isa.Shared, isa.F32, av, isa.R(saddr))
+			b.Ld(isa.Shared, isa.F32, bv, isa.R(sbddr))
+			b.FFma(isa.F32, acc, isa.R(av), isa.R(bv), isa.R(acc))
+			if e < tile-1 {
+				b.IAdd(isa.U64, saddr, isa.R(saddr), isa.Imm(4))
+				b.IAdd(isa.U64, sbddr, isa.R(sbddr), isa.Imm(tile*4))
+			}
+		}
+		b.Bar()
+		b.IAdd(isa.U32, kk, isa.R(kk), isa.Imm(tile))
+		b.Setp(isa.LT, isa.U32, p, isa.R(kk), isa.Imm(uint64(dim)))
+		b.BraTo("tiles", p, false)
+	}
+	// C[row, col] = acc
+	b.IMul(isa.U32, t, isa.R(row), isa.Imm(uint64(dim)))
+	b.IAdd(isa.U32, t, isa.R(t), isa.R(col))
+	b.IMad(isa.U64, addr, isa.R(t), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(acc))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(20)
+	A := make([]float32, dim*dim)
+	B := make([]float32, dim*dim)
+	for i := range A {
+		A[i] = float32(r.NormFloat64())
+		B[i] = float32(r.NormFloat64())
+	}
+	want := make([]float32, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			acc := float32(0)
+			for k := 0; k < dim; k++ {
+				acc = fmaf(A[i*dim+k], B[k*dim+j], acc)
+			}
+			want[i*dim+j] = acc
+		}
+	}
+
+	return &Spec{
+		Name:  "sgemm",
+		Suite: "parboil",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  blocksPerRow * blocksPerRow,
+			BlockDim: tile * tile,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteF32s(AddrIn0, A); err != nil {
+				return err
+			}
+			return m.WriteF32s(AddrIn1, B)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32(m, AddrOut0, want, "sgemm C")
+		},
+	}, nil
+}
+
+// MriQK1 is Parboil MRI-Q's computeQ kernel: per voxel, accumulate
+// Σ φ·(cos 2πk·x, sin 2πk·x) over the k-space samples — FMA phase
+// arithmetic feeding paired SFU sin/cos.
+func MriQK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		block   = 128
+		kPoints = 48
+	)
+	voxels := block * 2 * scale
+
+	b := isa.NewBuilder("mri-q_K1")
+	gtid := b.Reg()
+	x := b.Reg()
+	y := b.Reg()
+	z := b.Reg()
+	kx := b.Reg()
+	ky := b.Reg()
+	kz := b.Reg()
+	phi := b.Reg()
+	arg := b.Reg()
+	qr := b.Reg()
+	qi := b.Reg()
+	sv := b.Reg()
+	cv := b.Reg()
+	addr := b.Reg()
+	kaddr := b.Reg()
+	i := b.Reg()
+	p := b.PredReg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	// Voxel coordinates from AddrIn0 (x,y,z interleaved).
+	b.IMul(isa.U32, i, isa.R(gtid), isa.Imm(12))
+	b.IAdd(isa.U64, addr, isa.R(i), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, x, isa.R(addr))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(4))
+	b.Ld(isa.Global, isa.F32, y, isa.R(addr))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(4))
+	b.Ld(isa.Global, isa.F32, z, isa.R(addr))
+	b.Mov(isa.F32, qr, isa.ImmF32(0))
+	b.Mov(isa.F32, qi, isa.ImmF32(0))
+	b.Mov(isa.U64, kaddr, isa.Imm(AddrIn1))
+	b.Mov(isa.U32, i, isa.Imm(0))
+	b.Label("ksum")
+	// k-sample: kx,ky,kz,phi packed per point.
+	b.Ld(isa.Global, isa.F32, kx, isa.R(kaddr))
+	b.IAdd(isa.U64, kaddr, isa.R(kaddr), isa.Imm(4))
+	b.Ld(isa.Global, isa.F32, ky, isa.R(kaddr))
+	b.IAdd(isa.U64, kaddr, isa.R(kaddr), isa.Imm(4))
+	b.Ld(isa.Global, isa.F32, kz, isa.R(kaddr))
+	b.IAdd(isa.U64, kaddr, isa.R(kaddr), isa.Imm(4))
+	b.Ld(isa.Global, isa.F32, phi, isa.R(kaddr))
+	b.IAdd(isa.U64, kaddr, isa.R(kaddr), isa.Imm(4))
+	// arg = 2π(kx·x + ky·y + kz·z)
+	b.FMul(isa.F32, arg, isa.R(kx), isa.R(x))
+	b.FFma(isa.F32, arg, isa.R(ky), isa.R(y), isa.R(arg))
+	b.FFma(isa.F32, arg, isa.R(kz), isa.R(z), isa.R(arg))
+	b.FMul(isa.F32, arg, isa.R(arg), isa.ImmF32(2*math.Pi))
+	b.Cos(isa.F32, cv, isa.R(arg))
+	b.Sin(isa.F32, sv, isa.R(arg))
+	b.FFma(isa.F32, qr, isa.R(phi), isa.R(cv), isa.R(qr))
+	b.FFma(isa.F32, qi, isa.R(phi), isa.R(sv), isa.R(qi))
+	b.IAdd(isa.U32, i, isa.R(i), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(i), isa.Imm(kPoints))
+	b.BraTo("ksum", p, false)
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(qr))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut1))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(qi))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(21)
+	vox := make([]float32, voxels*3)
+	for i := range vox {
+		vox[i] = float32(r.Float64())
+	}
+	ks := make([]float32, kPoints*4)
+	for i := range ks {
+		ks[i] = float32(r.NormFloat64() * 0.5)
+	}
+	wantR := make([]float32, voxels)
+	wantI := make([]float32, voxels)
+	for v := 0; v < voxels; v++ {
+		x, y, z := vox[v*3], vox[v*3+1], vox[v*3+2]
+		var qr, qi float32
+		for k := 0; k < kPoints; k++ {
+			kx, ky, kz, phi := ks[k*4], ks[k*4+1], ks[k*4+2], ks[k*4+3]
+			arg := kx * x
+			arg = fmaf(ky, y, arg)
+			arg = fmaf(kz, z, arg)
+			arg = arg * (2 * math.Pi)
+			cv := float32(math.Cos(float64(arg)))
+			sv := float32(math.Sin(float64(arg)))
+			qr = fmaf(phi, cv, qr)
+			qi = fmaf(phi, sv, qi)
+		}
+		wantR[v], wantI[v] = qr, qi
+	}
+
+	return &Spec{
+		Name:  "mri-q_K1",
+		Suite: "parboil",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  voxels / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteF32s(AddrIn0, vox); err != nil {
+				return err
+			}
+			return m.WriteF32s(AddrIn1, ks)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			if err := expectF32Near(m, AddrOut0, wantR, 1e-4, "Q real"); err != nil {
+				return err
+			}
+			return expectF32Near(m, AddrOut1, wantI, 1e-4, "Q imag")
+		},
+	}, nil
+}
+
+// SadK1 is Parboil's sum-of-absolute-differences kernel: per 4×4 macro
+// block, scan candidate motion vectors accumulating Σ|cur−ref| — the
+// densest integer subtract/abs/add workload in the suite.
+func SadK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		block   = 128
+		searchN = 9 // 3×3 search window
+		mbW     = 4
+	)
+	mbCount := block * 2 * scale
+	width := 256
+	rows := (mbCount*mbW)/width*mbW + 8
+
+	b := isa.NewBuilder("sad_K1")
+	gtid := b.Reg()
+	mbx := b.Reg()
+	mby := b.Reg()
+	curBase := b.Reg()
+	refBase := b.Reg()
+	curV := b.Reg()
+	refV := b.Reg()
+	d := b.Reg()
+	sad := b.Reg()
+	best := b.Reg()
+	bestIdx := b.Reg()
+	addr := b.Reg()
+	t := b.Reg()
+	pBest := b.PredReg()
+
+	mbPerRow := width / mbW
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IRem(isa.U32, mbx, isa.R(gtid), isa.Imm(uint64(mbPerRow)))
+	b.IDiv(isa.U32, mby, isa.R(gtid), isa.Imm(uint64(mbPerRow)))
+	// curBase = (mby·4+2)·width + mbx·4 + 2 (offset so the search window
+	// stays in bounds).
+	b.Shl(isa.U32, t, isa.R(mby), isa.Imm(2))
+	b.IAdd(isa.U32, t, isa.R(t), isa.Imm(2))
+	b.IMul(isa.U32, curBase, isa.R(t), isa.Imm(uint64(width)))
+	b.Shl(isa.U32, t, isa.R(mbx), isa.Imm(2))
+	b.IAdd(isa.U32, t, isa.R(t), isa.Imm(2))
+	b.IAdd(isa.U32, curBase, isa.R(curBase), isa.R(t))
+	b.Mov(isa.U32, best, isa.Imm(0xFFFFFFFF))
+	b.Mov(isa.U32, bestIdx, isa.Imm(0))
+	// Search offsets unrolled: dy,dx ∈ {-1,0,1}.
+	searchIdx := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			off := int64(dy*width + dx)
+			b.Mov(isa.U32, sad, isa.Imm(0))
+			b.IAdd(isa.S32, refBase, isa.R(curBase), isa.ImmI(off))
+			// 4×4 block SAD, unrolled.
+			for py := 0; py < mbW; py++ {
+				for px := 0; px < mbW; px++ {
+					pix := int64(py*width + px)
+					b.IAdd(isa.S32, t, isa.R(curBase), isa.ImmI(pix))
+					b.IMad(isa.U64, addr, isa.R(t), isa.Imm(4), isa.Imm(AddrIn0))
+					b.Ld(isa.Global, isa.U32, curV, isa.R(addr))
+					b.IAdd(isa.S32, t, isa.R(refBase), isa.ImmI(pix))
+					b.IMad(isa.U64, addr, isa.R(t), isa.Imm(4), isa.Imm(AddrIn1))
+					b.Ld(isa.Global, isa.U32, refV, isa.R(addr))
+					b.ISub(isa.S32, d, isa.R(curV), isa.R(refV))
+					b.Abs(isa.S32, d, isa.R(d))
+					b.IAdd(isa.U32, sad, isa.R(sad), isa.R(d))
+				}
+			}
+			b.Setp(isa.LT, isa.U32, pBest, isa.R(sad), isa.R(best))
+			b.IMin(isa.U32, best, isa.R(sad), isa.R(best))
+			b.Selp(isa.U32, bestIdx, isa.Imm(uint64(searchIdx)), isa.R(bestIdx), pBest)
+			searchIdx++
+		}
+	}
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.U32, isa.R(addr), isa.R(best))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut1))
+	b.St(isa.Global, isa.U32, isa.R(addr), isa.R(bestIdx))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(22)
+	n := width * rows
+	cur := make([]uint32, n)
+	ref := make([]uint32, n)
+	for i := range cur {
+		cur[i] = uint32(r.Intn(256))
+		// The reference frame is the current frame slightly shifted plus
+		// noise — realistic video correlation.
+		ref[i] = uint32((int(cur[i]) + r.Intn(21) - 10 + 256) % 256)
+	}
+	wantSad := make([]uint32, mbCount)
+	for mb := 0; mb < mbCount; mb++ {
+		mbx, mby := mb%mbPerRow, mb/mbPerRow
+		base := (mby*4+2)*width + mbx*4 + 2
+		best := uint32(0xFFFFFFFF)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				sad := uint32(0)
+				rb := base + dy*width + dx
+				for py := 0; py < mbW; py++ {
+					for px := 0; px < mbW; px++ {
+						c := int32(cur[base+py*width+px])
+						rv := int32(ref[rb+py*width+px])
+						d := c - rv
+						if d < 0 {
+							d = -d
+						}
+						sad += uint32(d)
+					}
+				}
+				if sad < best {
+					best = sad
+				}
+			}
+		}
+		wantSad[mb] = best
+	}
+
+	return &Spec{
+		Name:  "sad_K1",
+		Suite: "parboil",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  mbCount / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteU32s(AddrIn0, cur); err != nil {
+				return err
+			}
+			return m.WriteU32s(AddrIn1, ref)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, wantSad, "sad")
+		},
+	}, nil
+}

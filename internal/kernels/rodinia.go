@@ -1,0 +1,851 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+)
+
+// Pathfinder is the Rodinia grid dynamic-programming kernel whose hot
+// loop the paper dissects in Figure 2: every thread owns one column,
+// and per iteration computes
+//
+//	result[tx] = MIN(left, up, right) + wall[cols*(i+1) + col]
+//
+// through shared memory with a barrier per row. The MIN/index/add chain
+// reproduces the seven PCs (PC1..PC7) of the figure.
+func Pathfinder(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	iters := 20
+	colsBlocks := 2 * scale
+	cols := block * colsBlocks
+	rows := iters + 1
+
+	b := isa.NewBuilder("pathfinder")
+	shPrev := b.Shared(block * 4)
+	shCur := b.Shared(block * 4)
+
+	tx := b.Reg()
+	col := b.Reg()
+	i := b.Reg()
+	left := b.Reg()
+	up := b.Reg()
+	right := b.Reg()
+	shortest := b.Reg()
+	index := b.Reg()
+	wallv := b.Reg()
+	addr := b.Reg()
+	tmp := b.Reg()
+	txm := b.Reg()
+	txp := b.Reg()
+	p := b.PredReg()
+
+	b.MovSpecial(tx, isa.SRegTid)
+	b.MovSpecial(col, isa.SRegGtid)
+
+	// prev[tx] = src[col]  (row 0 of the wall)
+	b.IMad(isa.U64, addr, isa.R(col), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, tmp, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(tx), isa.Imm(4), isa.Imm(shPrev))
+	b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(tmp))
+	b.Bar()
+
+	b.Mov(isa.U32, i, isa.Imm(0))
+	b.Label("row")
+	// Clamped neighbour indices (block-edge halo).
+	b.ISub(isa.U32, txm, isa.R(tx), isa.Imm(1)) // PC1-flavoured subtract
+	b.IMax(isa.S32, txm, isa.R(txm), isa.Imm(0))
+	b.IAdd(isa.U32, txp, isa.R(tx), isa.Imm(1)) // PC2
+	b.IMin(isa.S32, txp, isa.R(txp), isa.Imm(block-1))
+	// left, up, right from prev row.
+	b.IMad(isa.U64, addr, isa.R(txm), isa.Imm(4), isa.Imm(shPrev))
+	b.Ld(isa.Shared, isa.U32, left, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(tx), isa.Imm(4), isa.Imm(shPrev))
+	b.Ld(isa.Shared, isa.U32, up, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(txp), isa.Imm(4), isa.Imm(shPrev))
+	b.Ld(isa.Shared, isa.U32, right, isa.R(addr))
+	// shortest = MIN(left, up); shortest = MIN(shortest, right)  (PC4, PC5)
+	b.IMin(isa.S32, shortest, isa.R(left), isa.R(up))
+	b.IMin(isa.S32, shortest, isa.R(shortest), isa.R(right))
+	// index = cols*(i+1) + col  (PC6)
+	b.IAdd(isa.U32, index, isa.R(i), isa.Imm(1)) // PC3-flavoured iterator add
+	b.IMul(isa.U32, index, isa.R(index), isa.Imm(uint64(cols)))
+	b.IAdd(isa.U32, index, isa.R(index), isa.R(col))
+	// result = shortest + wall[index]  (PC7)
+	b.IMad(isa.U64, addr, isa.R(index), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.U32, wallv, isa.R(addr))
+	b.IAdd(isa.U32, wallv, isa.R(shortest), isa.R(wallv))
+	b.IMad(isa.U64, addr, isa.R(tx), isa.Imm(4), isa.Imm(shCur))
+	b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(wallv))
+	b.Bar()
+	// prev[tx] = cur[tx]
+	b.IMad(isa.U64, addr, isa.R(tx), isa.Imm(4), isa.Imm(shCur))
+	b.Ld(isa.Shared, isa.U32, tmp, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(tx), isa.Imm(4), isa.Imm(shPrev))
+	b.St(isa.Shared, isa.U32, isa.R(addr), isa.R(tmp))
+	b.Bar()
+	b.IAdd(isa.U32, i, isa.R(i), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(i), isa.Imm(uint64(iters)))
+	b.BraTo("row", p, false)
+
+	// out[col] = prev[tx]
+	b.IMad(isa.U64, addr, isa.R(tx), isa.Imm(4), isa.Imm(shPrev))
+	b.Ld(isa.Shared, isa.U32, tmp, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(col), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.U32, isa.R(addr), isa.R(tmp))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	wall := make([]uint32, rows*cols)
+	r := rng(1)
+	for i := range wall {
+		wall[i] = uint32(r.Intn(10))
+	}
+	want := make([]uint32, cols)
+	// Host oracle mirrors the block-local clamped DP.
+	prev := make([]uint32, cols)
+	copy(prev, wall[:cols])
+	cur := make([]uint32, cols)
+	for it := 0; it < iters; it++ {
+		for c := 0; c < cols; c++ {
+			blk := c / block
+			lo, hi := blk*block, blk*block+block-1
+			l := c - 1
+			if l < lo {
+				l = lo
+			}
+			rr := c + 1
+			if rr > hi {
+				rr = hi
+			}
+			s := prev[l]
+			if prev[c] < s {
+				s = prev[c]
+			}
+			if prev[rr] < s {
+				s = prev[rr]
+			}
+			cur[c] = s + wall[(it+1)*cols+c]
+		}
+		copy(prev, cur)
+	}
+	copy(want, prev)
+
+	return &Spec{
+		Name:  "pathfinder",
+		Suite: "rodinia",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  colsBlocks,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteU32s(AddrIn0, wall)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, want, "pathfinder")
+		},
+	}, nil
+}
+
+// KmeansK1 is Rodinia k-means' distance kernel: one thread per point
+// computes squared Euclidean distance to every cluster centre (an
+// FSUB+FMA loop over the features) and records the nearest index.
+func KmeansK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		features = 16
+		clusters = 5
+		block    = 128
+	)
+	points := block * 4 * scale
+
+	b := isa.NewBuilder("kmeans_K1")
+	gtid := b.Reg()
+	k := b.Reg()
+	f := b.Reg()
+	px := b.Reg()
+	cx := b.Reg()
+	d := b.Reg()
+	dist := b.Reg()
+	best := b.Reg()
+	bestK := b.Reg()
+	paddr := b.Reg()
+	caddr := b.Reg()
+	addr := b.Reg()
+	p := b.PredReg()
+	pk := b.PredReg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.Mov(isa.F32, best, isa.ImmF32(math.MaxFloat32))
+	b.Mov(isa.U32, bestK, isa.Imm(0))
+	b.Mov(isa.U32, k, isa.Imm(0))
+	b.Label("centers")
+	{
+		b.Mov(isa.F32, dist, isa.ImmF32(0))
+		// paddr = point base; caddr = centre base. Incremental addressing
+		// inside the feature loop (strength-reduced adds).
+		b.IMad(isa.U64, paddr, isa.R(gtid), isa.Imm(features*4), isa.Imm(AddrIn0))
+		b.IMad(isa.U64, caddr, isa.R(k), isa.Imm(features*4), isa.Imm(AddrIn1))
+		b.Mov(isa.U32, f, isa.Imm(0))
+		b.Label("feat")
+		b.Ld(isa.Global, isa.F32, px, isa.R(paddr))
+		b.Ld(isa.Global, isa.F32, cx, isa.R(caddr))
+		b.FSub(isa.F32, d, isa.R(px), isa.R(cx))
+		b.FFma(isa.F32, dist, isa.R(d), isa.R(d), isa.R(dist))
+		b.IAdd(isa.U64, paddr, isa.R(paddr), isa.Imm(4))
+		b.IAdd(isa.U64, caddr, isa.R(caddr), isa.Imm(4))
+		b.IAdd(isa.U32, f, isa.R(f), isa.Imm(1))
+		b.Setp(isa.LT, isa.U32, p, isa.R(f), isa.Imm(features))
+		b.BraTo("feat", p, false)
+		// Track the minimum.
+		b.Setp(isa.LT, isa.F32, pk, isa.R(dist), isa.R(best))
+		b.FMin(isa.F32, best, isa.R(dist), isa.R(best))
+		b.Selp(isa.U32, bestK, isa.R(k), isa.R(bestK), pk)
+		b.IAdd(isa.U32, k, isa.R(k), isa.Imm(1))
+		b.Setp(isa.LT, isa.U32, p, isa.R(k), isa.Imm(clusters))
+		b.BraTo("centers", p, false)
+	}
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.U32, isa.R(addr), isa.R(bestK))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut1))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(best))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(2)
+	pts := make([]float32, points*features)
+	for i := range pts {
+		pts[i] = float32(r.NormFloat64()*2 + float64(i%features))
+	}
+	ctrs := make([]float32, clusters*features)
+	for i := range ctrs {
+		ctrs[i] = float32(r.NormFloat64()*2 + float64(i%features))
+	}
+	// Host oracle with identical op order.
+	wantK := make([]uint32, points)
+	for pt := 0; pt < points; pt++ {
+		best := float32(math.MaxFloat32)
+		bk := uint32(0)
+		for k := 0; k < clusters; k++ {
+			dist := float32(0)
+			for f := 0; f < features; f++ {
+				d := pts[pt*features+f] - ctrs[k*features+f]
+				dist = fmaf(d, d, dist)
+			}
+			if dist < best {
+				bk = uint32(k)
+			}
+			if dist < best {
+				best = dist
+			}
+		}
+		wantK[pt] = bk
+	}
+
+	return &Spec{
+		Name:  "kmeans_K1",
+		Suite: "rodinia",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  points / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteF32s(AddrIn0, pts); err != nil {
+				return err
+			}
+			return m.WriteF32s(AddrIn1, ctrs)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, wantK, "kmeans membership")
+		},
+	}, nil
+}
+
+// BpropK1 is backprop's layerforward kernel: one thread per hidden unit
+// accumulates Σ w·x over the input layer (FMA chain) and applies the
+// sigmoid through the SFU.
+func BpropK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		inputs = 128
+		block  = 128
+	)
+	hidden := block * 2 * scale
+
+	b := isa.NewBuilder("bprop_K1")
+	j := b.Reg()
+	i := b.Reg()
+	acc := b.Reg()
+	w := b.Reg()
+	x := b.Reg()
+	waddr := b.Reg()
+	xaddr := b.Reg()
+	addr := b.Reg()
+	e := b.Reg()
+	p := b.PredReg()
+
+	b.MovSpecial(j, isa.SRegGtid)
+	b.Mov(isa.F32, acc, isa.ImmF32(0))
+	b.IMad(isa.U64, waddr, isa.R(j), isa.Imm(inputs*4), isa.Imm(AddrIn0))
+	b.Mov(isa.U64, xaddr, isa.Imm(AddrIn1))
+	b.Mov(isa.U32, i, isa.Imm(0))
+	b.Label("sum")
+	b.Ld(isa.Global, isa.F32, w, isa.R(waddr))
+	b.Ld(isa.Global, isa.F32, x, isa.R(xaddr))
+	b.FFma(isa.F32, acc, isa.R(w), isa.R(x), isa.R(acc))
+	b.IAdd(isa.U64, waddr, isa.R(waddr), isa.Imm(4))
+	b.IAdd(isa.U64, xaddr, isa.R(xaddr), isa.Imm(4))
+	b.IAdd(isa.U32, i, isa.R(i), isa.Imm(1))
+	b.Setp(isa.LT, isa.U32, p, isa.R(i), isa.Imm(inputs))
+	b.BraTo("sum", p, false)
+	// sigmoid(acc) = 1 / (1 + 2^(-acc·log2 e))
+	b.FMul(isa.F32, e, isa.R(acc), isa.ImmF32(-1.4426950408889634))
+	b.Exp2(isa.F32, e, isa.R(e))
+	b.FAdd(isa.F32, e, isa.R(e), isa.ImmF32(1))
+	b.Rcp(isa.F32, e, isa.R(e))
+	b.IMad(isa.U64, addr, isa.R(j), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(e))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(3)
+	weights := make([]float32, hidden*inputs)
+	for i := range weights {
+		weights[i] = float32(r.NormFloat64() * 0.1)
+	}
+	xs := make([]float32, inputs)
+	for i := range xs {
+		xs[i] = float32(r.Float64())
+	}
+	want := make([]float32, hidden)
+	for h := 0; h < hidden; h++ {
+		acc := float32(0)
+		for i := 0; i < inputs; i++ {
+			acc = fmaf(weights[h*inputs+i], xs[i], acc)
+		}
+		e := float32(math.Exp2(float64(acc * -1.4426950408889634)))
+		want[h] = float32(1 / float64(e+1))
+	}
+
+	return &Spec{
+		Name:  "bprop_K1",
+		Suite: "rodinia",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  hidden / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteF32s(AddrIn0, weights); err != nil {
+				return err
+			}
+			return m.WriteF32s(AddrIn1, xs)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32Near(m, AddrOut0, want, 1e-5, "bprop hidden")
+		},
+	}, nil
+}
+
+// BpropK2 is backprop's weight-adjustment kernel: one thread per weight
+// applies w += η·δ·x + α·Δw — the FMA/FADD-dominated update pass.
+func BpropK2(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		inputs = 128
+		block  = 256
+	)
+	hidden := 2 * scale
+	n := hidden * inputs
+
+	b := isa.NewBuilder("bprop_K2")
+	gtid := b.Reg()
+	jj := b.Reg()
+	ii := b.Reg()
+	w := b.Reg()
+	oldw := b.Reg()
+	delta := b.Reg()
+	x := b.Reg()
+	upd := b.Reg()
+	addr := b.Reg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IDiv(isa.U32, jj, isa.R(gtid), isa.Imm(inputs))
+	b.IRem(isa.U32, ii, isa.R(gtid), isa.Imm(inputs))
+	b.IMad(isa.U64, addr, isa.R(jj), isa.Imm(4), isa.Imm(AddrIn1))
+	b.Ld(isa.Global, isa.F32, delta, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(ii), isa.Imm(4), isa.Imm(AddrIn2))
+	b.Ld(isa.Global, isa.F32, x, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, w, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrAux))
+	b.Ld(isa.Global, isa.F32, oldw, isa.R(addr))
+	// upd = 0.3·δ·x + 0.3·Δw ; w += upd
+	b.FMul(isa.F32, upd, isa.R(delta), isa.R(x))
+	b.FMul(isa.F32, upd, isa.R(upd), isa.ImmF32(0.3))
+	b.FFma(isa.F32, upd, isa.R(oldw), isa.ImmF32(0.3), isa.R(upd))
+	b.FAdd(isa.F32, w, isa.R(w), isa.R(upd))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(w))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut1))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(upd))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(4)
+	ws := make([]float32, n)
+	olds := make([]float32, n)
+	for i := range ws {
+		ws[i] = float32(r.NormFloat64() * 0.1)
+		olds[i] = float32(r.NormFloat64() * 0.01)
+	}
+	deltas := make([]float32, hidden)
+	for i := range deltas {
+		deltas[i] = float32(r.NormFloat64() * 0.05)
+	}
+	xs := make([]float32, inputs)
+	for i := range xs {
+		xs[i] = float32(r.Float64())
+	}
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		jj, ii := g/inputs, g%inputs
+		upd := deltas[jj] * xs[ii]
+		upd *= 0.3
+		upd = fmaf(olds[g], 0.3, upd)
+		want[g] = ws[g] + upd
+	}
+
+	return &Spec{
+		Name:  "bprop_K2",
+		Suite: "rodinia",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteF32s(AddrIn0, ws); err != nil {
+				return err
+			}
+			if err := m.WriteF32s(AddrIn1, deltas); err != nil {
+				return err
+			}
+			if err := m.WriteF32s(AddrIn2, xs); err != nil {
+				return err
+			}
+			return m.WriteF32s(AddrAux, olds)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectF32(m, AddrOut0, want, "bprop weights")
+		},
+	}, nil
+}
+
+// Sradv1K1 is Rodinia SRAD's diffusion-coefficient kernel: per pixel,
+// four directional derivatives, the normalized gradient/laplacian, and a
+// divide-heavy coefficient computation.
+func Sradv1K1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	rows := 16 * scale
+	cols := 256
+	n := rows * cols
+
+	b := isa.NewBuilder("sradv1_K1")
+	gtid := b.Reg()
+	rr := b.Reg()
+	cc := b.Reg()
+	idx := b.Reg()
+	c := b.Reg()
+	dN := b.Reg()
+	dS := b.Reg()
+	dW := b.Reg()
+	dE := b.Reg()
+	g2 := b.Reg()
+	l := b.Reg()
+	num := b.Reg()
+	den := b.Reg()
+	q := b.Reg()
+	addr := b.Reg()
+	t := b.Reg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IDiv(isa.U32, rr, isa.R(gtid), isa.Imm(uint64(cols)))
+	b.IRem(isa.U32, cc, isa.R(gtid), isa.Imm(uint64(cols)))
+
+	load := func(dst isa.Reg, rowOff, colOff int64) {
+		// idx = clamp(rr+rowOff)·cols + clamp(cc+colOff)
+		b.IAdd(isa.S32, idx, isa.R(rr), isa.ImmI(rowOff))
+		b.IMax(isa.S32, idx, isa.R(idx), isa.Imm(0))
+		b.IMin(isa.S32, idx, isa.R(idx), isa.Imm(uint64(rows-1)))
+		b.IMul(isa.U32, idx, isa.R(idx), isa.Imm(uint64(cols)))
+		b.IAdd(isa.S32, t, isa.R(cc), isa.ImmI(colOff))
+		b.IMax(isa.S32, t, isa.R(t), isa.Imm(0))
+		b.IMin(isa.S32, t, isa.R(t), isa.Imm(uint64(cols-1)))
+		b.IAdd(isa.U32, idx, isa.R(idx), isa.R(t))
+		b.IMad(isa.U64, addr, isa.R(idx), isa.Imm(4), isa.Imm(AddrIn0))
+		b.Ld(isa.Global, isa.F32, dst, isa.R(addr))
+	}
+
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, c, isa.R(addr))
+	load(dN, -1, 0)
+	load(dS, 1, 0)
+	load(dW, 0, -1)
+	load(dE, 0, 1)
+	b.FSub(isa.F32, dN, isa.R(dN), isa.R(c))
+	b.FSub(isa.F32, dS, isa.R(dS), isa.R(c))
+	b.FSub(isa.F32, dW, isa.R(dW), isa.R(c))
+	b.FSub(isa.F32, dE, isa.R(dE), isa.R(c))
+	// G² = (dN²+dS²+dW²+dE²)/c²  ;  L = (dN+dS+dW+dE)/c
+	b.FMul(isa.F32, g2, isa.R(dN), isa.R(dN))
+	b.FFma(isa.F32, g2, isa.R(dS), isa.R(dS), isa.R(g2))
+	b.FFma(isa.F32, g2, isa.R(dW), isa.R(dW), isa.R(g2))
+	b.FFma(isa.F32, g2, isa.R(dE), isa.R(dE), isa.R(g2))
+	b.FMul(isa.F32, t, isa.R(c), isa.R(c))
+	b.FDiv(isa.F32, g2, isa.R(g2), isa.R(t))
+	b.FAdd(isa.F32, l, isa.R(dN), isa.R(dS))
+	b.FAdd(isa.F32, l, isa.R(l), isa.R(dW))
+	b.FAdd(isa.F32, l, isa.R(l), isa.R(dE))
+	b.FDiv(isa.F32, l, isa.R(l), isa.R(c))
+	// q = (G²/2 − L²/16) / (1 + L/4)²  ;  coeff = 1/(1 + (q−q0)/(q0(1+q0)))
+	b.FMul(isa.F32, num, isa.R(g2), isa.ImmF32(0.5))
+	b.FMul(isa.F32, t, isa.R(l), isa.R(l))
+	b.FFma(isa.F32, num, isa.R(t), isa.ImmF32(-1.0/16), isa.R(num))
+	b.FFma(isa.F32, den, isa.R(l), isa.ImmF32(0.25), isa.ImmF32(1))
+	b.FMul(isa.F32, den, isa.R(den), isa.R(den))
+	b.FDiv(isa.F32, q, isa.R(num), isa.R(den))
+	const q0 = 0.05
+	b.FSub(isa.F32, t, isa.R(q), isa.ImmF32(q0))
+	b.FMul(isa.F32, t, isa.R(t), isa.ImmF32(1.0/(q0*(1+q0))))
+	b.FAdd(isa.F32, t, isa.R(t), isa.ImmF32(1))
+	b.Rcp(isa.F32, t, isa.R(t))
+	b.FMin(isa.F32, t, isa.R(t), isa.ImmF32(1))
+	b.FMax(isa.F32, t, isa.R(t), isa.ImmF32(0))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(t))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(5)
+	img := make([]float32, n)
+	for i := range img {
+		// Speckled image: positive intensities with smooth structure.
+		row, col := i/cols, i%cols
+		base := 100 + 40*math.Sin(float64(row)/9)*math.Cos(float64(col)/11)
+		img[i] = float32(base * (0.9 + 0.2*r.Float64()))
+	}
+
+	return &Spec{
+		Name:  "sradv1_K1",
+		Suite: "rodinia",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  n / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteF32s(AddrIn0, img)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			out, err := m.ReadF32s(AddrOut0, n)
+			if err != nil {
+				return err
+			}
+			for i, v := range out {
+				if v < 0 || v > 1 || v != v {
+					return fmt32err("srad coefficient", i, v)
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// Dwt2dK1 is Rodinia's 2-D discrete wavelet transform (one 5/3-lifting
+// horizontal pass): per output pair, a predict step (high band) and an
+// update step (low band) built from adds/subs and halving multiplies.
+func Dwt2dK1(scale int) (*Spec, error) {
+	scale = clampScale(scale)
+	const block = 256
+	half := block * 2 * scale // output pairs
+	n := half * 2
+
+	b := isa.NewBuilder("dwt2d_K1")
+	gtid := b.Reg()
+	x0 := b.Reg()
+	x1 := b.Reg()
+	x2 := b.Reg()
+	hi := b.Reg()
+	lo := b.Reg()
+	addr := b.Reg()
+	i2 := b.Reg()
+	ip2 := b.Reg()
+
+	b.MovSpecial(gtid, isa.SRegGtid)
+	// i2 = 2·gtid; ip2 = min(i2+2, n-2)
+	b.Shl(isa.U32, i2, isa.R(gtid), isa.Imm(1))
+	b.IAdd(isa.U32, ip2, isa.R(i2), isa.Imm(2))
+	b.IMin(isa.U32, ip2, isa.R(ip2), isa.Imm(uint64(n-2)))
+	b.IMad(isa.U64, addr, isa.R(i2), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, x0, isa.R(addr))
+	b.IAdd(isa.U64, addr, isa.R(addr), isa.Imm(4))
+	b.Ld(isa.Global, isa.F32, x1, isa.R(addr))
+	b.IMad(isa.U64, addr, isa.R(ip2), isa.Imm(4), isa.Imm(AddrIn0))
+	b.Ld(isa.Global, isa.F32, x2, isa.R(addr))
+	// hi = x1 − (x0+x2)/2 ; lo = x0 + hi/4
+	b.FAdd(isa.F32, hi, isa.R(x0), isa.R(x2))
+	b.FMul(isa.F32, hi, isa.R(hi), isa.ImmF32(0.5))
+	b.FSub(isa.F32, hi, isa.R(x1), isa.R(hi))
+	b.FMul(isa.F32, lo, isa.R(hi), isa.ImmF32(0.25))
+	b.FAdd(isa.F32, lo, isa.R(x0), isa.R(lo))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(lo))
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut1))
+	b.St(isa.Global, isa.F32, isa.R(addr), isa.R(hi))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	r := rng(6)
+	sig := make([]float32, n)
+	for i := range sig {
+		sig[i] = float32(80 + 50*math.Sin(float64(i)/23) + 8*r.NormFloat64())
+	}
+	wantLo := make([]float32, half)
+	wantHi := make([]float32, half)
+	for g := 0; g < half; g++ {
+		i2 := 2 * g
+		ip2 := i2 + 2
+		if ip2 > n-2 {
+			ip2 = n - 2
+		}
+		h := sig[i2+1] - (sig[i2]+sig[ip2])*0.5
+		wantHi[g] = h
+		wantLo[g] = sig[i2] + h*0.25
+	}
+
+	return &Spec{
+		Name:  "dwt2d_K1",
+		Suite: "rodinia",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  half / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			return m.WriteF32s(AddrIn0, sig)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			if err := expectF32(m, AddrOut0, wantLo, "dwt low band"); err != nil {
+				return err
+			}
+			return expectF32(m, AddrOut1, wantHi, "dwt high band")
+		},
+	}, nil
+}
+
+// BTreeK1 is Rodinia b+tree's findK kernel: every thread walks a
+// fanout-8 radix tree from the root, counting keys ≤ query at each level
+// — the integer-compare / index-arithmetic pattern of pointer chasing.
+func BTreeK1(scale int) (*Spec, error) {
+	return btreeKernel(scale, false)
+}
+
+// BTreeK2 is b+tree's range kernel: the same descent performed for both
+// ends of a range, returning the element count between them.
+func BTreeK2(scale int) (*Spec, error) {
+	return btreeKernel(scale, true)
+}
+
+func btreeKernel(scale int, rangeQuery bool) (*Spec, error) {
+	scale = clampScale(scale)
+	const (
+		fanout = 8
+		levels = 4 // 8^4 = 4096 leaves
+		block  = 128
+	)
+	leaves := 1
+	for l := 0; l < levels; l++ {
+		leaves *= fanout
+	}
+	queries := block * 2 * scale
+	name := "b+tree_K1"
+	if rangeQuery {
+		name = "b+tree_K2"
+	}
+
+	// The tree is stored level by level: level l holds 8^(l+1) keys
+	// (fanout separators per node). Sorted keys make separators easy.
+	keys := make([]uint32, leaves)
+	r := rng(7)
+	cur := uint32(0)
+	for i := range keys {
+		cur += uint32(r.Intn(5) + 1)
+		keys[i] = cur
+	}
+	// levelBase[l] = offset (in u32) of level l's separator array.
+	levelBase := make([]int, levels)
+	total := 0
+	for l := 0; l < levels; l++ {
+		levelBase[l] = total
+		total += pow(fanout, l+1)
+	}
+	seps := make([]uint32, total)
+	for l := 0; l < levels; l++ {
+		cnt := pow(fanout, l+1)
+		stride := leaves / cnt
+		for i := 0; i < cnt; i++ {
+			seps[levelBase[l]+i] = keys[(i+1)*stride-1]
+		}
+	}
+
+	descend := func(b *isa.Builder, q isa.Reg, out isa.Reg, suffix string) {
+		// idx = 0; per level: cnt = #(sep <= ... actually sep < q) among
+		// the node's fanout separators; idx = idx*8 + cnt.
+		idx := b.Reg()
+		kreg := b.Reg()
+		sep := b.Reg()
+		cnt := b.Reg()
+		one := b.Reg()
+		saddr := b.Reg()
+		pcmp := b.PredReg()
+		b.Mov(isa.U32, idx, isa.Imm(0))
+		for l := 0; l < levels; l++ {
+			b.Mov(isa.U32, cnt, isa.Imm(0))
+			// saddr = (levelBase[l] + idx*8)*4 + AddrIn0
+			b.Shl(isa.U32, kreg, isa.R(idx), isa.Imm(3))
+			b.IAdd(isa.U32, kreg, isa.R(kreg), isa.Imm(uint64(levelBase[l])))
+			b.IMad(isa.U64, saddr, isa.R(kreg), isa.Imm(4), isa.Imm(AddrIn0))
+			for k := 0; k < fanout; k++ {
+				b.Ld(isa.Global, isa.U32, sep, isa.R(saddr))
+				b.Setp(isa.LT, isa.U32, pcmp, isa.R(sep), isa.R(q))
+				b.Selp(isa.U32, one, isa.Imm(1), isa.Imm(0), pcmp)
+				b.IAdd(isa.U32, cnt, isa.R(cnt), isa.R(one))
+				b.IAdd(isa.U64, saddr, isa.R(saddr), isa.Imm(4))
+			}
+			b.Shl(isa.U32, idx, isa.R(idx), isa.Imm(3))
+			b.IAdd(isa.U32, idx, isa.R(idx), isa.R(cnt))
+			// Guard against walking past the level (q above every key).
+			b.IMin(isa.U32, idx, isa.R(idx), isa.Imm(uint64(pow(fanout, l+1)-1)))
+		}
+		b.Mov(isa.U32, out, isa.R(idx))
+		_ = suffix
+	}
+
+	b := isa.NewBuilder(name)
+	gtid := b.Reg()
+	q := b.Reg()
+	lo := b.Reg()
+	addr := b.Reg()
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrIn1))
+	b.Ld(isa.Global, isa.U32, q, isa.R(addr))
+	descend(b, q, lo, "lo")
+	if rangeQuery {
+		q2 := b.Reg()
+		hi := b.Reg()
+		b.IAdd(isa.U32, q2, isa.R(q), isa.Imm(64))
+		descend(b, q2, hi, "hi")
+		b.ISub(isa.U32, lo, isa.R(hi), isa.R(lo))
+	}
+	b.IMad(isa.U64, addr, isa.R(gtid), isa.Imm(4), isa.Imm(AddrOut0))
+	b.St(isa.Global, isa.U32, isa.R(addr), isa.R(lo))
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	qs := make([]uint32, queries)
+	maxKey := keys[len(keys)-1]
+	for i := range qs {
+		qs[i] = uint32(r.Intn(int(maxKey) + 10))
+	}
+	// Host oracle mirroring the descent.
+	oracle := func(q uint32) uint32 {
+		idx := 0
+		for l := 0; l < levels; l++ {
+			cnt := 0
+			for k := 0; k < fanout; k++ {
+				if seps[levelBase[l]+idx*fanout+k] < q {
+					cnt++
+				}
+			}
+			idx = idx*fanout + cnt
+			if lim := pow(fanout, l+1) - 1; idx > lim {
+				idx = lim
+			}
+		}
+		return uint32(idx)
+	}
+	want := make([]uint32, queries)
+	for i, q := range qs {
+		if rangeQuery {
+			want[i] = oracle(q+64) - oracle(q)
+		} else {
+			want[i] = oracle(q)
+		}
+	}
+
+	return &Spec{
+		Name:  name,
+		Suite: "rodinia",
+		Kernel: &gpusim.Kernel{
+			Program:  prog,
+			GridDim:  queries / block,
+			BlockDim: block,
+		},
+		Setup: func(m *gpusim.Memory) error {
+			if err := m.WriteU32s(AddrIn0, seps); err != nil {
+				return err
+			}
+			return m.WriteU32s(AddrIn1, qs)
+		},
+		Verify: func(m *gpusim.Memory) error {
+			return expectU32(m, AddrOut0, want, name)
+		},
+	}, nil
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+func fmt32err(what string, i int, v float32) error {
+	return fmt.Errorf("kernels: %s[%d] = %g out of range", what, i, v)
+}

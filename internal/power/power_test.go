@@ -1,0 +1,269 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"st2gpu/internal/circuit"
+	"st2gpu/internal/core"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+)
+
+func defaultTable(t *testing.T) Table {
+	t.Helper()
+	tbl, err := DefaultTable(circuit.SAED90())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestComponentStrings(t *testing.T) {
+	names := map[Component]string{
+		CompALUFPU: "ALU+FPU", CompIntMulDiv: "int Mul/Div", CompFpMulDiv: "fp Mul/Div",
+		CompSFU: "SFU", CompRegFile: "RegFile", CompCachesMC: "Caches+MC",
+		CompNoC: "NoC", CompOthers: "Others", CompDRAM: "DRAM",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d: %q != %q", c, c.String(), want)
+		}
+	}
+	if Component(99).String() != "Component(99)" {
+		t.Error("unknown component string")
+	}
+	if len(Components()) != int(NumComponents) {
+		t.Error("Components() length")
+	}
+}
+
+func TestDefaultTableOrdering(t *testing.T) {
+	tbl := defaultTable(t)
+	// Within-component ordering sanity: div > mul, and the memory
+	// hierarchy grows with distance. (Cross-component magnitudes are
+	// calibrated effective energies, not raw circuit energies.)
+	if !(tbl.SimpleOp < tbl.IntDiv && tbl.IntMul < tbl.IntDiv && tbl.FpMul < tbl.FpDiv) {
+		t.Error("integer/fp energy ordering broken")
+	}
+	if !(tbl.RegAccess < tbl.SharedAccess && tbl.SharedAccess < tbl.L1Access &&
+		tbl.L1Access < tbl.L2Access && tbl.L2Access < tbl.DRAMAccess) {
+		t.Error("memory hierarchy energy ordering broken")
+	}
+	if tbl.ClockHz <= 0 || tbl.ConstWattsPerSM <= 0 {
+		t.Error("table constants")
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	var b Breakdown
+	b[CompALUFPU] = 3
+	b[CompDRAM] = 2
+	if b.Total() != 5 || b.Chip() != 3 {
+		t.Errorf("total/chip: %g %g", b.Total(), b.Chip())
+	}
+	c := b.Add(b).Scale(0.5)
+	if c.Total() != 5 {
+		t.Errorf("add/scale: %g", c.Total())
+	}
+}
+
+// synthetic run for pricing tests.
+func fakeRun(mode gpusim.AdderMode) *gpusim.RunStats {
+	rs := &gpusim.RunStats{
+		Kernel:           "fake",
+		Mode:             mode,
+		Cycles:           10000,
+		ThreadInstrs:     map[isa.FUClass]uint64{},
+		WarpInstrs:       map[isa.FUClass]uint64{},
+		Units:            map[core.UnitKind]core.UnitStats{},
+		BaselineAdderOps: map[core.UnitKind]uint64{},
+		SMsUsed:          2,
+	}
+	rs.ThreadInstrs[isa.FUAluAdd] = 50000
+	rs.ThreadInstrs[isa.FUAluOther] = 30000
+	rs.ThreadInstrs[isa.FUIntMul] = 10000
+	rs.ThreadInstrs[isa.FUFpAdd] = 20000
+	rs.ThreadInstrs[isa.FUFpMul] = 15000
+	rs.ThreadInstrs[isa.FUSfu] = 2000
+	rs.WarpInstrs[isa.FUMem] = 3000
+	rs.RegReads = 200000
+	rs.RegWrites = 90000
+	rs.L1.Accesses = 4000
+	rs.L2.Accesses = 900
+	rs.DRAMAccesses = 300
+	rs.SharedAccesses = 20000
+	if mode == gpusim.ST2Adders {
+		rs.Units[core.ALU32] = core.UnitStats{EnergyST2: 2e-8, EnergyBaseline: 7e-8}
+		rs.Units[core.FPU] = core.UnitStats{EnergyST2: 8e-9, EnergyBaseline: 2.5e-8}
+	} else {
+		rs.BaselineAdderOps[core.ALU32] = 50000
+		rs.BaselineAdderOps[core.FPU] = 20000
+	}
+	return rs
+}
+
+func testPrices(t *testing.T) map[core.UnitKind]core.EnergyParams {
+	t.Helper()
+	out := map[core.UnitKind]core.EnergyParams{}
+	for _, k := range []core.UnitKind{core.ALU, core.ALU32, core.FPU, core.DPU} {
+		cfg, err := k.AdderConfig(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.DeriveEnergyParams(circuit.SAED90(), cfg.Width, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k] = p
+	}
+	return out
+}
+
+func TestFromRunPricesEveryComponent(t *testing.T) {
+	tbl := defaultTable(t)
+	prices := testPrices(t)
+	b := FromRun(fakeRun(gpusim.BaselineAdders), prices, tbl)
+	for c := Component(0); c < NumComponents; c++ {
+		if b[c] <= 0 {
+			t.Errorf("component %v priced at %g; every bucket should be active", c, b[c])
+		}
+	}
+	// ST² run must spend less in ALU+FPU than baseline, all else equal.
+	b2 := FromRun(fakeRun(gpusim.ST2Adders), prices, tbl)
+	if b2[CompALUFPU] >= b[CompALUFPU] {
+		t.Errorf("ST² ALU+FPU %g should undercut baseline %g", b2[CompALUFPU], b[CompALUFPU])
+	}
+	if b2[CompDRAM] != b[CompDRAM] {
+		t.Error("DRAM energy should not depend on the adder mode")
+	}
+	if s := tbl.Seconds(fakeRun(gpusim.BaselineAdders)); s <= 0 {
+		t.Error("Seconds")
+	}
+}
+
+func TestModelPredict(t *testing.T) {
+	var m Model
+	for i := range m.Scale {
+		m.Scale[i] = 1
+	}
+	m.PConst = 10
+	m.PIdleSM = 1
+	var b Breakdown
+	b[CompALUFPU] = 5 // joules
+	got := m.Predict(b, 2.0, 3)
+	if math.Abs(got-(10+3+2.5)) > 1e-12 {
+		t.Errorf("Predict = %g, want 15.5", got)
+	}
+	if m.Predict(b, 0, 0) != 0 {
+		t.Error("zero duration should predict 0")
+	}
+}
+
+// The full Section V-C story: generate stressor samples from a hidden
+// silicon, calibrate, and validate on a held-out set. With modest noise
+// the recovered factors are close and validation error is in the paper's
+// ≈10% regime.
+func TestCalibrationRecoversSilicon(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	silicon := NewSilicon(42, 0.05)
+
+	synth := func(n int, tag float64) []Sample {
+		out := make([]Sample, n)
+		for i := range out {
+			var b Breakdown
+			// Each synthetic stressor emphasizes one component (×10) over
+			// a random baseline mix — mimicking the isolation micros. The
+			// magnitudes are GPU-realistic (tens of watts per component) so
+			// the factors are identifiable above the constant term.
+			for c := range b {
+				b[c] = (0.2 + rng.Float64()) * 8 * tag
+			}
+			b[Component(i%int(NumComponents))] *= 10
+			secs := 0.5 + rng.Float64()
+			idle := rng.Intn(4)
+			out[i] = Sample{
+				Name:     "synth",
+				B:        b,
+				Seconds:  secs,
+				IdleSMs:  idle,
+				Measured: silicon.Measure(b, secs, idle),
+			}
+		}
+		return out
+	}
+
+	train := synth(123, 1.0)
+	m, err := Calibrate(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := silicon.Truth()
+	for i := range truth.Scale {
+		if rel := math.Abs(m.Scale[i]-truth.Scale[i]) / truth.Scale[i]; rel > 0.25 {
+			t.Errorf("scale[%v] = %.3f vs truth %.3f (%.0f%% off)",
+				Component(i), m.Scale[i], truth.Scale[i], rel*100)
+		}
+	}
+
+	val := synth(23, 1.3)
+	rep, err := Validate(m, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanAbsRelErr > 0.15 {
+		t.Errorf("validation MARE %.3f; paper-regime is ≈0.10", rep.MeanAbsRelErr)
+	}
+	if rep.PearsonR < 0.7 {
+		t.Errorf("Pearson r %.3f; paper reports 0.8", rep.PearsonR)
+	}
+	if rep.N != 23 {
+		t.Errorf("N = %d", rep.N)
+	}
+}
+
+func TestCalibrationNoiseless(t *testing.T) {
+	silicon := NewSilicon(5, 0)
+	rng := rand.New(rand.NewSource(6))
+	samples := make([]Sample, 40)
+	for i := range samples {
+		var b Breakdown
+		for c := range b {
+			b[c] = rng.Float64() * 10
+		}
+		b[Component(i%int(NumComponents))] *= 8
+		samples[i] = Sample{B: b, Seconds: 1, IdleSMs: i % 3,
+			Measured: silicon.Measure(b, 1, i%3)}
+	}
+	m, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := silicon.Truth()
+	for i := range truth.Scale {
+		if math.Abs(m.Scale[i]-truth.Scale[i]) > 1e-6 {
+			t.Fatalf("noiseless recovery failed: scale[%d] %.6f vs %.6f",
+				i, m.Scale[i], truth.Scale[i])
+		}
+	}
+	if math.Abs(m.PConst-truth.PConst) > 1e-6 || math.Abs(m.PIdleSM-truth.PIdleSM) > 1e-6 {
+		t.Error("constant terms not recovered")
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(nil); err == nil {
+		t.Error("too few samples should error")
+	}
+	bad := make([]Sample, 20)
+	for i := range bad {
+		bad[i] = Sample{Seconds: 0}
+	}
+	if _, err := Calibrate(bad); err == nil {
+		t.Error("zero-duration sample should error")
+	}
+	if _, err := Validate(Model{}, nil); err == nil {
+		t.Error("validate with no samples should error")
+	}
+}

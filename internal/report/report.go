@@ -1,0 +1,153 @@
+// Package report renders experiment results as aligned text, CSV, or
+// Markdown tables — the output layer of the cmd/ tools, so every figure
+// the harness regenerates can be exported for plotting.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rectangular result set: a header row plus data rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with the given title and column names.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row; cells are stringified with %v.
+func (t *Table) Add(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// AddPct appends a float as a percentage cell to the last row.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// Validate reports whether every row matches the header width.
+func (t *Table) Validate() error {
+	for i, r := range t.Rows {
+		if len(r) != len(t.Header) {
+			return fmt.Errorf("report: row %d has %d cells, header has %d", i, len(r), len(t.Header))
+		}
+	}
+	return nil
+}
+
+// Text renders an aligned plain-text table.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders RFC-4180-style CSV (quoting cells containing commas,
+// quotes, or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Markdown renders a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", `\|`) }
+	b.WriteString("|")
+	for _, h := range t.Header {
+		b.WriteString(" " + esc(h) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString("|")
+		for _, c := range r {
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render dispatches on format: "text", "csv", or "markdown"/"md".
+func (t *Table) Render(format string) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	switch format {
+	case "", "text":
+		return t.Text(), nil
+	case "csv":
+		return t.CSV(), nil
+	case "markdown", "md":
+		return t.Markdown(), nil
+	default:
+		return "", fmt.Errorf("report: unknown format %q", format)
+	}
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Figure X", "kernel", "rate")
+	t.Add("pathfinder", 0.0123)
+	t.Add("with,comma", `has"quote`)
+	return t
+}
+
+func TestText(t *testing.T) {
+	out := sample().Text()
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "pathfinder") {
+		t.Errorf("text output:\n%s", out)
+	}
+	// Aligned: the header and rows share column starts.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Index(lines[1], "rate") != strings.Index(lines[2], "0.0123") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	out := sample().CSV()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "kernel,rate\n") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("T", "a|b", "c")
+	tb.Add("x|y", 1)
+	out := tb.Markdown()
+	if !strings.Contains(out, `a\|b`) || !strings.Contains(out, `x\|y`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|") {
+		t.Errorf("separator missing:\n%s", out)
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	tb := sample()
+	for _, f := range []string{"", "text", "csv", "md", "markdown"} {
+		if _, err := tb.Render(f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+	}
+	if _, err := tb.Render("xml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tb := New("T", "a", "b")
+	tb.Rows = append(tb.Rows, []string{"only-one"})
+	if err := tb.Validate(); err == nil {
+		t.Error("ragged table should fail")
+	}
+	if _, err := tb.Render("csv"); err == nil {
+		t.Error("render must validate")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.0964) != "9.64%" {
+		t.Errorf("Pct = %s", Pct(0.0964))
+	}
+}

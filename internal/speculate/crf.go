@@ -1,0 +1,171 @@
+package speculate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"st2gpu/internal/bitmath"
+)
+
+// CRFStats counts Carry Register File activity for the energy model.
+type CRFStats struct {
+	Reads           uint64 // full-row reads (one per warp add/sub issue)
+	WriteRequests   uint64 // warp write-back attempts
+	WritesCommitted uint64 // warp write-backs that won arbitration
+	Conflicts       uint64 // warp write-backs dropped by arbitration
+	LaneBitsWritten uint64 // total lane sub-entries actually updated
+}
+
+// CRF models the per-SM Carry Register File of Section IV-C: a small
+// register file of Entries rows (indexed by the low PC bits), each holding
+// the packed boundary-carry history of all 32 warp lanes. The default
+// geometry is the paper's 16 × 224 bits (16 entries × 32 lanes × 7 bits).
+//
+// Writes are staged per cycle: warps in the write-back stage of the same
+// cycle that target the same row contend for its single write port, and a
+// (deterministic, seeded) random arbiter picks one winner per row — the
+// paper's "random arbitration" with everyone else's update dropped.
+type CRF struct {
+	entries int
+	lanes   int
+	nb      uint // boundary bits per lane
+
+	rows [][]uint64 // [entry][lane] → packed carries
+
+	cycle  uint64
+	staged map[int][]crfWrite // row → this cycle's candidate writes
+	rng    *rand.Rand
+	stats  CRFStats
+}
+
+type crfWrite struct {
+	laneMask uint32   // which lanes this warp updates (mispredicted threads)
+	carries  []uint64 // per-lane packed boundary carries (len 32)
+}
+
+// NewCRF builds a CRF with the given geometry. Seed fixes the arbitration
+// order so simulations are reproducible.
+func NewCRF(entries, lanes int, boundaries uint, seed int64) (*CRF, error) {
+	if entries <= 0 || lanes <= 0 || boundaries == 0 || boundaries > 63 {
+		return nil, fmt.Errorf("speculate: bad CRF geometry %d×%d×%d", entries, lanes, boundaries)
+	}
+	rows := make([][]uint64, entries)
+	for i := range rows {
+		rows[i] = make([]uint64, lanes)
+	}
+	return &CRF{
+		entries: entries,
+		lanes:   lanes,
+		nb:      boundaries,
+		rows:    rows,
+		staged:  make(map[int][]crfWrite),
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// NewDefaultCRF builds the paper's 16-entry, 32-lane, 7-bit CRF.
+func NewDefaultCRF(seed int64) *CRF {
+	c, err := NewCRF(16, 32, 7, seed)
+	if err != nil {
+		panic("speculate: default CRF geometry invalid: " + err.Error())
+	}
+	return c
+}
+
+// Entries returns the row count.
+func (c *CRF) Entries() int { return c.entries }
+
+// Index folds a PC into a row index (the PC[3:0] read index).
+func (c *CRF) Index(pc uint32) int { return int(pc) & (c.entries - 1) }
+
+// ReadRow returns the committed history of every lane in the row holding
+// pc. It counts as one 224-bit read port access.
+func (c *CRF) ReadRow(pc uint32) []uint64 {
+	c.stats.Reads++
+	row := c.rows[c.Index(pc)]
+	out := make([]uint64, len(row))
+	copy(out, row)
+	return out
+}
+
+// ReadLane returns one lane's committed history without charging a read
+// (helper for tests and trace tools).
+func (c *CRF) ReadLane(pc uint32, lane int) uint64 {
+	return c.rows[c.Index(pc)][lane] & bitmath.Mask(c.nb)
+}
+
+// BeginCycle advances the CRF clock, committing the previous cycle's
+// staged writes with per-row random arbitration.
+func (c *CRF) BeginCycle(cycle uint64) {
+	if cycle == c.cycle && len(c.staged) == 0 {
+		c.cycle = cycle
+		return
+	}
+	c.commit()
+	c.cycle = cycle
+}
+
+// WriteBack stages a warp's CRF update for the current cycle: for every
+// lane in laneMask, the lane's boundary-carry history becomes
+// carries[lane]. Lanes not in the mask are untouched (per-lane write
+// enables). Arbitration happens when the cycle advances (or Flush runs).
+func (c *CRF) WriteBack(pc uint32, laneMask uint32, carries []uint64) error {
+	if laneMask == 0 {
+		return nil // nothing mispredicted; hardware performs no write
+	}
+	if len(carries) != c.lanes {
+		return fmt.Errorf("speculate: write-back with %d lanes, CRF has %d", len(carries), c.lanes)
+	}
+	row := c.Index(pc)
+	cp := make([]uint64, c.lanes)
+	copy(cp, carries)
+	c.staged[row] = append(c.staged[row], crfWrite{laneMask: laneMask, carries: cp})
+	c.stats.WriteRequests++
+	return nil
+}
+
+// Flush commits all staged writes immediately (end of kernel).
+func (c *CRF) Flush() { c.commit() }
+
+func (c *CRF) commit() {
+	if len(c.staged) == 0 {
+		return
+	}
+	// Iterate rows in order for determinism; map iteration order must not
+	// influence the RNG stream.
+	for row := 0; row < c.entries; row++ {
+		cands := c.staged[row]
+		if len(cands) == 0 {
+			continue
+		}
+		winner := 0
+		if len(cands) > 1 {
+			winner = c.rng.Intn(len(cands))
+			c.stats.Conflicts += uint64(len(cands) - 1)
+		}
+		w := cands[winner]
+		c.stats.WritesCommitted++
+		for lane := 0; lane < c.lanes; lane++ {
+			if w.laneMask&(1<<lane) != 0 {
+				c.rows[row][lane] = w.carries[lane] & bitmath.Mask(c.nb)
+				c.stats.LaneBitsWritten += uint64(c.nb)
+			}
+		}
+	}
+	c.staged = make(map[int][]crfWrite)
+}
+
+// Stats returns a copy of the activity counters.
+func (c *CRF) Stats() CRFStats { return c.stats }
+
+// Reset clears history, staging, and statistics (kernel relaunch).
+func (c *CRF) Reset() {
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			c.rows[i][j] = 0
+		}
+	}
+	c.staged = make(map[int][]crfWrite)
+	c.stats = CRFStats{}
+	c.cycle = 0
+}

@@ -1,0 +1,194 @@
+package speculate
+
+import (
+	"fmt"
+	"strings"
+
+	"st2gpu/internal/bitmath"
+)
+
+// ThreadMode selects how a history table disambiguates threads.
+type ThreadMode int
+
+const (
+	// SharedThreads: one history entry per PC index, shared by every
+	// thread ("Prev", "Prev+ModPCk" designs).
+	SharedThreads ThreadMode = iota
+	// ByLtid: one sub-entry per warp lane (0..31), shared across warps —
+	// the paper's final, implementable choice.
+	ByLtid
+	// ByGtid: fully disambiguated per global thread — the design the paper
+	// shows performs *worse* (no constructive sharing) and needs an
+	// impractically large table.
+	ByGtid
+)
+
+func (m ThreadMode) String() string {
+	switch m {
+	case SharedThreads:
+		return "shared"
+	case ByLtid:
+		return "Ltid"
+	case ByGtid:
+		return "Gtid"
+	default:
+		return fmt.Sprintf("ThreadMode(%d)", int(m))
+	}
+}
+
+// PCMode selects how a history table folds the PC into its index.
+type PCMode int
+
+const (
+	// NoPC ignores the PC entirely ("Prev": all instructions alias).
+	NoPC PCMode = iota
+	// ModPC uses the low PCBits bits of the PC ("ModPCk").
+	ModPC
+	// FullPC uses the entire PC (Fig 3's idealized correlation analysis).
+	FullPC
+	// XorPC folds the PC by XOR-ing 4-bit chunks down to PCBits bits — the
+	// "more complex indexing" the paper reports provides no benefit.
+	XorPC
+)
+
+func (m PCMode) String() string {
+	switch m {
+	case NoPC:
+		return "noPC"
+	case ModPC:
+		return "modPC"
+	case FullPC:
+		return "fullPC"
+	case XorPC:
+		return "xorPC"
+	default:
+		return fmt.Sprintf("PCMode(%d)", int(m))
+	}
+}
+
+// HistoryConfig describes one Prev-family design point.
+type HistoryConfig struct {
+	Geometry Geometry
+	PCMode   PCMode
+	PCBits   uint // index bits for ModPC / XorPC
+	Threads  ThreadMode
+	// AlwaysUpdate writes history after every operation instead of only
+	// after mispredictions (an ablation; the hardware updates only
+	// mispredicting threads to save CRF write energy).
+	AlwaysUpdate bool
+}
+
+// Validate reports whether the configuration is coherent.
+func (c HistoryConfig) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	switch c.PCMode {
+	case ModPC, XorPC:
+		if c.PCBits == 0 || c.PCBits > 16 {
+			return fmt.Errorf("speculate: PC index bits %d outside [1,16]", c.PCBits)
+		}
+	case NoPC, FullPC:
+		if c.PCBits != 0 {
+			return fmt.Errorf("speculate: PCBits must be 0 for %v", c.PCMode)
+		}
+	default:
+		return fmt.Errorf("speculate: unknown PC mode %v", c.PCMode)
+	}
+	switch c.Threads {
+	case SharedThreads, ByLtid, ByGtid:
+	default:
+		return fmt.Errorf("speculate: unknown thread mode %v", c.Threads)
+	}
+	return nil
+}
+
+// Name renders the paper's design-space label for this configuration.
+func (c HistoryConfig) Name() string {
+	var b strings.Builder
+	switch c.Threads {
+	case ByLtid:
+		b.WriteString("Ltid+")
+	case ByGtid:
+		b.WriteString("Gtid+")
+	}
+	b.WriteString("Prev")
+	switch c.PCMode {
+	case ModPC:
+		fmt.Fprintf(&b, "+ModPC%d", c.PCBits)
+	case FullPC:
+		b.WriteString("+FullPC")
+	case XorPC:
+		fmt.Fprintf(&b, "+XorPC%d", c.PCBits)
+	}
+	return b.String()
+}
+
+// History is the Prev-family predictor: a table of the boundary carry-outs
+// produced by previous operations, indexed by (folded PC, thread key).
+type History struct {
+	cfg   HistoryConfig
+	table map[uint64]uint64 // packed previous boundary carries
+}
+
+// NewHistory builds a Prev-family predictor.
+func NewHistory(cfg HistoryConfig) (*History, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &History{cfg: cfg, table: make(map[uint64]uint64)}, nil
+}
+
+// Config returns the design point.
+func (h *History) Config() HistoryConfig { return h.cfg }
+
+// Name implements Predictor.
+func (h *History) Name() string { return h.cfg.Name() }
+
+// Entries returns the number of live table entries (used by the DSE
+// commentary on table sizes).
+func (h *History) Entries() int { return len(h.table) }
+
+func (h *History) key(ctx Context) uint64 {
+	var pcPart uint64
+	switch h.cfg.PCMode {
+	case ModPC:
+		pcPart = uint64(ctx.PC) & bitmath.Mask(h.cfg.PCBits)
+	case FullPC:
+		pcPart = uint64(ctx.PC)
+	case XorPC:
+		folded := uint64(0)
+		pc := uint64(ctx.PC)
+		for pc != 0 {
+			folded ^= pc & bitmath.Mask(h.cfg.PCBits)
+			pc >>= h.cfg.PCBits
+		}
+		pcPart = folded
+	}
+	switch h.cfg.Threads {
+	case ByLtid:
+		return pcPart<<5 | uint64(ctx.Ltid&31)
+	case ByGtid:
+		return pcPart<<32 | uint64(ctx.Gtid)
+	default:
+		return pcPart
+	}
+}
+
+// Predict implements Predictor: the previous carries stored for this
+// (PC, thread) bucket, defaulting to all-zero when cold.
+func (h *History) Predict(ctx Context) Prediction {
+	return Prediction{Carries: h.table[h.key(ctx)] & h.cfg.Geometry.BoundaryMask()}
+}
+
+// Update implements Predictor. Matching the hardware, history is written
+// only when the thread mispredicted (unless AlwaysUpdate is set).
+func (h *History) Update(ctx Context, actual uint64, mispredicted bool) {
+	if !mispredicted && !h.cfg.AlwaysUpdate {
+		return
+	}
+	h.table[h.key(ctx)] = actual & h.cfg.Geometry.BoundaryMask()
+}
+
+// Reset implements Predictor.
+func (h *History) Reset() { h.table = make(map[uint64]uint64) }

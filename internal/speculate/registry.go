@@ -1,0 +1,97 @@
+package speculate
+
+import "fmt"
+
+// DesignSpace lists the carry-speculation design points of Figure 5, in
+// the paper's left-to-right order, ending at the chosen ST² design.
+var DesignSpace = []string{
+	"staticOne",
+	"staticZero",
+	"VaLHALLA",
+	"VaLHALLA+Peek",
+	"Prev",
+	"Prev+Peek",
+	"Prev+ModPC1+Peek",
+	"Prev+ModPC2+Peek",
+	"Prev+ModPC4+Peek",
+	"Prev+ModPC8+Peek",
+	"Gtid+Prev+ModPC4+Peek",
+	"Ltid+Prev+ModPC4+Peek",
+}
+
+// FinalDesign is the speculation mechanism ST² GPU ships with.
+const FinalDesign = "Ltid+Prev+ModPC4+Peek"
+
+// NewDesign constructs a named design point for the given geometry.
+// Beyond the Figure 5 set it also accepts "oracle" and the
+// "Ltid+Prev+XorPC4+Peek" hash-indexing ablation.
+func NewDesign(name string, g Geometry) (Predictor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	hist := func(pcMode PCMode, pcBits uint, threads ThreadMode, peek bool) (Predictor, error) {
+		h, err := NewHistory(HistoryConfig{
+			Geometry: g, PCMode: pcMode, PCBits: pcBits, Threads: threads,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if peek {
+			return WithPeek(g, h), nil
+		}
+		return h, nil
+	}
+	switch name {
+	case "staticZero":
+		return NewStaticZero(g), nil
+	case "staticOne":
+		return NewStaticOne(g), nil
+	case "VaLHALLA":
+		return NewVaLHALLA(g), nil
+	case "VaLHALLA+Peek":
+		return WithPeek(g, NewVaLHALLA(g)), nil
+	case "Prev":
+		return hist(NoPC, 0, SharedThreads, false)
+	case "Prev+Peek":
+		return hist(NoPC, 0, SharedThreads, true)
+	case "Prev+ModPC1+Peek":
+		return hist(ModPC, 1, SharedThreads, true)
+	case "Prev+ModPC2+Peek":
+		return hist(ModPC, 2, SharedThreads, true)
+	case "Prev+ModPC4+Peek":
+		return hist(ModPC, 4, SharedThreads, true)
+	case "Prev+ModPC8+Peek":
+		return hist(ModPC, 8, SharedThreads, true)
+	case "Gtid+Prev+ModPC4+Peek":
+		return hist(ModPC, 4, ByGtid, true)
+	case "Ltid+Prev+ModPC4+Peek":
+		return hist(ModPC, 4, ByLtid, true)
+	case "Ltid+Prev+XorPC4+Peek":
+		return hist(XorPC, 4, ByLtid, true)
+	// Temporal-axis exploration: depth-2 history with the alternation
+	// heuristic, wrapped in Peek like the final design.
+	case "Ltid+Prev2+ModPC4+Peek":
+		h2, err := NewHistory2(HistoryConfig{Geometry: g, PCMode: ModPC, PCBits: 4, Threads: ByLtid})
+		if err != nil {
+			return nil, err
+		}
+		return WithPeek(g, h2), nil
+	// The three Figure 3 analysis points compare each operation's carries
+	// with the *immediately preceding* operation in the same bucket, so
+	// their history updates on every operation, not only on mispredictions.
+	case "Gtid+Prev+FullPC":
+		return NewHistory(HistoryConfig{Geometry: g, PCMode: FullPC, Threads: ByGtid, AlwaysUpdate: true})
+	case "Ltid+Prev+FullPC":
+		return NewHistory(HistoryConfig{Geometry: g, PCMode: FullPC, Threads: ByLtid, AlwaysUpdate: true})
+	case "Gtid+Prev":
+		return NewHistory(HistoryConfig{Geometry: g, PCMode: NoPC, Threads: ByGtid, AlwaysUpdate: true})
+	case "CASA":
+		return NewCASA(g), nil
+	case "VLSA":
+		return NewVLSA(g), nil
+	case "oracle":
+		return &Oracle{G: g}, nil
+	default:
+		return nil, fmt.Errorf("speculate: unknown design %q", name)
+	}
+}

@@ -1,0 +1,70 @@
+package speculate
+
+// Related-work baselines (Section VII of the paper).
+
+// CASA models "CASA: Correlation-aware speculative adders" (Liu, Tao,
+// Tan, Zhang — ISLPED 2014): a *static*, operand-derived prediction with
+// no history. For each boundary it predicts the carry out of the
+// preceding slice from that slice's operand MSBs — carry is likely iff at
+// least one MSB is set (and certain when both are, impossible when
+// neither is, which is the same observation ST² refines into Peek).
+type CASA struct {
+	G Geometry
+}
+
+// NewCASA builds the baseline.
+func NewCASA(g Geometry) *CASA { return &CASA{G: g} }
+
+// Name implements Predictor.
+func (c *CASA) Name() string { return "CASA" }
+
+// Predict implements Predictor.
+func (c *CASA) Predict(ctx Context) Prediction {
+	nb := c.G.Boundaries()
+	var carries uint64
+	for i := uint(0); i < nb; i++ {
+		msbPos := (i+1)*c.G.SliceBits - 1
+		a := (ctx.EA >> msbPos) & 1
+		b := (ctx.EB >> msbPos) & 1
+		if a|b == 1 && a&b == 0 {
+			// Exactly one MSB set: a coin flip in truth; CASA bets on
+			// propagation completing (carry = 1).
+			carries |= 1 << i
+		} else if a&b == 1 {
+			carries |= 1 << i // both set: carry guaranteed
+		}
+		// Neither set: carry impossible; predict 0.
+	}
+	return Prediction{Carries: carries}
+}
+
+// Update implements Predictor (CASA is stateless).
+func (c *CASA) Update(Context, uint64, bool) {}
+
+// Reset implements Predictor.
+func (c *CASA) Reset() {}
+
+// VLSA models "Variable latency speculative addition" (Verma, Brisk,
+// Ienne — DATE 2008): the original variable-latency adder. Its carry
+// speculation is the simple static zero (it relies on the rarity of long
+// carry chains); what it pioneered — detection and multi-cycle correction
+// — is shared by every design in this repository's framework. It is kept
+// as a named design so sweeps can reference the lineage explicitly.
+type VLSA struct {
+	G Geometry
+}
+
+// NewVLSA builds the baseline.
+func NewVLSA(g Geometry) *VLSA { return &VLSA{G: g} }
+
+// Name implements Predictor.
+func (v *VLSA) Name() string { return "VLSA" }
+
+// Predict implements Predictor: all carries speculated zero.
+func (v *VLSA) Predict(Context) Prediction { return Prediction{} }
+
+// Update implements Predictor.
+func (v *VLSA) Update(Context, uint64, bool) {}
+
+// Reset implements Predictor.
+func (v *VLSA) Reset() {}

@@ -1,0 +1,596 @@
+package speculate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"st2gpu/internal/adder"
+	"st2gpu/internal/bitmath"
+)
+
+var g64 = Geometry{Width: 64, SliceBits: 8}
+
+func TestGeometry(t *testing.T) {
+	if g64.Boundaries() != 7 {
+		t.Errorf("64/8 boundaries = %d", g64.Boundaries())
+	}
+	if (Geometry{Width: 24, SliceBits: 8}).Boundaries() != 2 {
+		t.Error("24/8 boundaries wrong")
+	}
+	if err := g64.Validate(); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+	if err := (Geometry{Width: 8, SliceBits: 8}).Validate(); err == nil {
+		t.Error("single-slice geometry has nothing to speculate; want error")
+	}
+	if err := (Geometry{Width: 0, SliceBits: 8}).Validate(); err == nil {
+		t.Error("zero width should error")
+	}
+	if GeometryOf(adder.Config{Width: 52, SliceBits: 8}).Boundaries() != 6 {
+		t.Error("GeometryOf wrong")
+	}
+}
+
+func TestStaticPredictors(t *testing.T) {
+	z := NewStaticZero(g64)
+	o := NewStaticOne(g64)
+	if z.Name() != "staticZero" || o.Name() != "staticOne" {
+		t.Error("names wrong")
+	}
+	ctx := Context{EA: 123, EB: 456}
+	if p := z.Predict(ctx); p.Carries != 0 || p.Static != 0 {
+		t.Errorf("staticZero predicted %v", p)
+	}
+	if p := o.Predict(ctx); p.Carries != 0x7F {
+		t.Errorf("staticOne predicted %#x, want 0x7F", p.Carries)
+	}
+	z.Update(ctx, 0x7F, true) // no-op
+	z.Reset()
+	if p := z.Predict(ctx); p.Carries != 0 {
+		t.Error("static predictor must be stateless")
+	}
+}
+
+// Peek's static resolutions must never be wrong: whenever PeekBits claims
+// a boundary, the claimed value equals the true boundary carry.
+func TestPeekGuaranteedCorrect(t *testing.T) {
+	f := func(a, b uint64, cinRaw bool) bool {
+		cin := uint(0)
+		if cinRaw {
+			cin = 1
+		}
+		static, values := PeekBits(g64, a, b)
+		truth := bitmath.BoundaryCarriesPacked(a, b, cin, 64, 8)
+		return (truth^values)&static == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeekKnownCases(t *testing.T) {
+	// All slice MSBs zero → every boundary statically 0.
+	static, values := PeekBits(g64, 0, 0)
+	if static != 0x7F || values != 0 {
+		t.Errorf("zeros: static=%07b values=%07b", static, values)
+	}
+	// All slice MSBs one → every boundary statically 1.
+	allMSB := uint64(0x8080808080808080)
+	static, values = PeekBits(g64, allMSB, allMSB)
+	if static != 0x7F || values != 0x7F {
+		t.Errorf("ones: static=%07b values=%07b", static, values)
+	}
+	// Disagreeing MSBs → nothing resolvable.
+	static, _ = PeekBits(g64, allMSB, 0)
+	if static != 0 {
+		t.Errorf("mixed: static=%07b, want 0", static)
+	}
+}
+
+func TestWithPeekDelegation(t *testing.T) {
+	inner := NewStaticOne(g64)
+	p := WithPeek(g64, inner)
+	if p.Name() != "staticOne+Peek" {
+		t.Errorf("name = %q", p.Name())
+	}
+	// Operands with all slice MSBs 0: peek forces every boundary to 0
+	// even though the inner predictor says 1.
+	got := p.Predict(Context{EA: 0, EB: 0})
+	if got.Carries != 0 || got.Static != 0x7F {
+		t.Errorf("peek did not override: %+v", got)
+	}
+	// Mixed: unresolved boundaries fall through to the inner prediction.
+	got = p.Predict(Context{EA: 0x80, EB: 0}) // slice 0 MSBs disagree
+	if got.Static&1 != 0 {
+		t.Error("boundary 0 should be dynamic")
+	}
+	if got.Carries&1 != 1 {
+		t.Error("dynamic boundary should use inner prediction (1)")
+	}
+}
+
+func TestOracleAlwaysRight(t *testing.T) {
+	o := &Oracle{G: g64}
+	if o.Name() != "oracle" {
+		t.Error("name")
+	}
+	f := func(a, b uint64) bool {
+		p := o.Predict(Context{EA: a, EB: b, Cin0: 0})
+		return p.Carries == bitmath.BoundaryCarriesPacked(a, b, 0, 64, 8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryConfigValidate(t *testing.T) {
+	bad := []HistoryConfig{
+		{Geometry: Geometry{Width: 0, SliceBits: 8}},
+		{Geometry: g64, PCMode: ModPC, PCBits: 0},
+		{Geometry: g64, PCMode: ModPC, PCBits: 20},
+		{Geometry: g64, PCMode: NoPC, PCBits: 3},
+		{Geometry: g64, PCMode: PCMode(9)},
+		{Geometry: g64, PCMode: NoPC, Threads: ThreadMode(9)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v) should fail", i, c)
+		}
+	}
+}
+
+func TestHistoryNames(t *testing.T) {
+	cases := []struct {
+		cfg  HistoryConfig
+		want string
+	}{
+		{HistoryConfig{Geometry: g64}, "Prev"},
+		{HistoryConfig{Geometry: g64, PCMode: ModPC, PCBits: 4}, "Prev+ModPC4"},
+		{HistoryConfig{Geometry: g64, PCMode: ModPC, PCBits: 4, Threads: ByLtid}, "Ltid+Prev+ModPC4"},
+		{HistoryConfig{Geometry: g64, PCMode: FullPC, Threads: ByGtid}, "Gtid+Prev+FullPC"},
+		{HistoryConfig{Geometry: g64, PCMode: XorPC, PCBits: 4, Threads: ByLtid}, "Ltid+Prev+XorPC4"},
+	}
+	for _, c := range cases {
+		h, err := NewHistory(c.cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.cfg, err)
+		}
+		if h.Name() != c.want {
+			t.Errorf("name = %q, want %q", h.Name(), c.want)
+		}
+	}
+}
+
+func TestHistoryLearnsPerPC(t *testing.T) {
+	h, err := NewHistory(HistoryConfig{Geometry: g64, PCMode: ModPC, PCBits: 4, AlwaysUpdate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA := Context{PC: 3}
+	ctxB := Context{PC: 5}
+	h.Update(ctxA, 0x15, true)
+	h.Update(ctxB, 0x2A, true)
+	if p := h.Predict(ctxA); p.Carries != 0x15 {
+		t.Errorf("PC3 prediction %#x", p.Carries)
+	}
+	if p := h.Predict(ctxB); p.Carries != 0x2A {
+		t.Errorf("PC5 prediction %#x", p.Carries)
+	}
+	// PC 19 aliases PC 3 under ModPC4.
+	if p := h.Predict(Context{PC: 19}); p.Carries != 0x15 {
+		t.Errorf("aliased PC prediction %#x", p.Carries)
+	}
+	if h.Entries() != 2 {
+		t.Errorf("entries = %d", h.Entries())
+	}
+	h.Reset()
+	if h.Entries() != 0 || h.Predict(ctxA).Carries != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestHistoryThreadModes(t *testing.T) {
+	// Gtid fully disambiguates; Ltid shares across warps by lane.
+	gt, _ := NewHistory(HistoryConfig{Geometry: g64, Threads: ByGtid, AlwaysUpdate: true})
+	lt, _ := NewHistory(HistoryConfig{Geometry: g64, Threads: ByLtid, AlwaysUpdate: true})
+
+	// Thread 5 (lane 5) learns; thread 37 (lane 5 of the next warp) asks.
+	learn := Context{Gtid: 5, Ltid: 5}
+	ask := Context{Gtid: 37, Ltid: 5}
+	gt.Update(learn, 0x3, true)
+	lt.Update(learn, 0x3, true)
+	if p := gt.Predict(ask); p.Carries != 0 {
+		t.Errorf("Gtid mode leaked history across threads: %#x", p.Carries)
+	}
+	if p := lt.Predict(ask); p.Carries != 0x3 {
+		t.Errorf("Ltid mode should share across warps: %#x", p.Carries)
+	}
+	// Different lane must not see it.
+	if p := lt.Predict(Context{Gtid: 38, Ltid: 6}); p.Carries != 0 {
+		t.Errorf("Ltid mode leaked across lanes: %#x", p.Carries)
+	}
+}
+
+func TestHistoryUpdatePolicy(t *testing.T) {
+	h, _ := NewHistory(HistoryConfig{Geometry: g64})
+	ctx := Context{PC: 1}
+	h.Update(ctx, 0x7F, false) // correct prediction → no write-back
+	if h.Predict(ctx).Carries != 0 {
+		t.Error("non-mispredicted op should not update history")
+	}
+	h.Update(ctx, 0x7F, true)
+	if h.Predict(ctx).Carries != 0x7F {
+		t.Error("mispredicted op must update history")
+	}
+}
+
+func TestXorPCFolding(t *testing.T) {
+	h, _ := NewHistory(HistoryConfig{Geometry: g64, PCMode: XorPC, PCBits: 4, AlwaysUpdate: true})
+	// PCs 0x13 and 0x31 fold to 1^3 = 2 and 3^1 = 2: they alias.
+	h.Update(Context{PC: 0x13}, 0x55, true)
+	if p := h.Predict(Context{PC: 0x31}); p.Carries != 0x55 {
+		t.Errorf("XOR-folded PCs should alias: %#x", p.Carries)
+	}
+	// PC 0x10 folds to 1: distinct.
+	if p := h.Predict(Context{PC: 0x10}); p.Carries != 0 {
+		t.Errorf("distinct fold leaked: %#x", p.Carries)
+	}
+}
+
+func TestVaLHALLA(t *testing.T) {
+	v := NewVaLHALLA(g64)
+	if v.Name() != "VaLHALLA" {
+		t.Error("name")
+	}
+	ctx := Context{Gtid: 9}
+	if v.Predict(ctx).Carries != 0 {
+		t.Error("cold VaLHALLA should predict 0")
+	}
+	// Majority of boundaries carried → broadcast 1 everywhere.
+	v.Update(ctx, 0x7F, false)
+	if v.Predict(ctx).Carries != 0x7F {
+		t.Error("after all-ones carries, should broadcast 1")
+	}
+	// Minority → broadcast 0.
+	v.Update(ctx, 0x03, false)
+	if v.Predict(ctx).Carries != 0 {
+		t.Error("after two-of-seven carries, should broadcast 0")
+	}
+	// Per-thread isolation.
+	if v.Predict(Context{Gtid: 10}).Carries != 0 {
+		t.Error("VaLHALLA state leaked across threads")
+	}
+	v.Update(ctx, 0x7F, false)
+	v.Reset()
+	if v.Predict(ctx).Carries != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRegistryConstructsAllDesigns(t *testing.T) {
+	for _, name := range DesignSpace {
+		p, err := NewDesign(name, g64)
+		if err != nil {
+			t.Errorf("NewDesign(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("NewDesign(%q).Name() = %q", name, p.Name())
+		}
+		// Smoke: predict/update/reset cycle.
+		ctx := Context{PC: 7, Gtid: 33, Ltid: 1, EA: 100, EB: 200}
+		pr := p.Predict(ctx)
+		if pr.Carries&^g64.BoundaryMask() != 0 {
+			t.Errorf("%q predicted out-of-range bits %#x", name, pr.Carries)
+		}
+		p.Update(ctx, 0x7F, true)
+		p.Reset()
+	}
+	extra := []string{"oracle", "Ltid+Prev+XorPC4+Peek", "Gtid+Prev", "Gtid+Prev+FullPC", "Ltid+Prev+FullPC"}
+	for _, name := range extra {
+		if _, err := NewDesign(name, g64); err != nil {
+			t.Errorf("NewDesign(%q): %v", name, err)
+		}
+	}
+	if _, err := NewDesign("bogus", g64); err == nil {
+		t.Error("unknown design should error")
+	}
+	if _, err := NewDesign("staticZero", Geometry{}); err == nil {
+		t.Error("invalid geometry should error")
+	}
+	if FinalDesign != DesignSpace[len(DesignSpace)-1] {
+		t.Error("FinalDesign should be the last Figure 5 point")
+	}
+}
+
+func TestCRFGeometryAndErrors(t *testing.T) {
+	if _, err := NewCRF(0, 32, 7, 1); err == nil {
+		t.Error("zero entries should error")
+	}
+	if _, err := NewCRF(16, 0, 7, 1); err == nil {
+		t.Error("zero lanes should error")
+	}
+	if _, err := NewCRF(16, 32, 0, 1); err == nil {
+		t.Error("zero boundaries should error")
+	}
+	c := NewDefaultCRF(1)
+	if c.Entries() != 16 {
+		t.Errorf("entries = %d", c.Entries())
+	}
+	if c.Index(0x123) != 3 {
+		t.Errorf("Index(0x123) = %d, want 3", c.Index(0x123))
+	}
+	if err := c.WriteBack(0, 1, make([]uint64, 5)); err == nil {
+		t.Error("lane-count mismatch should error")
+	}
+}
+
+func TestCRFReadWriteCycle(t *testing.T) {
+	c := NewDefaultCRF(42)
+	carries := make([]uint64, 32)
+	carries[3] = 0x55
+	carries[7] = 0x2A
+	c.BeginCycle(1)
+	if err := c.WriteBack(5, 1<<3|1<<7, carries); err != nil {
+		t.Fatal(err)
+	}
+	// Write not yet committed within the same cycle.
+	if c.ReadLane(5, 3) != 0 {
+		t.Error("staged write visible before commit")
+	}
+	c.BeginCycle(2)
+	if c.ReadLane(5, 3) != 0x55 || c.ReadLane(5, 7) != 0x2A {
+		t.Error("committed write not visible")
+	}
+	if c.ReadLane(5, 4) != 0 {
+		t.Error("unmasked lane was written")
+	}
+	// PC 21 aliases PC 5 (same low 4 bits).
+	if c.ReadLane(21, 3) != 0x55 {
+		t.Error("PC aliasing into the same row failed")
+	}
+	row := c.ReadRow(5)
+	if row[3] != 0x55 || row[7] != 0x2A {
+		t.Error("ReadRow wrong")
+	}
+	st := c.Stats()
+	if st.Reads != 1 || st.WritesCommitted != 1 || st.Conflicts != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LaneBitsWritten != 14 {
+		t.Errorf("lane bits written = %d, want 14", st.LaneBitsWritten)
+	}
+}
+
+func TestCRFZeroMaskWriteIsFree(t *testing.T) {
+	c := NewDefaultCRF(1)
+	if err := c.WriteBack(0, 0, make([]uint64, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().WriteRequests != 0 {
+		t.Error("zero-mask write should not count as a request")
+	}
+}
+
+// Two warps writing the same row in one cycle: exactly one wins, the
+// conflict is counted, and the loser's lanes are untouched.
+func TestCRFArbitration(t *testing.T) {
+	c := NewDefaultCRF(7)
+	w1 := make([]uint64, 32)
+	w2 := make([]uint64, 32)
+	w1[0] = 0x11
+	w2[0] = 0x22
+	c.BeginCycle(1)
+	_ = c.WriteBack(4, 1, w1)
+	_ = c.WriteBack(4, 1, w2)
+	c.BeginCycle(2)
+	got := c.ReadLane(4, 0)
+	if got != 0x11 && got != 0x22 {
+		t.Fatalf("lane holds %#x, want one of the two writes", got)
+	}
+	st := c.Stats()
+	if st.Conflicts != 1 || st.WritesCommitted != 1 || st.WriteRequests != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Different rows do not conflict.
+	c.Reset()
+	c.BeginCycle(1)
+	_ = c.WriteBack(1, 1, w1)
+	_ = c.WriteBack(2, 1, w2)
+	c.BeginCycle(2)
+	if c.Stats().Conflicts != 0 {
+		t.Error("writes to distinct rows should not conflict")
+	}
+	if c.ReadLane(1, 0) != 0x11 || c.ReadLane(2, 0) != 0x22 {
+		t.Error("both row writes should commit")
+	}
+}
+
+func TestCRFArbitrationDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		c := NewDefaultCRF(99)
+		rng := rand.New(rand.NewSource(5))
+		for cyc := uint64(1); cyc <= 50; cyc++ {
+			c.BeginCycle(cyc)
+			for w := 0; w < 3; w++ {
+				carries := make([]uint64, 32)
+				for l := range carries {
+					carries[l] = rng.Uint64() & 0x7F
+				}
+				_ = c.WriteBack(uint32(rng.Intn(16)), rng.Uint32(), carries)
+			}
+		}
+		c.Flush()
+		out := make([]uint64, 0, 16*32)
+		for pc := uint32(0); pc < 16; pc++ {
+			for l := 0; l < 32; l++ {
+				out = append(out, c.ReadLane(pc, l))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different CRF state at %d", i)
+		}
+	}
+}
+
+// End-to-end: the final design predictor drives the sliced adder over a
+// loop-like correlated value stream and converges to far better accuracy
+// than staticZero on the same stream.
+func TestFinalDesignBeatsStaticOnLoopStream(t *testing.T) {
+	ad, err := adder.New(adder.Config{Width: 64, SliceBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p Predictor) (mispredicts, total int) {
+		// A synthetic "hot loop": 4 PCs with evolving operands per thread,
+		// mimicking Figure 2's pathfinder behaviour.
+		for lane := uint8(0); lane < 8; lane++ {
+			base := uint64(lane) * 1000
+			for iter := 0; iter < 200; iter++ {
+				for pc := uint32(0); pc < 4; pc++ {
+					a := base + uint64(iter)*uint64(pc+1)
+					b := uint64(pc) * 37
+					ctx := Context{PC: pc, Gtid: uint32(lane), Ltid: lane, EA: a, EB: b}
+					pred := p.Predict(ctx)
+					r := ad.Execute(a, b, adder.Add, pred.Carries)
+					if r.Mispredicted {
+						mispredicts++
+					}
+					p.Update(ctx, r.ActualCarries, r.Mispredicted)
+					total++
+				}
+			}
+		}
+		return
+	}
+	final, _ := NewDesign(FinalDesign, g64)
+	zero, _ := NewDesign("staticZero", g64)
+	fm, ft := run(final)
+	zm, zt := run(zero)
+	frate := float64(fm) / float64(ft)
+	zrate := float64(zm) / float64(zt)
+	if frate >= zrate {
+		t.Errorf("final design rate %.3f not better than staticZero %.3f", frate, zrate)
+	}
+	if frate > 0.15 {
+		t.Errorf("final design misprediction rate %.3f too high on a correlated stream", frate)
+	}
+}
+
+func TestHistory2AlternationHeuristic(t *testing.T) {
+	h, err := NewHistory2(HistoryConfig{Geometry: g64, AlwaysUpdate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "Prev2" {
+		t.Errorf("name = %q", h.Name())
+	}
+	ctx := Context{PC: 1}
+	// Steady stream: agreement → predict the agreed bits.
+	h.Update(ctx, 0x55, true)
+	h.Update(ctx, 0x55, true)
+	if p := h.Predict(ctx); p.Carries != 0x55 {
+		t.Errorf("steady stream predicted %#x", p.Carries)
+	}
+	if h.Agreement(ctx) != 0x7F {
+		t.Errorf("agreement = %#x", h.Agreement(ctx))
+	}
+	// Alternating stream on bit 0: ..., 1, 0 → predict toggle back to 1.
+	h.Reset()
+	h.Update(ctx, 0x01, true)
+	h.Update(ctx, 0x00, true)
+	if p := h.Predict(ctx); p.Carries&1 != 1 {
+		t.Errorf("alternating bit should be predicted to toggle: %#x", p.Carries)
+	}
+	if h.DepthStats() != 1 {
+		t.Errorf("entries = %d", h.DepthStats())
+	}
+	// Update policy: no write without misprediction when AlwaysUpdate off.
+	h2, _ := NewHistory2(HistoryConfig{Geometry: g64})
+	h2.Update(ctx, 0x7F, false)
+	if h2.Predict(ctx).Carries != 0 {
+		t.Error("non-mispredicted op should not update depth-2 history")
+	}
+	if _, err := NewHistory2(HistoryConfig{Geometry: Geometry{}}); err == nil {
+		t.Error("bad geometry should error")
+	}
+}
+
+func TestHistory2InRegistry(t *testing.T) {
+	p, err := NewDesign("Ltid+Prev2+ModPC4+Peek", g64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "Ltid+Prev2+ModPC4+Peek" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+// Arbitration fairness: with two warps persistently contending for the
+// same CRF row, both win a non-trivial share of the commits.
+func TestCRFArbitrationFairness(t *testing.T) {
+	c := NewDefaultCRF(123)
+	w1 := make([]uint64, 32)
+	w2 := make([]uint64, 32)
+	w1[0], w2[0] = 0x11, 0x22
+	wins1, wins2 := 0, 0
+	for cyc := uint64(1); cyc <= 400; cyc++ {
+		c.BeginCycle(cyc)
+		_ = c.WriteBack(4, 1, w1)
+		_ = c.WriteBack(4, 1, w2)
+		c.BeginCycle(cyc + 1) // commit
+		switch c.ReadLane(4, 0) {
+		case 0x11:
+			wins1++
+		case 0x22:
+			wins2++
+		}
+	}
+	total := wins1 + wins2
+	if total != 400 {
+		t.Fatalf("commits = %d", total)
+	}
+	if wins1 < total/4 || wins2 < total/4 {
+		t.Errorf("arbitration unfair: %d vs %d", wins1, wins2)
+	}
+}
+
+// Registry-wide safety properties: no design ever predicts bits outside
+// the boundary mask, claims a wrong static resolution, or panics across
+// the full context space.
+func TestAllDesignsSafetyProperties(t *testing.T) {
+	names := append(append([]string{}, DesignSpace...),
+		"oracle", "CASA", "VLSA", "Ltid+Prev+XorPC4+Peek", "Ltid+Prev2+ModPC4+Peek",
+		"Gtid+Prev", "Gtid+Prev+FullPC", "Ltid+Prev+FullPC")
+	for _, name := range names {
+		p, err := NewDesign(name, g64)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f := func(a, b uint64, pc, gtid uint32, ltid uint8, cinRaw, mispred bool) bool {
+			cin := uint(0)
+			if cinRaw {
+				cin = 1
+			}
+			ctx := Context{PC: pc, Gtid: gtid, Ltid: ltid % 32, EA: a, EB: b, Cin0: cin}
+			pred := p.Predict(ctx)
+			if pred.Carries&^g64.BoundaryMask() != 0 || pred.Static&^g64.BoundaryMask() != 0 {
+				return false
+			}
+			truth := bitmath.BoundaryCarriesPacked(a, b, cin, 64, 8)
+			if (pred.Carries^truth)&pred.Static != 0 {
+				return false // a "static" (guaranteed) bit was wrong
+			}
+			p.Update(ctx, truth, mispred)
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

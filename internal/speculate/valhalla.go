@@ -1,0 +1,56 @@
+package speculate
+
+import "st2gpu/internal/bitmath"
+
+// VaLHALLA models the prior state-of-the-art variable-latency adder the
+// paper compares against (Gok & Hardavellas, GLSVLSI 2017). Its defining
+// properties, per Section IV-B:
+//
+//   - it predicts a single 1-bit carry for the entire adder and broadcasts
+//     it to every slice;
+//   - the prediction is history-aware and local to one adder (no sharing
+//     across threads, no PC disambiguation);
+//   - it speculates on *every* operation (no Peek-style static filtering).
+//
+// We model the per-adder history as one bit per hardware thread context
+// (keyed by global thread id — the optimistic reading, consistent with the
+// paper's note that the non-final design points ignore implementation
+// constraints), updated to the majority of the boundary carries the
+// previous operation actually produced ("history aware local-carry").
+type VaLHALLA struct {
+	g    Geometry
+	bits map[uint32]uint8 // gtid → last broadcast bit (0 or 1)
+}
+
+// NewVaLHALLA builds the baseline predictor.
+func NewVaLHALLA(g Geometry) *VaLHALLA {
+	return &VaLHALLA{g: g, bits: make(map[uint32]uint8)}
+}
+
+// Name implements Predictor.
+func (v *VaLHALLA) Name() string { return "VaLHALLA" }
+
+// Predict implements Predictor: broadcast the thread's single history bit
+// to all boundaries.
+func (v *VaLHALLA) Predict(ctx Context) Prediction {
+	if v.bits[ctx.Gtid] == 1 {
+		return Prediction{Carries: v.g.BoundaryMask()}
+	}
+	return Prediction{}
+}
+
+// Update implements Predictor: the broadcast bit becomes the majority of
+// the boundary carries the operation actually produced. VaLHALLA updates
+// on every operation (it has no notion of selective write-back).
+func (v *VaLHALLA) Update(ctx Context, actual uint64, _ bool) {
+	nb := int(v.g.Boundaries())
+	ones := bitmath.PopCount64(actual & v.g.BoundaryMask())
+	if 2*ones >= nb+1 { // strict majority of boundaries carried
+		v.bits[ctx.Gtid] = 1
+	} else {
+		v.bits[ctx.Gtid] = 0
+	}
+}
+
+// Reset implements Predictor.
+func (v *VaLHALLA) Reset() { v.bits = make(map[uint32]uint8) }

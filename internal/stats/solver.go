@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min ‖A·x − b‖₂ via the normal equations
+// (AᵀA)x = Aᵀb with Gaussian elimination and partial pivoting. It is the
+// solver the power-model calibration uses to recover per-component scale
+// factors from micro-benchmark power measurements (Section V-C of the
+// paper). rows(A) = len(b) observations, cols(A) = unknowns.
+func LeastSquares(a [][]float64, b []float64) ([]float64, error) {
+	m := len(a)
+	if m == 0 {
+		return nil, ErrEmpty
+	}
+	if m != len(b) {
+		return nil, fmt.Errorf("stats: %d rows vs %d observations", m, len(b))
+	}
+	n := len(a[0])
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("stats: ragged matrix at row %d", i)
+		}
+	}
+	if m < n {
+		return nil, fmt.Errorf("stats: underdetermined system (%d obs, %d unknowns)", m, n)
+	}
+
+	// Column equilibration: power-model design matrices mix watt-scale
+	// constant columns with milliwatt-scale component columns; scaling
+	// each column to unit norm keeps the normal equations well
+	// conditioned. The solution is rescaled afterwards.
+	norms := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for r := 0; r < m; r++ {
+			s += a[r][j] * a[r][j]
+		}
+		norms[j] = math.Sqrt(s)
+		if norms[j] == 0 {
+			return nil, fmt.Errorf("stats: column %d is identically zero", j)
+		}
+	}
+	scaled := make([][]float64, m)
+	for r := 0; r < m; r++ {
+		scaled[r] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			scaled[r][j] = a[r][j] / norms[j]
+		}
+	}
+	a = scaled
+
+	// Form AᵀA (n×n) and Aᵀb (n).
+	ata := make([][]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	atb := make([]float64, n)
+	for r := 0; r < m; r++ {
+		for i := 0; i < n; i++ {
+			ai := a[r][i]
+			if ai == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				ata[i][j] += ai * a[r][j]
+			}
+			atb[i] += ai * b[r]
+		}
+	}
+	x, err := SolveLinear(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("stats: normal equations: %w", err)
+	}
+	for j := range x {
+		x[j] /= norms[j]
+	}
+	return x, nil
+}
+
+// SolveLinear solves the square system M·x = v with Gaussian elimination
+// and partial pivoting.
+func SolveLinear(m [][]float64, v []float64) ([]float64, error) {
+	n := len(m)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(v) != n {
+		return nil, fmt.Errorf("stats: %d equations vs %d values", n, len(v))
+	}
+	// Work on copies; callers keep their matrices.
+	aug := make([][]float64, n)
+	for i := range aug {
+		if len(m[i]) != n {
+			return nil, fmt.Errorf("stats: non-square matrix at row %d", i)
+		}
+		aug[i] = make([]float64, n+1)
+		copy(aug[i], m[i])
+		aug[i][n] = v[i]
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(aug[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(aug[r][col]); abs > best {
+				best, pivot = abs, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, errors.New("singular (or nearly singular) matrix")
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := aug[r][col] / aug[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := aug[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= aug[i][j] * x[j]
+		}
+		x[i] = s / aug[i][i]
+	}
+	return x, nil
+}
+
+// NonNegativeLeastSquares solves min ‖A·x − b‖₂ subject to x ≥ 0 using a
+// simple active-set scheme: solve unconstrained, clamp the most negative
+// coordinate to zero (removing it from the free set), repeat. Power scale
+// factors are physically non-negative, so the calibration uses this.
+func NonNegativeLeastSquares(a [][]float64, b []float64) ([]float64, error) {
+	if len(a) == 0 {
+		return nil, ErrEmpty
+	}
+	n := len(a[0])
+	free := make([]bool, n)
+	for i := range free {
+		free[i] = true
+	}
+	for iter := 0; iter <= n; iter++ {
+		// Build the reduced system over free columns.
+		idx := make([]int, 0, n)
+		for j, f := range free {
+			if f {
+				idx = append(idx, j)
+			}
+		}
+		x := make([]float64, n)
+		if len(idx) > 0 {
+			sub := make([][]float64, len(a))
+			for r := range a {
+				sub[r] = make([]float64, len(idx))
+				for c, j := range idx {
+					sub[r][c] = a[r][j]
+				}
+			}
+			xs, err := LeastSquares(sub, b)
+			if err != nil {
+				return nil, err
+			}
+			for c, j := range idx {
+				x[j] = xs[c]
+			}
+		}
+		// Find the most negative free coordinate.
+		worst, worstJ := 0.0, -1
+		for _, j := range idx {
+			if x[j] < worst {
+				worst, worstJ = x[j], j
+			}
+		}
+		if worstJ < 0 {
+			return x, nil
+		}
+		free[worstJ] = false
+	}
+	return nil, errors.New("stats: NNLS failed to converge")
+}

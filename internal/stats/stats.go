@@ -1,0 +1,255 @@
+// Package stats provides the statistical helpers used by the ST² power
+// model and the experiment harnesses: summary statistics, confidence
+// intervals, Pearson correlation, rates, and histograms.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic needs at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when fewer than
+// two samples are available).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanCI95 returns the sample mean and the half-width of its 95%
+// confidence interval (normal approximation, 1.96·σ/√n). The paper reports
+// its power model error as "10.5% ± 3.8% (95% confidence interval)" — this
+// is the statistic that produces such a line.
+func MeanCI95(xs []float64) (mean, halfWidth float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	mean = Mean(xs)
+	if len(xs) == 1 {
+		return mean, 0, nil
+	}
+	halfWidth = 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, halfWidth, nil
+}
+
+// Pearson returns the Pearson correlation coefficient r between xs and ys.
+// It errors if the lengths differ, fewer than two points are given, or
+// either series is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: constant series has undefined correlation")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// MeanAbsRelError returns mean(|pred-actual|/|actual|) as a fraction.
+// Points with actual == 0 are skipped; if every point is skipped it errors.
+func MeanAbsRelError(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(pred), len(actual))
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return s / float64(n), nil
+}
+
+// Rate is an event counter that reports hits / total, the shape of every
+// misprediction- and match-rate statistic in the paper.
+type Rate struct {
+	Hits  uint64
+	Total uint64
+}
+
+// Add records n events of which hits were "hits".
+func (r *Rate) Add(hits, n uint64) {
+	r.Hits += hits
+	r.Total += n
+}
+
+// AddBool records a single event.
+func (r *Rate) AddBool(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns the rate as a fraction in [0,1]; 0 when empty.
+func (r Rate) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Merge folds another Rate into r.
+func (r *Rate) Merge(o Rate) {
+	r.Hits += o.Hits
+	r.Total += o.Total
+}
+
+// String renders the rate as a percentage.
+func (r Rate) String() string {
+	return fmt.Sprintf("%.2f%% (%d/%d)", 100*r.Value(), r.Hits, r.Total)
+}
+
+// Histogram is a fixed-bin histogram over uint values (e.g. number of
+// slices recomputed per misprediction).
+type Histogram struct {
+	Counts []uint64 // Counts[i] = occurrences of value i; last bin is open-ended
+}
+
+// NewHistogram creates a histogram for values 0..maxValue; larger values
+// clamp into the last bin.
+func NewHistogram(maxValue int) *Histogram {
+	return &Histogram{Counts: make([]uint64, maxValue+1)}
+}
+
+// Observe records one occurrence of v.
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Counts) {
+		v = len(h.Counts) - 1
+	}
+	h.Counts[v]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Mean returns the mean observed value (open-ended bin counted at its
+// lower bound).
+func (h *Histogram) Mean() float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	var s float64
+	for v, c := range h.Counts {
+		s += float64(v) * float64(c)
+	}
+	return s / float64(t)
+}
+
+// Max returns the largest value observed (bin index of the highest
+// non-empty bin).
+func (h *Histogram) Max() int {
+	for v := len(h.Counts) - 1; v >= 0; v-- {
+		if h.Counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Merge folds another histogram with the same bin count into h.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("stats: histogram bin mismatch %d vs %d", len(h.Counts), len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0], nil
+	}
+	if p >= 100 {
+		return s[len(s)-1], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// GeoMean returns the geometric mean of strictly positive samples.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean needs positive samples, got %g", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}

@@ -1,0 +1,259 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", v, 32.0/7.0)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/single-sample cases should be 0")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	if _, _, err := MeanCI95(nil); err == nil {
+		t.Error("want error for empty input")
+	}
+	m, hw, err := MeanCI95([]float64{3})
+	if err != nil || m != 3 || hw != 0 {
+		t.Errorf("single sample: m=%g hw=%g err=%v", m, hw, err)
+	}
+	xs := make([]float64, 400)
+	rng := rand.New(rand.NewSource(9))
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	m, hw, err = MeanCI95(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m, 10, 0.3) {
+		t.Errorf("mean = %g, want ≈10", m)
+	}
+	// hw ≈ 1.96/sqrt(400) ≈ 0.098
+	if hw < 0.05 || hw > 0.15 {
+		t.Errorf("CI half width = %g, want ≈0.098", hw)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Errorf("perfect correlation: r=%g err=%v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almost(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation: r=%g", r)
+	}
+	if _, err := Pearson(xs, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Error("constant series should error")
+	}
+	if _, err := Pearson(xs, ys[:3]); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestMeanAbsRelError(t *testing.T) {
+	got, err := MeanAbsRelError([]float64{110, 90}, []float64{100, 100})
+	if err != nil || !almost(got, 0.10, 1e-12) {
+		t.Errorf("MARE = %g err=%v, want 0.10", got, err)
+	}
+	// zero actuals skipped
+	got, err = MeanAbsRelError([]float64{5, 110}, []float64{0, 100})
+	if err != nil || !almost(got, 0.10, 1e-12) {
+		t.Errorf("MARE with zero actual = %g err=%v", got, err)
+	}
+	if _, err := MeanAbsRelError([]float64{1}, []float64{0}); err == nil {
+		t.Error("all-zero actuals should error")
+	}
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	r.AddBool(true)
+	r.AddBool(false)
+	r.Add(3, 8)
+	if r.Hits != 4 || r.Total != 10 {
+		t.Fatalf("rate counts %d/%d", r.Hits, r.Total)
+	}
+	if !almost(r.Value(), 0.4, 1e-12) {
+		t.Errorf("rate = %g", r.Value())
+	}
+	var o Rate
+	o.Add(6, 10)
+	r.Merge(o)
+	if !almost(r.Value(), 0.5, 1e-12) {
+		t.Errorf("merged rate = %g", r.Value())
+	}
+	if (Rate{}).Value() != 0 {
+		t.Error("empty rate should be 0")
+	}
+	if s := (Rate{Hits: 1, Total: 4}).String(); s != "25.00% (1/4)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(7)
+	for _, v := range []int{0, 1, 1, 2, 7, 9, -3} {
+		h.Observe(v) // 9 clamps to 7, -3 clamps to 0
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[7] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Max() != 7 {
+		t.Errorf("max = %d", h.Max())
+	}
+	want := (0.0*2 + 1*2 + 2 + 7*2) / 7
+	if !almost(h.Mean(), want, 1e-12) {
+		t.Errorf("mean = %g, want %g", h.Mean(), want)
+	}
+	o := NewHistogram(7)
+	o.Observe(3)
+	if err := h.Merge(o); err != nil || h.Counts[3] != 1 {
+		t.Errorf("merge failed: %v", err)
+	}
+	if err := h.Merge(NewHistogram(3)); err == nil {
+		t.Error("bin mismatch should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil || !almost(got, c.want, 1e-12) {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty percentile should error")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 100})
+	if err != nil || !almost(g, 10, 1e-9) {
+		t.Errorf("geomean = %g err=%v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("non-positive sample should error")
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	// 2x + y = 5; x - y = 1  →  x=2, y=1
+	x, err := SolveLinear([][]float64{{2, 1}, {1, -1}}, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 2, 1e-9) || !almost(x[1], 1, 1e-9) {
+		t.Errorf("solution = %v", x)
+	}
+	if _, err := SolveLinear([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}); err == nil {
+		t.Error("singular matrix should error")
+	}
+}
+
+// Property: LeastSquares recovers the exact generating coefficients for a
+// noiseless overdetermined system.
+func TestLeastSquaresRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + r.Intn(5)      // unknowns
+		m := n + 5 + r.Intn(20) // observations
+		truth := make([]float64, n)
+		for i := range truth {
+			truth[i] = r.Float64()*4 - 2
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+			for j, c := range truth {
+				b[i] += a[i][j] * c
+			}
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		for j := range truth {
+			if !almost(x[j], truth[j], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined should error")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("ragged should error")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {1}}, []float64{1}); err == nil {
+		t.Error("row/obs mismatch should error")
+	}
+}
+
+func TestNNLSClampsNegative(t *testing.T) {
+	// b is best fit by a negative coefficient on column 2; NNLS must clamp
+	// it to zero and refit.
+	a := [][]float64{
+		{1, 1},
+		{2, 1},
+		{3, 1},
+		{4, 1},
+	}
+	b := []float64{1, 2, 3, 4} // exactly x=[1,0]; add pull toward negative second coord
+	b2 := []float64{1.5, 2.2, 2.9, 3.6}
+	x, err := NonNegativeLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 1, 1e-9) || !almost(x[1], 0, 1e-9) {
+		t.Errorf("x = %v, want [1 0]", x)
+	}
+	x, err = NonNegativeLeastSquares(a, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if v < 0 {
+			t.Errorf("NNLS produced negative coefficient %v", x)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"st2gpu/internal/bitmath"
+	"st2gpu/internal/core"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/stats"
+)
+
+// ApproxMeter quantifies what the error-accepting approximate speculative
+// adders of the paper's related work ([10]–[13]) would do on real kernel
+// streams: it executes every traced operation with the predicted carries
+// and *no correction pass*, recording how often the result is wrong and
+// by how much. This is the repository's evidence for the paper's central
+// design decision — why ST² insists on the variable-latency correction.
+type ApproxMeter struct {
+	Designs []string
+	preds   map[string]speculate.Predictor
+	wrong   map[string]*stats.Rate
+	relErr  map[string]*runningMean
+}
+
+type runningMean struct {
+	sum float64
+	n   uint64
+}
+
+func (r *runningMean) add(v float64) { r.sum += v; r.n++ }
+func (r *runningMean) mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// NewApproxMeter builds the meter over the given designs (nil = the
+// final ST² design and staticZero, the most common approximate-adder
+// assumption).
+func NewApproxMeter(designs []string) (*ApproxMeter, error) {
+	if designs == nil {
+		designs = []string{"staticZero", speculate.FinalDesign}
+	}
+	m := &ApproxMeter{
+		Designs: designs,
+		preds:   make(map[string]speculate.Predictor),
+		wrong:   make(map[string]*stats.Rate),
+		relErr:  make(map[string]*runningMean),
+	}
+	for _, d := range designs {
+		p, err := speculate.NewDesign(d, g64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: approx design %q: %w", d, err)
+		}
+		m.preds[d] = p
+		m.wrong[d] = &stats.Rate{}
+		m.relErr[d] = &runningMean{}
+	}
+	return m, nil
+}
+
+// widthOf returns the datapath width for a unit kind.
+func widthOf(kind core.UnitKind) uint {
+	switch kind {
+	case core.ALU32:
+		return 32
+	case core.FPU:
+		return 24
+	case core.DPU:
+		return 52
+	default:
+		return 64
+	}
+}
+
+// approxSum assembles the no-correction result: each 8-bit slice adds
+// with its predicted carry-in, wrong or not.
+func approxSum(ea, eb uint64, cin0 uint, width uint, predicted uint64) uint64 {
+	n := bitmath.NumSlices(width, 8)
+	var out uint64
+	for i := uint(0); i < n; i++ {
+		lo := i * 8
+		w := bitmath.SliceWidthAt(i, width, 8)
+		cin := cin0
+		if i > 0 {
+			cin = uint((predicted >> (i - 1)) & 1)
+		}
+		s, _ := bitmath.AddWithCarry(bitmath.Slice(ea, lo, w), bitmath.Slice(eb, lo, w), cin, w)
+		out |= s << lo
+	}
+	return out & bitmath.Mask(width)
+}
+
+// TraceWarpAdds implements gpusim.AddTracer.
+func (m *ApproxMeter) TraceWarpAdds(kind core.UnitKind, pc, gtidBase uint32, ops *[32]gpusim.WarpAddOp) {
+	width := widthOf(kind)
+	mask := bitmath.Mask(bitmath.NumSlices(width, 8) - 1)
+	var actuals [32]uint64
+	var exacts [32]uint64
+	var ctxs [32]speculate.Context
+	for l := 0; l < 32; l++ {
+		if !ops[l].Active {
+			continue
+		}
+		actuals[l] = bitmath.BoundaryCarriesPacked(ops[l].EA, ops[l].EB, ops[l].Cin0, 64, 8) & mask
+		exacts[l], _ = bitmath.AddWithCarry(ops[l].EA, ops[l].EB, ops[l].Cin0, width)
+		ctxs[l] = speculate.Context{PC: pc, Gtid: gtidBase + uint32(l), Ltid: uint8(l),
+			EA: ops[l].EA, EB: ops[l].EB, Cin0: ops[l].Cin0}
+	}
+	for _, d := range m.Designs {
+		p := m.preds[d]
+		var mispred [32]bool
+		for l := 0; l < 32; l++ {
+			if !ops[l].Active {
+				continue
+			}
+			pred := p.Predict(ctxs[l])
+			carries := (pred.Carries &^ pred.Static) | (actuals[l] & pred.Static & mask)
+			// Peek-resolved boundaries are exact even without correction;
+			// dynamic ones use whatever was predicted.
+			got := approxSum(ops[l].EA, ops[l].EB, ops[l].Cin0, width, carries)
+			wrongResult := got != exacts[l]
+			mispred[l] = (pred.Carries^actuals[l])&mask&^pred.Static != 0
+			m.wrong[d].AddBool(wrongResult)
+			if wrongResult {
+				denom := math.Max(1, math.Abs(float64(int64(exacts[l]))))
+				m.relErr[d].add(math.Abs(float64(int64(got))-float64(int64(exacts[l]))) / denom)
+			}
+		}
+		for l := 0; l < 32; l++ {
+			if ops[l].Active {
+				p.Update(ctxs[l], actuals[l], mispred[l])
+			}
+		}
+	}
+}
+
+// WrongRate returns the fraction of operations whose uncorrected result
+// would have been wrong.
+func (m *ApproxMeter) WrongRate(design string) (float64, error) {
+	r, ok := m.wrong[design]
+	if !ok {
+		return 0, fmt.Errorf("trace: design %q not in approx meter", design)
+	}
+	return r.Value(), nil
+}
+
+// MeanRelError returns the mean relative magnitude error of the wrong
+// results.
+func (m *ApproxMeter) MeanRelError(design string) (float64, error) {
+	r, ok := m.relErr[design]
+	if !ok {
+		return 0, fmt.Errorf("trace: design %q not in approx meter", design)
+	}
+	return r.mean(), nil
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"st2gpu/internal/bitmath"
+	"st2gpu/internal/core"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/stats"
+)
+
+// ChainMeter quantifies Section III's carry-chain observation: operations
+// on small positive numbers yield short chains, negative results ripple to
+// the top. It histograms the carry-propagation chain length of every
+// traced addition, per unit kind, and tracks how many operations carry at
+// all at each slice boundary.
+type ChainMeter struct {
+	// Lengths[kind] histograms the longest propagate run per operation
+	// (0..64 bits; bin 64 is the full-width ripple of a sign change).
+	Lengths map[core.UnitKind]*stats.Histogram
+	// BoundaryCarryRate[i] is the fraction of operations whose carry into
+	// slice i+1 is set — the raw signal the predictors fight over.
+	BoundaryCarryRate [7]stats.Rate
+	// Ops counts traced lane operations.
+	Ops uint64
+}
+
+// NewChainMeter builds the meter.
+func NewChainMeter() *ChainMeter {
+	return &ChainMeter{Lengths: make(map[core.UnitKind]*stats.Histogram)}
+}
+
+// TraceWarpAdds implements gpusim.AddTracer.
+func (m *ChainMeter) TraceWarpAdds(kind core.UnitKind, _, _ uint32, ops *[32]gpusim.WarpAddOp) {
+	h := m.Lengths[kind]
+	if h == nil {
+		h = stats.NewHistogram(64)
+		m.Lengths[kind] = h
+	}
+	width := widthOf(kind)
+	nb := bitmath.NumSlices(width, 8) - 1
+	for l := 0; l < 32; l++ {
+		if !ops[l].Active {
+			continue
+		}
+		m.Ops++
+		h.Observe(int(bitmath.CarryChainLength(ops[l].EA, ops[l].EB, ops[l].Cin0, width)))
+		carries := bitmath.BoundaryCarriesPacked(ops[l].EA, ops[l].EB, ops[l].Cin0, 64, 8)
+		for i := uint(0); i < nb && i < 7; i++ {
+			m.BoundaryCarryRate[i].AddBool(carries>>i&1 == 1)
+		}
+	}
+}
+
+// MeanChainLength returns the mean chain length across all unit kinds.
+func (m *ChainMeter) MeanChainLength() float64 {
+	var sum float64
+	var n uint64
+	for _, h := range m.Lengths {
+		sum += h.Mean() * float64(h.Total())
+		n += h.Total()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ShortChainFraction returns the fraction of operations whose chain fits
+// within one 8-bit slice — the regime where per-slice speculation is
+// trivially safe.
+func (m *ChainMeter) ShortChainFraction() float64 {
+	var short, n uint64
+	for _, h := range m.Lengths {
+		for v, c := range h.Counts {
+			if v < 8 {
+				short += c
+			}
+			n += c
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(short) / float64(n)
+}

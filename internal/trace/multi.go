@@ -1,0 +1,17 @@
+package trace
+
+import (
+	"st2gpu/internal/core"
+	"st2gpu/internal/gpusim"
+)
+
+// Multi fans one adder-operation stream out to several collectors, so a
+// single simulation pass can feed Figure 2, Figure 3 and the DSE at once.
+type Multi []gpusim.AddTracer
+
+// TraceWarpAdds implements gpusim.AddTracer.
+func (m Multi) TraceWarpAdds(kind core.UnitKind, pc, gtidBase uint32, ops *[32]gpusim.WarpAddOp) {
+	for _, t := range m {
+		t.TraceWarpAdds(kind, pc, gtidBase, ops)
+	}
+}
