@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run over the packages that exercise the parallel per-SM
+# launch path (plus everything downstream of it).
+race:
+	$(GO) test -race ./...
+
+# The gate CI runs: static analysis plus the full test suite under the
+# race detector.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -377,6 +377,47 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "thread-instrs/s")
 }
 
+// BenchmarkLaunchParallelSMs measures the parallel per-SM launch path
+// against the sequential one on an 8-SM device running pathfinder at
+// scale 32 (64 blocks × 256 threads). Compare the sub-benchmarks' ns/op:
+// workers=auto should be well over 1.5× faster than workers=1 on a
+// multi-core host, with bit-identical RunStats (TestParallelMatchesSequential).
+func BenchmarkLaunchParallelSMs(b *testing.B) {
+	spec, err := kernels.Pathfinder(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=auto", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := gpusim.DefaultConfig()
+			cfg.NumSMs = 8
+			cfg.ParallelSMs = bc.workers
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				d, err := gpusim.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := spec.Setup(d.Memory()); err != nil {
+					b.Fatal(err)
+				}
+				rs, err := d.Launch(spec.Kernel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs = rs.TotalThreadInstrs()
+			}
+			b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "thread-instrs/s")
+		})
+	}
+}
+
 // BenchmarkDSEMeter measures the single-pass design-space meter on full
 // 32-lane warp batches.
 func BenchmarkDSEMeter(b *testing.B) {

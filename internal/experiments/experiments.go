@@ -24,6 +24,10 @@ type Config struct {
 	Scale  int   // workload scale (1 = default evaluation size)
 	NumSMs int   // simulated SM count
 	Seed   int64 // determinism seed
+	// ParallelSMs is forwarded to gpusim.Config.ParallelSMs: 0 lets each
+	// launch use min(NumSMs, GOMAXPROCS) SM workers, 1 forces sequential
+	// SM simulation. Results are identical either way.
+	ParallelSMs int
 }
 
 // Default returns the configuration used by the benchmark harness.
@@ -35,6 +39,7 @@ func (c Config) deviceConfig(mode gpusim.AdderMode) gpusim.Config {
 	dc.NumSMs = c.NumSMs
 	dc.AdderMode = mode
 	dc.Seed = c.Seed
+	dc.ParallelSMs = c.ParallelSMs
 	return dc
 }
 

@@ -17,9 +17,21 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// Merge adds o's counters into s (per-SM cache shards folding into a
+// launch or device aggregate).
+func (s *CacheStats) Merge(o CacheStats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+}
+
 // Cache is a set-associative cache with LRU replacement, modeled at tag
 // granularity (no data storage — the simulator's memory is always
 // coherent, caches only shape timing and energy).
+//
+// Cache is not safe for concurrent use. The device never shares one: each
+// SM owns a private L1 and a private L2 shard (see the concurrency model
+// in DESIGN.md), so the simulation hot path needs no cache locking.
 type Cache struct {
 	sets     int
 	ways     int

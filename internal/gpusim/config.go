@@ -11,10 +11,15 @@
 // next instruction when its operands are ready (scoreboard), the target
 // functional unit is free, and — for ST² adds — stalls one extra cycle on
 // a carry misprediction, exactly the pipeline behaviour of Section IV-C.
+//
+// SMs inside one launch are simulated concurrently by a bounded worker
+// pool (Config.ParallelSMs); every SM owns its complete simulation state,
+// so results are bit-identical across worker counts.
 package gpusim
 
 import (
 	"fmt"
+	"runtime"
 
 	"st2gpu/internal/speculate"
 )
@@ -98,6 +103,15 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
+
+	// ParallelSMs bounds the worker pool that simulates SMs concurrently
+	// inside one Launch. 0 (the default) uses min(NumSMs, GOMAXPROCS); 1
+	// restores the sequential debugging path; larger values are clamped
+	// to the SM count. Worker count never changes results: every SM owns
+	// its complete simulation state, so RunStats is bit-identical across
+	// settings (see the concurrency model in DESIGN.md). Negative values
+	// fail validation.
+	ParallelSMs int
 }
 
 // DefaultConfig returns a scaled-down TITAN V-like device: the SM
@@ -164,7 +178,26 @@ func (c Config) Validate() error {
 	if c.CRFEntries != 0 && (c.CRFEntries < 1 || c.CRFEntries&(c.CRFEntries-1) != 0) {
 		return fmt.Errorf("gpusim: CRF entries %d not a power of two", c.CRFEntries)
 	}
+	if c.ParallelSMs < 0 {
+		return fmt.Errorf("gpusim: negative ParallelSMs %d", c.ParallelSMs)
+	}
 	return nil
+}
+
+// smWorkers resolves ParallelSMs into the worker-pool size for a launch
+// occupying numSMs SMs.
+func (c Config) smWorkers(numSMs int) int {
+	w := c.ParallelSMs
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > numSMs {
+		w = numSMs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // TitanVConfig returns the full-chip configuration: all 80 SMs of the

@@ -3,6 +3,8 @@ package gpusim
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"st2gpu/internal/circuit"
 	"st2gpu/internal/core"
@@ -19,12 +21,25 @@ type Kernel struct {
 	Params   []uint64
 }
 
-func (k *Kernel) paramLoad(off, size uint64) (uint64, error) {
+// serializeParams renders the param buffer once per launch; every SM's
+// param-space loads index into the shared read-only result.
+func (k *Kernel) serializeParams() []byte {
 	buf := make([]byte, 8*len(k.Params))
 	for i, p := range k.Params {
 		binary.LittleEndian.PutUint64(buf[i*8:], p)
 	}
-	if off+size > uint64(len(buf)) {
+	return buf
+}
+
+// paramLoad reads size (4 or 8) bytes at off from a serialized param
+// buffer. The size is validated before the bounds check so that a bounds
+// check passing for a smaller size can never let the 8-byte read run past
+// the buffer.
+func paramLoad(buf []byte, off, size uint64) (uint64, error) {
+	if size != 4 && size != 8 {
+		return 0, fmt.Errorf("gpusim: unsupported param access size %d", size)
+	}
+	if off+size > uint64(len(buf)) || off+size < off {
 		return 0, fmt.Errorf("gpusim: param read [%#x,%#x) outside %d-byte param buffer",
 			off, off+size, len(buf))
 	}
@@ -75,9 +90,12 @@ type AddTracer interface {
 type Device struct {
 	cfg    Config
 	mem    *Memory
-	l2     *Cache
 	prices map[core.UnitKind]core.EnergyParams
 	tracer AddTracer
+	// l2Stats accumulates the per-SM L2 shard counters across launches
+	// (the device-level cumulative view RunStats.L2 reports). Written
+	// only at fold time, after all SM workers have joined.
+	l2Stats CacheStats
 }
 
 // SetTracer installs (or clears, with nil) the adder-operation observer.
@@ -88,8 +106,9 @@ func New(cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l2, err := NewCache(cfg.L2KB, cfg.LineBytes, cfg.L2Ways)
-	if err != nil {
+	// L2 shards are built per SM at launch; validate the geometry now so a
+	// bad config fails at New, not mid-launch.
+	if _, err := NewCache(cfg.L2KB, cfg.LineBytes, cfg.L2Ways); err != nil {
 		return nil, err
 	}
 	tech := circuit.SAED90()
@@ -108,7 +127,6 @@ func New(cfg Config) (*Device, error) {
 	return &Device{
 		cfg:    cfg,
 		mem:    NewMemory(cfg.GlobalMemBytes),
-		l2:     l2,
 		prices: prices,
 	}, nil
 }
@@ -229,9 +247,20 @@ func (r *RunStats) MispredictionRate() float64 {
 
 // Launch runs the kernel to completion and returns its statistics.
 //
-// SMs are simulated sequentially (they share only the L2, whose hit rate
-// this distorts marginally); the reported Cycles is the maximum over SMs,
-// modeling their concurrent execution.
+// SMs are simulated concurrently by a bounded worker pool of
+// min(NumSMs, GOMAXPROCS) goroutines (Config.ParallelSMs overrides; 1
+// forces the sequential debugging path). Every SM owns its complete
+// simulation state — warps, L1, L2 shard, ST² units, CRF — so per-SM
+// execution is deterministic regardless of worker count; per-SM
+// statistics are folded into RunStats in SM-ID order after all workers
+// join, and the reported Cycles is the maximum over SMs, modeling their
+// concurrent execution. Global memory is the one shared structure: loads
+// and stores go through striped locks and cross-SM atomics commit their
+// read-modify-write under the stripe lock, so the only cross-SM ordering
+// a race-free kernel can observe is the (commutative) accumulation order
+// of its atomics. Installing an AddTracer forces the sequential path:
+// tracers observe a single globally ordered warp-synchronous stream and
+// are not required to be thread-safe.
 func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
@@ -252,24 +281,66 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 	}
 	run.SMsUsed = numSMs
 
-	for smID := 0; smID < numSMs; smID++ {
-		sm, err := d.newSM(smID, k)
+	params := k.serializeParams()
+	sms := make([]*smState, numSMs)
+	for smID := range sms {
+		sm, err := d.newSM(smID, k, params)
 		if err != nil {
 			return nil, err
 		}
 		for b := smID; b < k.GridDim; b += numSMs {
 			sm.blockQueue = append(sm.blockQueue, b)
 		}
-		if err := sm.run(); err != nil {
-			return nil, err
+		sms[smID] = sm
+	}
+
+	workers := d.cfg.smWorkers(numSMs)
+	if d.tracer != nil {
+		workers = 1
+	}
+	if workers == 1 {
+		for _, sm := range sms {
+			if err := sm.run(); err != nil {
+				return nil, err
+			}
 		}
+	} else {
+		errs := make([]error, numSMs)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= numSMs {
+						return
+					}
+					errs[i] = sms[i].run()
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, sm := range sms {
 		d.foldSM(run, sm)
 	}
 	return run, nil
 }
 
-func (d *Device) newSM(id int, k *Kernel) (*smState, error) {
+func (d *Device) newSM(id int, k *Kernel, params []byte) (*smState, error) {
 	l1, err := NewCache(d.cfg.L1KB, d.cfg.LineBytes, d.cfg.L1Ways)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(d.cfg.L2KB, d.cfg.LineBytes, d.cfg.L2Ways)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +349,9 @@ func (d *Device) newSM(id int, k *Kernel) (*smState, error) {
 		id:               id,
 		lastWarp:         -1,
 		kernel:           k,
+		params:           params,
 		l1:               l1,
+		l2:               l2,
 		liveBlocks:       make(map[int]int),
 		baselineAdderOps: make(map[core.UnitKind]uint64),
 		stats:            newSMStats(),
@@ -333,7 +406,9 @@ func (d *Device) newSM(id int, k *Kernel) (*smState, error) {
 	return sm, nil
 }
 
-// foldSM merges one finished SM's statistics into the run.
+// foldSM merges one finished SM's statistics into the run. Callers fold
+// SMs in SM-ID order after every worker has joined, so the result is
+// identical to the sequential path's fold.
 func (d *Device) foldSM(run *RunStats, sm *smState) {
 	if sm.cycle > run.Cycles {
 		run.Cycles = sm.cycle
@@ -372,5 +447,6 @@ func (d *Device) foldSM(run *RunStats, sm *smState) {
 	run.DRAMAccesses += sm.stats.DRAMAccesses
 	run.AtomicLaneOps += sm.stats.AtomicLaneOps
 	run.ST2StallCycles += sm.stats.ST2StallCycles
-	run.L2 = d.l2.Stats() // cumulative; device-level
+	d.l2Stats.Merge(sm.l2.Stats())
+	run.L2 = d.l2Stats // cumulative; device-level
 }

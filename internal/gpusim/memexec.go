@@ -27,7 +27,7 @@ func (sm *smState) execMemory(w *warp, in isa.Instr, execMask uint32, res *stepR
 				continue
 			}
 			off := sm.operand(w, in.Srcs[0], l)
-			v, err := sm.kernel.paramLoad(off, size)
+			v, err := paramLoad(sm.params, off, size)
 			if err != nil {
 				return err
 			}
@@ -94,11 +94,9 @@ func (sm *smState) execMemory(w *warp, in isa.Instr, execMask uint32, res *stepR
 				}
 			case isa.OpAtomAdd:
 				sm.stats.AtomicLaneOps++
-				old, err := sm.dev.mem.Load(addr, size)
-				if err != nil {
-					return err
-				}
-				if err := sm.dev.mem.Store(addr, size, old+sm.operand(w, in.Srcs[1], l)); err != nil {
+				// The RMW must be indivisible: concurrently simulated SMs
+				// contend on the same addresses (histogram bins etc.).
+				if _, err := sm.dev.mem.AtomicAdd(addr, size, sm.operand(w, in.Srcs[1], l)); err != nil {
 					return err
 				}
 			}
@@ -122,7 +120,7 @@ func (sm *smState) execMemory(w *warp, in isa.Instr, execMask uint32, res *stepR
 			if !sm.l1.Access(addr) {
 				sm.stats.L2Accesses++
 				lat = cfg.L2HitLatency
-				if !sm.dev.l2.Access(addr) {
+				if !sm.l2.Access(addr) {
 					sm.stats.DRAMAccesses++
 					lat = cfg.DRAMLatency
 				}

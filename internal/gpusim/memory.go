@@ -3,18 +3,61 @@ package gpusim
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+)
+
+// Memory stripe geometry: addresses are striped across a small mutex
+// array at 128-byte (default cache line) granularity, so kernel accesses
+// to different lines proceed in parallel while same-line accesses from
+// concurrently simulated SMs serialize.
+const (
+	memStripeShift = 7
+	memStripeCount = 64 // power of two
 )
 
 // Memory is the device's flat global memory. Kernels address it with byte
 // addresses; hosts stage inputs and read back outputs through the typed
 // helpers. All multi-byte values are little-endian.
+//
+// The kernel-visible accessors (Load, Store, AtomicAdd) are safe for
+// concurrent use by the parallel per-SM launch path via lock striping by
+// address range. The host staging helpers (WriteU32s, ReadF64s, ...) are
+// not synchronized: call them only while no kernel is running.
 type Memory struct {
-	data []byte
+	data    []byte
+	stripes [memStripeCount]sync.Mutex
 }
 
 // NewMemory allocates size bytes of zeroed device memory.
 func NewMemory(size uint64) *Memory {
 	return &Memory{data: make([]byte, size)}
+}
+
+// lockSpan acquires the stripe lock(s) covering [addr, addr+n). An access
+// can straddle a stripe boundary, so up to two stripes are taken, always
+// in ascending index order to stay deadlock-free. unlockSpan releases.
+func (m *Memory) lockSpan(addr, n uint64) (a, b *sync.Mutex) {
+	i := (addr >> memStripeShift) % memStripeCount
+	j := ((addr + n - 1) >> memStripeShift) % memStripeCount
+	if i == j {
+		a = &m.stripes[i]
+		a.Lock()
+		return a, nil
+	}
+	if j < i {
+		i, j = j, i
+	}
+	a, b = &m.stripes[i], &m.stripes[j]
+	a.Lock()
+	b.Lock()
+	return a, b
+}
+
+func unlockSpan(a, b *sync.Mutex) {
+	if b != nil {
+		b.Unlock()
+	}
+	a.Unlock()
 }
 
 // Size returns the capacity in bytes.
@@ -30,33 +73,64 @@ func (m *Memory) check(addr, n uint64) error {
 
 // Load reads n (4 or 8) bytes at addr.
 func (m *Memory) Load(addr, n uint64) (uint64, error) {
+	if n != 4 && n != 8 {
+		return 0, fmt.Errorf("gpusim: unsupported access size %d", n)
+	}
 	if err := m.check(addr, n); err != nil {
 		return 0, err
 	}
-	switch n {
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(m.data[addr:])), nil
-	case 8:
-		return binary.LittleEndian.Uint64(m.data[addr:]), nil
-	default:
-		return 0, fmt.Errorf("gpusim: unsupported access size %d", n)
+	a, b := m.lockSpan(addr, n)
+	var v uint64
+	if n == 4 {
+		v = uint64(binary.LittleEndian.Uint32(m.data[addr:]))
+	} else {
+		v = binary.LittleEndian.Uint64(m.data[addr:])
 	}
+	unlockSpan(a, b)
+	return v, nil
 }
 
 // Store writes n (4 or 8) bytes at addr.
 func (m *Memory) Store(addr, n, val uint64) error {
+	if n != 4 && n != 8 {
+		return fmt.Errorf("gpusim: unsupported access size %d", n)
+	}
 	if err := m.check(addr, n); err != nil {
 		return err
 	}
-	switch n {
-	case 4:
+	a, b := m.lockSpan(addr, n)
+	if n == 4 {
 		binary.LittleEndian.PutUint32(m.data[addr:], uint32(val))
-	case 8:
+	} else {
 		binary.LittleEndian.PutUint64(m.data[addr:], val)
-	default:
-		return fmt.Errorf("gpusim: unsupported access size %d", n)
 	}
+	unlockSpan(a, b)
 	return nil
+}
+
+// AtomicAdd adds delta to the n (4 or 8) byte integer at addr and returns
+// the value it held before. The stripe lock is held across the whole
+// read-modify-write, so concurrent atomics from different SMs never lose
+// updates; because addition commutes, the final memory state is
+// independent of SM interleaving.
+func (m *Memory) AtomicAdd(addr, n, delta uint64) (uint64, error) {
+	if n != 4 && n != 8 {
+		return 0, fmt.Errorf("gpusim: unsupported access size %d", n)
+	}
+	if err := m.check(addr, n); err != nil {
+		return 0, err
+	}
+	a, b := m.lockSpan(addr, n)
+	var old uint64
+	if n == 4 {
+		old = uint64(binary.LittleEndian.Uint32(m.data[addr:]))
+		binary.LittleEndian.PutUint32(m.data[addr:], uint32(old+delta))
+	} else {
+		old = binary.LittleEndian.Uint64(m.data[addr:])
+		binary.LittleEndian.PutUint64(m.data[addr:], old+delta)
+	}
+	unlockSpan(a, b)
+	return old, nil
 }
 
 // --- Host-side staging helpers ---

@@ -62,13 +62,25 @@ func newSMStats() *SMStats {
 	}
 }
 
-// smState is one streaming multiprocessor mid-simulation.
+// smState is one streaming multiprocessor mid-simulation. Each SM owns
+// everything it touches on the hot path — warps, caches, execution units,
+// CRF, statistics — so smState.run needs no locks and one launch can run
+// its SMs on concurrent worker goroutines; only global memory (striped
+// locks inside Memory) is shared between SMs.
 type smState struct {
 	dev    *Device
 	id     int
 	kernel *Kernel
+	params []byte // kernel params, serialized once per launch (read-only)
 
 	l1 *Cache
+	// l2 is this SM's private shard of the L2 model: tags and statistics
+	// are per-SM, which keeps the timing simulation deterministic and
+	// lock-free under the parallel launch path. Shard stats merge into the
+	// device aggregate at fold time; hit rates differ marginally from a
+	// truly shared L2, exactly as the old SM-by-SM sequential loop
+	// admitted its warm-L2 carry-over did.
+	l2 *Cache
 
 	// ST² execution units and speculation source.
 	alu32, alu64, fpu, dpu *core.Unit

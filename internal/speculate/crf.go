@@ -43,10 +43,15 @@ type crfWrite struct {
 	carries  []uint64 // per-lane packed boundary carries (len 32)
 }
 
-// NewCRF builds a CRF with the given geometry. Seed fixes the arbitration
-// order so simulations are reproducible.
+// NewCRF builds a CRF with the given geometry. Entries must be a power of
+// two: Index selects a row by masking the low PC bits, so any other row
+// count would silently alias rows instead of using them all. Seed fixes
+// the arbitration order so simulations are reproducible.
 func NewCRF(entries, lanes int, boundaries uint, seed int64) (*CRF, error) {
-	if entries <= 0 || lanes <= 0 || boundaries == 0 || boundaries > 63 {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("speculate: CRF entry count %d not a power of two", entries)
+	}
+	if lanes <= 0 || boundaries == 0 || boundaries > 63 {
 		return nil, fmt.Errorf("speculate: bad CRF geometry %d×%d×%d", entries, lanes, boundaries)
 	}
 	rows := make([][]uint64, entries)
@@ -75,7 +80,8 @@ func NewDefaultCRF(seed int64) *CRF {
 // Entries returns the row count.
 func (c *CRF) Entries() int { return c.entries }
 
-// Index folds a PC into a row index (the PC[3:0] read index).
+// Index folds a PC into a row index (the PC[3:0] read index). The mask is
+// exact because NewCRF rejects non-power-of-two entry counts.
 func (c *CRF) Index(pc uint32) int { return int(pc) & (c.entries - 1) }
 
 // ReadRow returns the committed history of every lane in the row holding

@@ -314,6 +314,23 @@ func TestCRFGeometryAndErrors(t *testing.T) {
 	if _, err := NewCRF(16, 32, 0, 1); err == nil {
 		t.Error("zero boundaries should error")
 	}
+	// Regression: Index masks the low PC bits, so a 12-entry CRF would
+	// silently alias rows 12..15 onto 8..11 instead of erroring.
+	for _, n := range []int{3, 12, 24, 100} {
+		if _, err := NewCRF(n, 32, 7, 1); err == nil {
+			t.Errorf("non-power-of-two entry count %d should error", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 16, 64} {
+		c, err := NewCRF(n, 32, 7, 1)
+		if err != nil {
+			t.Errorf("power-of-two entry count %d rejected: %v", n, err)
+			continue
+		}
+		if got := c.Index(uint32(n + 1)); got != (n+1)%n {
+			t.Errorf("entries=%d: Index(%d) = %d, want %d", n, n+1, got, (n+1)%n)
+		}
+	}
 	c := NewDefaultCRF(1)
 	if c.Entries() != 16 {
 		t.Errorf("entries = %d", c.Entries())

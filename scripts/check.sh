@@ -1,0 +1,9 @@
+#!/bin/sh
+# Repo gate: static analysis + full test suite under the race detector.
+# Equivalent to `make check`; kept as a script for environments without
+# make.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./...
