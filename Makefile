@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The gate CI runs: static analysis plus the full test suite under the
-# race detector.
-check: vet race
+# The gate CI runs: static analysis, the full test suite under the race
+# detector, and a suite smoke pass with the run manifest sanity-checked.
+check: vet race bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Scale-1 suite pass with the JSONL manifest enabled; fails on NaN or
+# zero-instruction regressions. Writes BENCH_smoke.json.
+bench-smoke:
+	./scripts/bench_smoke.sh

@@ -14,17 +14,29 @@ import (
 	"os"
 
 	"st2gpu/internal/experiments"
+	"st2gpu/internal/metrics"
 	"st2gpu/internal/report"
 )
 
 func main() {
 	var (
-		scale  = flag.Int("scale", 1, "workload scale factor")
-		sms    = flag.Int("sms", 2, "simulated SM count")
-		widths = flag.Bool("widths", false, "run the slice-bitwidth DSE instead of the speculation sweep")
-		format = flag.String("format", "text", "output format: text, csv, or markdown")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		sms      = flag.Int("sms", 2, "simulated SM count")
+		widths   = flag.Bool("widths", false, "run the slice-bitwidth DSE instead of the speculation sweep")
+		format   = flag.String("format", "text", "output format: text, csv, markdown, or json")
+		sortCol  = flag.Bool("sort", false, "sort the Figure 5 sweep by miss rate instead of paper order")
+		progress = flag.Bool("progress", false, "print [i/n] kernel progress lines to stderr")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		addr, err := metrics.ServeDebug(*pprof, metrics.New())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "st2dse: serving /debug/pprof and /debug/vars on http://%s\n", addr)
+	}
 
 	if *widths {
 		results, best, err := experiments.SliceWidthDSE()
@@ -49,6 +61,11 @@ func main() {
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.NumSMs = *sms
+	if *progress {
+		cfg.Progress = func(done, total int, name string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, name)
+		}
+	}
 	rows, err := experiments.Fig5(cfg, nil)
 	if err != nil {
 		fatal(err)
@@ -57,6 +74,9 @@ func main() {
 		"design", "avg thread misprediction rate")
 	for _, r := range rows {
 		tbl.Add(r.Design, report.Pct(r.MissRate))
+	}
+	if *sortCol {
+		tbl.SortBy(1)
 	}
 	printTable(tbl, *format)
 }

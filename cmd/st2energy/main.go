@@ -14,6 +14,7 @@ import (
 	"text/tabwriter"
 
 	"st2gpu/internal/experiments"
+	"st2gpu/internal/metrics"
 	"st2gpu/internal/power"
 	"st2gpu/internal/report"
 )
@@ -23,9 +24,19 @@ func main() {
 		scale     = flag.Int("scale", 1, "workload scale factor")
 		sms       = flag.Int("sms", 2, "simulated SM count")
 		overheads = flag.Bool("overheads", false, "print the Section VI area/power overhead budget and exit")
-		format    = flag.String("format", "", "emit the breakdown as csv or markdown instead of the text report")
+		format    = flag.String("format", "", "emit the breakdown as csv, markdown, or json instead of the text report")
+		progress  = flag.Bool("progress", false, "print [i/n] kernel progress lines to stderr")
+		pprof     = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		addr, err := metrics.ServeDebug(*pprof, metrics.New())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "st2energy: serving /debug/pprof and /debug/vars on http://%s\n", addr)
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
@@ -51,6 +62,11 @@ func main() {
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.NumSMs = *sms
+	if *progress {
+		cfg.Progress = func(done, total int, name string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, name)
+		}
+	}
 	rows, sum, err := experiments.Fig7(cfg)
 	if err != nil {
 		fatal(err)

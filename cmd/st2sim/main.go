@@ -5,6 +5,7 @@
 // Usage:
 //
 //	st2sim [-kernel name|all] [-mode st2|baseline] [-scale N] [-sms N] [-report mix|mispred|cycles|full]
+//	       [-json out.jsonl] [-progress] [-pprof addr]
 package main
 
 import (
@@ -12,21 +13,27 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"st2gpu/internal/gpusim"
 	"st2gpu/internal/isa"
 	"st2gpu/internal/kernels"
+	"st2gpu/internal/metrics"
+	"st2gpu/internal/metrics/runlog"
 )
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "all", "kernel name from the suite, or 'all'")
-		mode   = flag.String("mode", "st2", "adder microarchitecture: st2 or baseline")
-		scale  = flag.Int("scale", 1, "workload scale factor")
-		sms    = flag.Int("sms", 2, "simulated SM count")
-		report = flag.String("report", "full", "report: mix, mispred, cycles, or full")
-		list   = flag.Bool("list", false, "list available kernels and exit")
-		app    = flag.String("app", "", "run a multi-kernel application (mergesort, fwt, bitonic, backprop)")
+		kernel   = flag.String("kernel", "all", "kernel name from the suite, or 'all'")
+		mode     = flag.String("mode", "st2", "adder microarchitecture: st2 or baseline")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		sms      = flag.Int("sms", 2, "simulated SM count")
+		report   = flag.String("report", "full", "report: mix, mispred, cycles, or full")
+		list     = flag.Bool("list", false, "list available kernels and exit")
+		app      = flag.String("app", "", "run a multi-kernel application (mergesort, fwt, bitonic, backprop)")
+		jsonPath = flag.String("json", "", "append one JSONL run-manifest event per launch to this file")
+		progress = flag.Bool("progress", false, "print [i/n] kernel progress lines to stderr")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -41,6 +48,33 @@ func main() {
 			fmt.Printf("%-14s (application)\n", a.Name)
 		}
 		return
+	}
+
+	switch *report {
+	case "mix", "mispred", "cycles", "full":
+	default:
+		fatal(fmt.Errorf("unknown -report %q (want mix, mispred, cycles, or full)", *report))
+	}
+
+	// The registry is process-wide so the pprof/expvar endpoint sees
+	// counts accumulate across launches; manifest events snapshot it
+	// after each launch.
+	reg := metrics.New()
+	if *pprof != "" {
+		addr, err := metrics.ServeDebug(*pprof, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "st2sim: serving /debug/pprof and /debug/vars on http://%s\n", addr)
+	}
+	var lg *runlog.Logger
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		lg = runlog.New(f)
 	}
 
 	if *app != "" {
@@ -89,7 +123,7 @@ func main() {
 		fmt.Fprintln(tw, "kernel\tmode\tcycles\tthread instrs\tadd frac\tmispred\tL1 hit\tDRAM tx")
 	}
 
-	for _, w := range suite {
+	for i, w := range suite {
 		spec, err := w.Build(*scale)
 		if err != nil {
 			fatal(err)
@@ -101,6 +135,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		d.SetMetrics(reg)
 		if spec.Setup != nil {
 			if err := spec.Setup(d.Memory()); err != nil {
 				fatal(err)
@@ -110,10 +145,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		tVerify := time.Now()
 		if spec.Verify != nil {
 			if err := spec.Verify(d.Memory()); err != nil {
 				fatal(fmt.Errorf("%s: output verification failed: %w", w.Name, err))
 			}
+		}
+		if lg != nil {
+			ph := d.LaunchTimings()
+			if ph.Verify = time.Since(tVerify); ph.Verify <= 0 {
+				ph.Verify = time.Nanosecond
+			}
+			if err := lg.LogRun(*scale, cfg, rs, ph, reg); err != nil {
+				fatal(fmt.Errorf("%s: manifest: %w", w.Name, err))
+			}
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", i+1, len(suite), w.Name)
 		}
 		printRow(tw, *report, w.Name, rs)
 	}

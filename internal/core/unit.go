@@ -136,6 +136,10 @@ type UnitStats struct {
 	// RecomputeHistogram[k] counts mispredicted thread-ops that recomputed
 	// exactly k slices (the paper's "1.94 slices per misprediction").
 	RecomputeHistogram *stats.Histogram
+	// MispredLanesHistogram[k] counts warp ops on which exactly k lanes
+	// mispredicted (0..WarpSize) — the within-kernel misprediction
+	// distribution behind the Figure 6 averages.
+	MispredLanesHistogram *stats.Histogram
 }
 
 // NewUnit builds a unit of the given kind with the paper's 8-bit slices
@@ -158,7 +162,10 @@ func NewUnit(kind UnitKind, sliceBits uint, price EnergyParams) (*Unit, error) {
 		ad:    ad,
 		geom:  g,
 		price: price,
-		agg:   UnitStats{RecomputeHistogram: stats.NewHistogram(int(cfg.NumSlices()))},
+		agg: UnitStats{
+			RecomputeHistogram:    stats.NewHistogram(int(cfg.NumSlices())),
+			MispredLanesHistogram: stats.NewHistogram(WarpSize),
+		},
 	}, nil
 }
 
@@ -173,7 +180,10 @@ func (u *Unit) Stats() UnitStats { return u.agg }
 
 // ResetStats clears the accumulated statistics.
 func (u *Unit) ResetStats() {
-	u.agg = UnitStats{RecomputeHistogram: stats.NewHistogram(int(u.geom.Boundaries()) + 1)}
+	u.agg = UnitStats{
+		RecomputeHistogram:    stats.NewHistogram(int(u.geom.Boundaries()) + 1),
+		MispredLanesHistogram: stats.NewHistogram(WarpSize),
+	}
 }
 
 // ExecuteWarp runs one warp add/sub through the ST² unit: speculate, slice,
@@ -228,6 +238,7 @@ func (u *Unit) ExecuteWarp(spec Speculator, pc, gtidBase uint32, lanes *[WarpSiz
 	}
 	spec.UpdateWarp(pc, gtidBase, activeMask, mispred, &actual)
 
+	u.agg.MispredLanesHistogram.Observe(res.ThreadMispredicts)
 	res.EnergyST2 = u.price.ST2WarpEnergy(res.ActiveLanes, res.RecomputedSlices, res.ThreadMispredicts)
 	res.EnergyBaseline = u.price.BaselineWarpEnergy(res.ActiveLanes)
 
@@ -282,6 +293,13 @@ func (s *UnitStats) Merge(o UnitStats) {
 	} else if o.RecomputeHistogram != nil {
 		if len(o.RecomputeHistogram.Counts) == len(s.RecomputeHistogram.Counts) {
 			_ = s.RecomputeHistogram.Merge(o.RecomputeHistogram)
+		}
+	}
+	if s.MispredLanesHistogram == nil {
+		s.MispredLanesHistogram = o.MispredLanesHistogram
+	} else if o.MispredLanesHistogram != nil {
+		if len(o.MispredLanesHistogram.Counts) == len(s.MispredLanesHistogram.Counts) {
+			_ = s.MispredLanesHistogram.Merge(o.MispredLanesHistogram)
 		}
 	}
 }

@@ -19,7 +19,7 @@ type AblationResult struct {
 // returns the average thread misprediction rate.
 func (c Config) suiteMissRate(mut func(*gpusim.Config)) (float64, error) {
 	rates := make([]float64, 23)
-	err := forEachKernel(func(i int, w kernels.Workload) error {
+	err := c.forEachKernel(func(i int, w kernels.Workload) error {
 		spec, err := w.Build(c.Scale)
 		if err != nil {
 			return err

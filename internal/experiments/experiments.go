@@ -8,11 +8,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"st2gpu/internal/circuit"
 	"st2gpu/internal/gpusim"
 	"st2gpu/internal/isa"
 	"st2gpu/internal/kernels"
+	"st2gpu/internal/metrics"
+	"st2gpu/internal/metrics/runlog"
 	"st2gpu/internal/power"
 	"st2gpu/internal/speculate"
 	"st2gpu/internal/stats"
@@ -28,6 +31,11 @@ type Config struct {
 	// launch use min(NumSMs, GOMAXPROCS) SM workers, 1 forces sequential
 	// SM simulation. Results are identical either way.
 	ParallelSMs int
+	// Progress, when non-nil, is called after each kernel of a suite pass
+	// finishes: done kernels so far, the suite total, and the kernel that
+	// just completed. Calls are serialized; done is monotonic even when
+	// kernels run concurrently.
+	Progress func(done, total int, name string)
 }
 
 // Default returns the configuration used by the benchmark harness.
@@ -72,12 +80,15 @@ func (c Config) runSpec(spec *kernels.Spec, mode gpusim.AdderMode, tracer gpusim
 // forEachKernel runs fn over the evaluation suite concurrently (one
 // goroutine per kernel, bounded by GOMAXPROCS). Each invocation gets its
 // own device, so results are deterministic and order-independent; fn
-// receives the kernel's index for order-preserving collection.
-func forEachKernel(fn func(i int, w kernels.Workload) error) error {
+// receives the kernel's index for order-preserving collection. If
+// c.Progress is set it is invoked under a mutex as each kernel finishes.
+func (c Config) forEachKernel(fn func(i int, w kernels.Workload) error) error {
 	ws := kernels.Suite()
 	errs := make([]error, len(ws))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
 	for i, w := range ws {
 		i, w := i, w
 		wg.Add(1)
@@ -86,6 +97,12 @@ func forEachKernel(fn func(i int, w kernels.Workload) error) error {
 			defer wg.Done()
 			defer func() { <-sem }()
 			errs[i] = fn(i, w)
+			if c.Progress != nil {
+				mu.Lock()
+				done++
+				c.Progress(done, len(ws), w.Name)
+				mu.Unlock()
+			}
 		}()
 	}
 	wg.Wait()
@@ -106,6 +123,60 @@ func (c Config) runWorkload(w kernels.Workload, mode gpusim.AdderMode, tracer gp
 	return c.runSpec(spec, mode, tracer)
 }
 
+// RunSuite runs the full evaluation suite sequentially under one adder
+// mode and returns the per-kernel RunStats in suite order. When lg is
+// non-nil it emits one runlog manifest event per launch; each launch
+// gets a fresh metrics registry so every event's snapshot is
+// self-contained. The verify phase is timed around the workload's
+// output check (clamped to ≥1ns so manifests never report zero).
+// cfg.Progress, if set, fires after each kernel.
+func RunSuite(cfg Config, mode gpusim.AdderMode, lg *runlog.Logger) ([]*gpusim.RunStats, error) {
+	ws := kernels.Suite()
+	out := make([]*gpusim.RunStats, 0, len(ws))
+	for i, w := range ws {
+		spec, err := w.Build(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		dc := cfg.deviceConfig(mode)
+		d, err := gpusim.New(dc)
+		if err != nil {
+			return nil, err
+		}
+		reg := metrics.New()
+		d.SetMetrics(reg)
+		if spec.Setup != nil {
+			if err := spec.Setup(d.Memory()); err != nil {
+				return nil, fmt.Errorf("experiments: %s setup: %w", spec.Name, err)
+			}
+		}
+		rs, err := d.Launch(spec.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+		}
+		tVerify := time.Now()
+		if spec.Verify != nil {
+			if err := spec.Verify(d.Memory()); err != nil {
+				return nil, fmt.Errorf("experiments: %s output check: %w", spec.Name, err)
+			}
+		}
+		ph := d.LaunchTimings()
+		if ph.Verify = time.Since(tVerify); ph.Verify <= 0 {
+			ph.Verify = time.Nanosecond
+		}
+		if lg != nil {
+			if err := lg.LogRun(cfg.Scale, dc, rs, ph, reg); err != nil {
+				return nil, fmt.Errorf("experiments: %s manifest: %w", spec.Name, err)
+			}
+		}
+		out = append(out, rs)
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(ws), w.Name)
+		}
+	}
+	return out, nil
+}
+
 // --- Figure 1: dynamic instruction mix ---
 
 // MixRow is one bar of Figure 1.
@@ -122,7 +193,7 @@ type MixRow struct {
 // dynamic instructions, with an Average row appended.
 func Fig1(cfg Config) ([]MixRow, error) {
 	rows := make([]MixRow, 23)
-	err := forEachKernel(func(i int, w kernels.Workload) error {
+	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
 		rs, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, nil)
 		if err != nil {
 			return err
@@ -202,7 +273,7 @@ type Fig3Row struct {
 func Fig3(cfg Config) ([]Fig3Row, error) {
 	rows := make([]Fig3Row, 23)
 	raws := make([][3]stats.Rate, 23)
-	err := forEachKernel(func(i int, w kernels.Workload) error {
+	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
 		cm, err := trace.NewCorrMeter()
 		if err != nil {
 			return err
@@ -257,7 +328,7 @@ func Fig5(cfg Config, designs []string) ([]Fig5Row, error) {
 		designs = speculate.DesignSpace
 	}
 	perKernel := make([]map[string]float64, 23)
-	err := forEachKernel(func(i int, w kernels.Workload) error {
+	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
 		meter, err := trace.NewDSEMeter(designs)
 		if err != nil {
 			return err
@@ -310,7 +381,7 @@ type Fig6Row struct {
 // appended last.
 func Fig6(cfg Config) ([]Fig6Row, error) {
 	rows := make([]Fig6Row, 23)
-	err := forEachKernel(func(i int, w kernels.Workload) error {
+	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
 		rs, _, err := cfg.runWorkload(w, gpusim.ST2Adders, nil)
 		if err != nil {
 			return err
@@ -395,7 +466,7 @@ func Fig7(cfg Config) ([]Fig7Row, Fig7Summary, error) {
 		return nil, Fig7Summary{}, err
 	}
 	rows := make([]Fig7Row, 23)
-	err = forEachKernel(func(i int, w kernels.Workload) error {
+	err = cfg.forEachKernel(func(i int, w kernels.Workload) error {
 		base, dBase, err := cfg.runWorkload(w, gpusim.BaselineAdders, nil)
 		if err != nil {
 			return err
@@ -460,7 +531,7 @@ type PerfRow struct {
 // worst case 3.5%" analysis. The Average row is appended last.
 func PerfOverhead(cfg Config) ([]PerfRow, error) {
 	rows := make([]PerfRow, 23)
-	err := forEachKernel(func(i int, w kernels.Workload) error {
+	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
 		base, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, nil)
 		if err != nil {
 			return err

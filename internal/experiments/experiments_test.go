@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/metrics/runlog"
 	"st2gpu/internal/power"
 	"st2gpu/internal/speculate"
 )
@@ -331,6 +336,51 @@ func TestTechnologyScaling(t *testing.T) {
 		if !(byTech[tech][4].EnergySaving > byTech[tech][8].EnergySaving &&
 			byTech[tech][8].EnergySaving > byTech[tech][16].EnergySaving) {
 			t.Errorf("%s: width ordering broken", tech)
+		}
+	}
+}
+
+func TestRunSuiteManifestAndProgress(t *testing.T) {
+	var buf bytes.Buffer
+	lg := runlog.New(&buf)
+	var calls []string
+	cfg := Default()
+	cfg.Progress = func(done, total int, name string) {
+		if done < 1 || done > total {
+			t.Errorf("progress done=%d total=%d", done, total)
+		}
+		calls = append(calls, name)
+	}
+	rss, err := RunSuite(cfg, gpusim.ST2Adders, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rss) != 23 {
+		t.Fatalf("want 23 runs, got %d", len(rss))
+	}
+	if len(calls) != 23 {
+		t.Errorf("progress fired %d times, want 23", len(calls))
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 23 {
+		t.Fatalf("manifest has %d lines, want 23", len(lines))
+	}
+	for i, line := range lines {
+		var ev runlog.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: invalid JSON: %v", i, err)
+		}
+		if ev.Seq != i || ev.Kernel != calls[i] {
+			t.Errorf("line %d: seq=%d kernel=%q, progress saw %q", i, ev.Seq, ev.Kernel, calls[i])
+		}
+		if ev.Stats.TotalThreadInstrs == 0 {
+			t.Errorf("line %d (%s): zero thread instructions", i, ev.Kernel)
+		}
+		if !(ev.Phases.SetupS > 0 && ev.Phases.SimulateS > 0 && ev.Phases.FoldS > 0 && ev.Phases.VerifyS > 0) {
+			t.Errorf("line %d (%s): non-positive phase timing: %+v", i, ev.Kernel, ev.Phases)
+		}
+		if ev.Metrics == nil {
+			t.Errorf("line %d (%s): registry snapshot missing", i, ev.Kernel)
 		}
 	}
 }

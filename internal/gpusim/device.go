@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"st2gpu/internal/circuit"
 	"st2gpu/internal/core"
 	"st2gpu/internal/isa"
+	"st2gpu/internal/metrics"
 	"st2gpu/internal/speculate"
+	"st2gpu/internal/stats"
 )
 
 // Kernel is a launch request: a validated program, its grid geometry, and
@@ -96,7 +99,18 @@ type Device struct {
 	// (the device-level cumulative view RunStats.L2 reports). Written
 	// only at fold time, after all SM workers have joined.
 	l2Stats CacheStats
+
+	// met publishes launch activity into an installed metrics.Registry
+	// (nil: disabled). timings holds the previous Launch's wall-clock
+	// phase breakdown; both are launch-serial like the rest of Device.
+	met     *deviceMetrics
+	timings PhaseTimings
 }
+
+// LaunchTimings returns the wall-clock phase breakdown of the most
+// recent Launch (Verify left zero for the caller to fill). Launches are
+// serial per device, so this is simply "the last launch".
+func (d *Device) LaunchTimings() PhaseTimings { return d.timings }
 
 // SetTracer installs (or clears, with nil) the adder-operation observer.
 func (d *Device) SetTracer(t AddTracer) { d.tracer = t }
@@ -185,6 +199,17 @@ type RunStats struct {
 
 	CRF speculate.CRFStats
 
+	// PerSMCycles is every used SM's cycle count in SM-ID order; Cycles
+	// is its maximum. The spread is the launch's load imbalance.
+	PerSMCycles []uint64
+
+	// RecomputeHist merges every unit's slices-recomputed-per-
+	// misprediction histogram (units with fewer slices clamp into the
+	// shared bucket range). MispredLanesHist counts warp-level add ops by
+	// how many of their lanes mispredicted (0..32).
+	RecomputeHist    *stats.Histogram
+	MispredLanesHist *stats.Histogram
+
 	RegReads, RegWrites uint64
 	SharedAccesses      uint64
 	ParamAccesses       uint64
@@ -231,6 +256,22 @@ func (r *RunStats) SIMDEfficiency() float64 {
 	return float64(r.TotalThreadInstrs()) / float64(warp*32)
 }
 
+// CycleImbalance returns (max−min)/max over the used SMs' cycle counts:
+// 0 means perfectly balanced, 1 means at least one SM finished instantly
+// while another ran the critical path.
+func (r *RunStats) CycleImbalance() float64 {
+	if len(r.PerSMCycles) == 0 || r.Cycles == 0 {
+		return 0
+	}
+	min := r.PerSMCycles[0]
+	for _, c := range r.PerSMCycles[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return float64(r.Cycles-min) / float64(r.Cycles)
+}
+
 // MispredictionRate returns the overall thread misprediction rate across
 // all ST² units.
 func (r *RunStats) MispredictionRate() float64 {
@@ -265,6 +306,7 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
+	tSetup := time.Now()
 	run := &RunStats{
 		Kernel:           k.Program.Name,
 		Mode:             d.cfg.AdderMode,
@@ -272,6 +314,8 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 		WarpInstrs:       make(map[isa.FUClass]uint64),
 		Units:            make(map[core.UnitKind]core.UnitStats),
 		BaselineAdderOps: make(map[core.UnitKind]uint64),
+		RecomputeHist:    stats.NewHistogram(d.maxSlices()),
+		MispredLanesHist: stats.NewHistogram(core.WarpSize),
 	}
 
 	// Distribute blocks round-robin over SMs.
@@ -291,9 +335,14 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 		for b := smID; b < k.GridDim; b += numSMs {
 			sm.blockQueue = append(sm.blockQueue, b)
 		}
+		if d.met != nil {
+			sm.shard = d.met.reg.NewShard()
+		}
 		sms[smID] = sm
 	}
+	d.timings = PhaseTimings{Setup: clampPhase(time.Since(tSetup))}
 
+	tSim := time.Now()
 	workers := d.cfg.smWorkers(numSMs)
 	if d.tracer != nil {
 		workers = 1
@@ -329,10 +378,30 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 		}
 	}
 
+	d.timings.Simulate = clampPhase(time.Since(tSim))
+
+	tFold := time.Now()
 	for _, sm := range sms {
 		d.foldSM(run, sm)
 	}
+	d.foldMetrics(run, sms)
+	d.timings.Fold = clampPhase(time.Since(tFold))
 	return run, nil
+}
+
+// foldMetrics publishes the launch into the installed metrics registry:
+// per-SM shards fold in SM-ID order, then launch-level values are added
+// directly (single-threaded).
+func (d *Device) foldMetrics(run *RunStats, sms []*smState) {
+	if d.met == nil {
+		return
+	}
+	shards := make([]*metrics.Shard, len(sms))
+	for i, sm := range sms {
+		shards[i] = sm.shard
+	}
+	d.met.reg.Fold(shards...)
+	d.publishLaunch(run)
 }
 
 func (d *Device) newSM(id int, k *Kernel, params []byte) (*smState, error) {
@@ -419,7 +488,7 @@ func (d *Device) foldSM(run *RunStats, sm *smState) {
 	for c, v := range sm.stats.WarpInstrs {
 		run.WarpInstrs[c] += v
 	}
-	for _, u := range []*core.Unit{sm.alu32, sm.alu64, sm.fpu, sm.dpu} {
+	for _, u := range sm.units() {
 		agg := run.Units[u.Kind]
 		agg.Merge(u.Stats())
 		run.Units[u.Kind] = agg
@@ -427,14 +496,15 @@ func (d *Device) foldSM(run *RunStats, sm *smState) {
 	for kind, n := range sm.baselineAdderOps {
 		run.BaselineAdderOps[kind] += n
 	}
+	for _, u := range sm.units() {
+		us := u.Stats()
+		run.RecomputeHist.MergeClamped(us.RecomputeHistogram)
+		run.MispredLanesHist.MergeClamped(us.MispredLanesHistogram)
+	}
+	run.PerSMCycles = append(run.PerSMCycles, sm.cycle)
 	if sm.crf != nil {
 		sm.crf.Flush()
-		cs := sm.crf.Stats()
-		run.CRF.Reads += cs.Reads
-		run.CRF.WriteRequests += cs.WriteRequests
-		run.CRF.WritesCommitted += cs.WritesCommitted
-		run.CRF.Conflicts += cs.Conflicts
-		run.CRF.LaneBitsWritten += cs.LaneBitsWritten
+		run.CRF.Merge(sm.crf.Stats())
 	}
 	run.RegReads += sm.stats.RegReads
 	run.RegWrites += sm.stats.RegWrites

@@ -7,6 +7,7 @@ import (
 
 	"st2gpu/internal/core"
 	"st2gpu/internal/isa"
+	"st2gpu/internal/metrics"
 )
 
 // Cross-checks for the parallel per-SM launch path: the worker count must
@@ -156,6 +157,96 @@ func TestParallelMatchesSequential(t *testing.T) {
 				t.Errorf("%s/%v: memory contents diverge between sequential and parallel", tc.name, mode)
 			}
 		}
+	}
+}
+
+// TestMetricsFoldBitIdentical runs the same launch with a fresh metrics
+// registry at several worker counts and requires identical snapshots:
+// per-SM shards fold in SM-ID order and every folded value is a sum, so
+// ParallelSMs must never change a single metric bit.
+func TestMetricsFoldBitIdentical(t *testing.T) {
+	prog := fpKernel(t)
+	run := func(workers int) map[string]any {
+		d, err := New(parallelConfig(workers, ST2Adders))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.New()
+		d.SetMetrics(reg)
+		in := make([]float32, 32*128)
+		for i := range in {
+			in[i] = float32(i%257) * 0.375
+		}
+		if err := d.Memory().WriteF32s(0x1000, in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Launch(&Kernel{Program: prog, GridDim: 32, BlockDim: 128}); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot()
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 8} {
+		if par := run(workers); !reflect.DeepEqual(seq, par) {
+			t.Errorf("metrics snapshot diverges at ParallelSMs=%d:\nseq: %v\npar: %v", workers, seq, par)
+		}
+	}
+	if v, ok := seq["sim.launches"]; !ok || v.(uint64) != 1 {
+		t.Errorf("sim.launches = %v, want 1", seq["sim.launches"])
+	}
+	if v := seq["sim.st2_thread_ops"].(uint64); v == 0 {
+		t.Error("sim.st2_thread_ops is zero — shards not publishing")
+	}
+}
+
+// TestRunStatsObservabilityFields checks the new RunStats surface on a
+// real launch: per-SM cycles, the imbalance metric, and both
+// misprediction histograms.
+func TestRunStatsObservabilityFields(t *testing.T) {
+	d, err := New(parallelConfig(0, ST2Adders))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float32, 32*128)
+	for i := range in {
+		in[i] = float32(i%257) * 0.375
+	}
+	if err := d.Memory().WriteF32s(0x1000, in); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := d.Launch(&Kernel{Program: fpKernel(t), GridDim: 32, BlockDim: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.PerSMCycles) != rs.SMsUsed {
+		t.Fatalf("PerSMCycles has %d entries, want %d", len(rs.PerSMCycles), rs.SMsUsed)
+	}
+	var maxSM uint64
+	for _, c := range rs.PerSMCycles {
+		if c > maxSM {
+			maxSM = c
+		}
+	}
+	if maxSM != rs.Cycles {
+		t.Errorf("max(PerSMCycles) = %d, Cycles = %d", maxSM, rs.Cycles)
+	}
+	if imb := rs.CycleImbalance(); imb < 0 || imb >= 1 {
+		t.Errorf("CycleImbalance = %g outside [0,1)", imb)
+	}
+	if rs.MispredLanesHist == nil || rs.MispredLanesHist.Total() == 0 {
+		t.Error("MispredLanesHist empty on an ST² FP launch")
+	}
+	var mispred uint64
+	for _, u := range rs.Units {
+		mispred += u.ThreadMispredicts
+	}
+	if mispred > 0 && rs.RecomputeHist.Total() != mispred {
+		t.Errorf("RecomputeHist total %d != thread mispredicts %d",
+			rs.RecomputeHist.Total(), mispred)
+	}
+	ph := d.LaunchTimings()
+	if ph.Setup <= 0 || ph.Simulate <= 0 || ph.Fold <= 0 {
+		t.Errorf("phase timings not all positive: %+v", ph)
 	}
 }
 

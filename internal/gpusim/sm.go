@@ -5,6 +5,7 @@ import (
 
 	"st2gpu/internal/core"
 	"st2gpu/internal/isa"
+	"st2gpu/internal/metrics"
 	"st2gpu/internal/speculate"
 )
 
@@ -98,6 +99,16 @@ type smState struct {
 	rrPos    int
 	lastWarp int // GTO: the warp that issued most recently (-1 none)
 	stats    *SMStats
+
+	// shard is this SM's private metrics buffer (nil when no registry is
+	// installed); written once at the end of run, folded by the device in
+	// SM-ID order after all workers join.
+	shard *metrics.Shard
+}
+
+// units returns the SM's ST² execution units in a fixed fold order.
+func (sm *smState) units() []*core.Unit {
+	return []*core.Unit{sm.alu32, sm.alu64, sm.fpu, sm.dpu}
 }
 
 func (sm *smState) poolPipes(k poolKind) []uint64 { return sm.pools[k] }
@@ -416,6 +427,7 @@ func (sm *smState) run() error {
 		sm.cycle = next
 	}
 	sm.stats.Cycles = sm.cycle
+	sm.publishShard()
 	return nil
 }
 

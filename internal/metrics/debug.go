@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+)
+
+// ExpvarName is the expvar key the registry snapshot is published under
+// (GET /debug/vars on the debug listener).
+const ExpvarName = "st2.metrics"
+
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP listener on addr serving net/http/pprof
+// (/debug/pprof/) and expvar (/debug/vars) with the registry snapshot
+// published under ExpvarName. It returns the bound address (useful with
+// ":0") and never blocks; the listener runs until the process exits.
+// Only the first registry passed across the process lifetime is exported
+// — expvar's namespace is global.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish(ExpvarName, expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// The default mux carries the pprof and expvar handlers.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

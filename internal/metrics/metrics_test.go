@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("ops")
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	if r.Counter("ops") != c {
+		t.Error("re-registering a counter must return the same cell")
+	}
+
+	g := r.Gauge("temp")
+	g.Set(1.5)
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", g.Value())
+	}
+
+	h := r.Histogram("lat", 4)
+	h.Observe(0)
+	h.Observe(2)
+	h.Observe(99) // clamps into last bucket
+	h.Observe(-1) // clamps into first
+	want := []uint64{2, 0, 1, 0, 1}
+	if got := h.Counts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("hist = %v, want %v", got, want)
+	}
+
+	snap := r.Snapshot()
+	if snap["ops"] != uint64(7) || snap["temp"] != 2.5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if !reflect.DeepEqual(r.Names(), []string{"lat", "ops", "temp"}) {
+		t.Errorf("names = %v", r.Names())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestShardFoldDeterministic folds the same per-shard contents arriving
+// in different shard orders and via different shard counts, and checks
+// the registry ends in the identical state — the bit-identical-fold
+// contract gpusim relies on for any ParallelSMs setting.
+func TestShardFoldDeterministic(t *testing.T) {
+	build := func(shardValues [][]uint64) map[string]any {
+		r := New()
+		c := r.Counter("c")
+		h := r.Histogram("h", 3)
+		shards := make([]*Shard, len(shardValues))
+		for i := range shards {
+			shards[i] = r.NewShard()
+			for _, v := range shardValues[i] {
+				shards[i].Count(c, v)
+				shards[i].Observe(h, int(v%4))
+			}
+		}
+		r.Fold(shards...)
+		return r.Snapshot()
+	}
+	a := build([][]uint64{{1, 2, 3}, {4, 5}, {6}})
+	b := build([][]uint64{{6}, {4, 5}, {1, 2, 3}}) // same work, different shard layout
+	c := build([][]uint64{{1, 2, 3, 4, 5, 6}})     // one shard
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+		t.Errorf("fold not layout-independent:\n%v\n%v\n%v", a, b, c)
+	}
+}
+
+func TestFoldResetsShards(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	s := r.NewShard()
+	s.Count(c, 5)
+	r.Fold(s)
+	r.Fold(s) // second fold of an already-drained shard adds nothing
+	if c.Value() != 5 {
+		t.Errorf("counter = %d after double fold, want 5", c.Value())
+	}
+}
+
+func TestGaugeFoldLastShardWins(t *testing.T) {
+	r := New()
+	g := r.Gauge("g")
+	s0, s1 := r.NewShard(), r.NewShard()
+	s0.SetGauge(g, 1)
+	s1.SetGauge(g, 2)
+	r.Fold(s0, s1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %g, want 2 (last shard in fold order)", g.Value())
+	}
+}
+
+// TestConcurrentShards exercises the intended concurrency pattern under
+// the race detector: one shard per goroutine, folded after the join,
+// while a reader snapshots the registry mid-flight.
+func TestConcurrentShards(t *testing.T) {
+	r := New()
+	c := r.Counter("ops")
+	h := r.Histogram("v", 8)
+	const workers, iters = 8, 1000
+	shards := make([]*Shard, workers)
+	for i := range shards {
+		shards[i] = r.NewShard()
+	}
+	done := make(chan struct{})
+	go func() { // concurrent exporter
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+		}
+		close(done)
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				s.Count(c, 1)
+				s.Observe(h, j%9)
+			}
+		}(shards[i])
+	}
+	wg.Wait()
+	r.Fold(shards...)
+	<-done
+	if c.Value() != workers*iters {
+		t.Errorf("ops = %d, want %d", c.Value(), workers*iters)
+	}
+	var tot uint64
+	for _, n := range h.Counts() {
+		tot += n
+	}
+	if tot != workers*iters {
+		t.Errorf("hist total = %d, want %d", tot, workers*iters)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := New()
+	r.Counter("dbg.ops").Add(11)
+	addr, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := vars[ExpvarName]
+	if !ok {
+		t.Fatalf("expvar %q missing; keys: %v", ExpvarName, keys(vars))
+	}
+	if !strings.Contains(string(raw), `"dbg.ops":11`) {
+		t.Errorf("snapshot = %s", raw)
+	}
+	// pprof index must be mounted too.
+	pp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", pp.StatusCode)
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

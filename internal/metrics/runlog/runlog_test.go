@@ -1,0 +1,220 @@
+package runlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"st2gpu/internal/core"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/isa"
+	"st2gpu/internal/metrics"
+	"st2gpu/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden manifest")
+
+// fixedLogger returns a logger with every nondeterministic capture point
+// pinned, so its output is byte-stable.
+func fixedLogger(w *bytes.Buffer) *Logger {
+	l := New(w)
+	l.Host = Host{OS: "linux", Arch: "amd64", NumCPU: 8, GoVersion: "go1.22", Hostname: "ci"}
+	l.Version = "deadbeef"
+	l.Now = func() time.Time { return time.UnixMilli(1700000000000) }
+	return l
+}
+
+func TestGoldenManifest(t *testing.T) {
+	rs := goldenRun()
+	cfg := gpusim.DefaultConfig()
+	ph := gpusim.PhaseTimings{
+		Setup:    1 * time.Millisecond,
+		Simulate: 20 * time.Millisecond,
+		Fold:     500 * time.Microsecond,
+		Verify:   2 * time.Millisecond,
+	}
+	var buf bytes.Buffer
+	l := fixedLogger(&buf)
+	if err := l.LogRun(1, cfg, rs, ph, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("manifest drifted from golden file:\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// goldenRun is the synthetic RunStats behind the golden file.
+func goldenRun() *gpusim.RunStats {
+	rh := stats.NewHistogram(8)
+	rh.Observe(1)
+	rh.Observe(2)
+	mh := stats.NewHistogram(32)
+	mh.Observe(0)
+	mh.Observe(3)
+	rs := &gpusim.RunStats{
+		Kernel:       "synthetic",
+		Mode:         gpusim.ST2Adders,
+		Cycles:       1000,
+		SMsUsed:      2,
+		PerSMCycles:  []uint64{900, 1000},
+		ThreadInstrs: map[isa.FUClass]uint64{isa.FUAluAdd: 640, isa.FUMem: 64},
+		WarpInstrs:   map[isa.FUClass]uint64{isa.FUAluAdd: 20, isa.FUMem: 2},
+		Units: map[core.UnitKind]core.UnitStats{
+			core.ALU: {WarpOps: 20, ThreadOps: 640, ThreadMispredicts: 64, EnergyST2: 1e-9, EnergyBaseline: 4e-9},
+		},
+		BaselineAdderOps: map[core.UnitKind]uint64{},
+		RegReads:         1280,
+		RegWrites:        640,
+		L1:               gpusim.CacheStats{Accesses: 64, Hits: 48, Misses: 16},
+		L2:               gpusim.CacheStats{Accesses: 16, Hits: 8, Misses: 8},
+		DRAMAccesses:     8,
+		RecomputeHist:    rh,
+		MispredLanesHist: mh,
+	}
+	rs.CRF.Reads = 20
+	rs.CRF.WriteRequests = 4
+	rs.CRF.WritesCommitted = 3
+	rs.CRF.Conflicts = 1
+	rs.CRF.RowReads = []uint64{10, 10}
+	rs.CRF.RowDistinctPCs = []uint64{1, 2}
+	return rs
+}
+
+// TestLiveManifest runs a real (tiny) kernel through the simulator with
+// a metrics registry installed and checks the emitted line end to end:
+// valid JSON, positive phase timings, non-zero instruction counts, and
+// the new histograms present.
+func TestLiveManifest(t *testing.T) {
+	b := isa.NewBuilder("manifest")
+	gtid := b.Reg()
+	acc := b.Reg()
+	b.MovSpecial(gtid, isa.SRegGtid)
+	b.IAdd(isa.U32, acc, isa.R(gtid), isa.Imm(1))
+	for i := 0; i < 4; i++ {
+		b.IAdd(isa.U32, acc, isa.R(acc), isa.R(gtid))
+	}
+	b.Exit()
+	prog := b.MustBuild()
+
+	cfg := gpusim.DefaultConfig()
+	cfg.NumSMs = 2
+	d, err := gpusim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	d.SetMetrics(reg)
+	rs, err := d.Launch(&gpusim.Kernel{Program: prog, GridDim: 4, BlockDim: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := d.LaunchTimings()
+	ph.Verify = time.Microsecond
+
+	var buf bytes.Buffer
+	l := New(&buf)
+	if err := l.LogRun(1, cfg, rs, ph, reg); err != nil {
+		t.Fatal(err)
+	}
+
+	line := buf.String()
+	if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "\n") {
+		t.Fatalf("want exactly one newline-terminated JSONL line, got %q", line)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	if ev.Schema != Schema || ev.Seq != 0 || ev.Kernel != "manifest" {
+		t.Errorf("header fields wrong: %+v", ev)
+	}
+	for name, v := range map[string]float64{
+		"setup_s":    ev.Phases.SetupS,
+		"simulate_s": ev.Phases.SimulateS,
+		"fold_s":     ev.Phases.FoldS,
+		"verify_s":   ev.Phases.VerifyS,
+		"total_s":    ev.Phases.TotalS,
+	} {
+		if !(v > 0) {
+			t.Errorf("phase %s = %v, want > 0", name, v)
+		}
+	}
+	if ev.Stats.TotalThreadInstrs == 0 || ev.Stats.Cycles == 0 {
+		t.Errorf("empty stats: %+v", ev.Stats)
+	}
+	if ev.Stats.RecomputeHist == nil || ev.Stats.MispredLanesHist == nil {
+		t.Error("observability histograms missing from manifest")
+	}
+	if len(ev.Stats.PerSMCycles) != rs.SMsUsed {
+		t.Errorf("per_sm_cycles has %d entries, want %d", len(ev.Stats.PerSMCycles), rs.SMsUsed)
+	}
+	if len(ev.Stats.CRF.RowReads) == 0 {
+		t.Error("CRF row occupancy missing")
+	}
+	if ev.Metrics == nil {
+		t.Error("registry snapshot missing")
+	} else if _, ok := ev.Metrics["sim.launches"]; !ok {
+		t.Errorf("sim.launches missing from metrics snapshot: %v", ev.Metrics)
+	}
+}
+
+// TestNaNRejected pins the manifest's NaN policy: a NaN statistic must
+// fail the write loudly instead of silently serializing.
+func TestNaNRejected(t *testing.T) {
+	rs := goldenRun()
+	u := rs.Units[core.ALU]
+	u.EnergyST2 = math.NaN()
+	rs.Units[core.ALU] = u
+	var buf bytes.Buffer
+	l := fixedLogger(&buf)
+	if err := l.LogRun(1, gpusim.DefaultConfig(), rs, gpusim.PhaseTimings{}, nil); err == nil {
+		t.Error("NaN statistic must fail to encode")
+	}
+	if buf.Len() != 0 {
+		t.Error("failed event must not be partially written")
+	}
+}
+
+func TestSequenceNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf)
+	rs := goldenRun()
+	for i := 0; i < 3; i++ {
+		if err := l.LogRun(1, gpusim.DefaultConfig(), rs, gpusim.PhaseTimings{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != i {
+			t.Errorf("line %d has seq %d", i, ev.Seq)
+		}
+	}
+}

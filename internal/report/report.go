@@ -1,10 +1,13 @@
-// Package report renders experiment results as aligned text, CSV, or
-// Markdown tables — the output layer of the cmd/ tools, so every figure
-// the harness regenerates can be exported for plotting.
+// Package report renders experiment results as aligned text, CSV,
+// Markdown, or JSON tables — the output layer of the cmd/ tools, so
+// every figure the harness regenerates can be exported for plotting.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -37,8 +40,44 @@ func (t *Table) Add(cells ...any) *Table {
 	return t
 }
 
-// AddPct appends a float as a percentage cell to the last row.
+// Pct formats a fraction as a percentage cell ("0.0964" → "9.64%").
 func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// SortBy stably sorts the rows ascending by column col and returns the
+// table for chaining. Cells that parse as numbers (a trailing "%" is
+// ignored, so Pct cells sort correctly) compare numerically; otherwise
+// lexically, with numeric cells ordering before non-numeric ones. An
+// out-of-range col leaves the table untouched.
+func (t *Table) SortBy(col int) *Table {
+	if col < 0 || col >= len(t.Header) {
+		return t
+	}
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		var a, b string
+		if col < len(t.Rows[i]) {
+			a = t.Rows[i][col]
+		}
+		if col < len(t.Rows[j]) {
+			b = t.Rows[j][col]
+		}
+		fa, oka := parseCell(a)
+		fb, okb := parseCell(b)
+		switch {
+		case oka && okb:
+			return fa < fb
+		case oka != okb:
+			return oka
+		default:
+			return a < b
+		}
+	})
+	return t
+}
+
+func parseCell(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	return v, err == nil
+}
 
 // Validate reports whether every row matches the header width.
 func (t *Table) Validate() error {
@@ -135,7 +174,33 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
-// Render dispatches on format: "text", "csv", or "markdown"/"md".
+// JSON renders the table as a single JSON object
+// {"title":…,"header":[…],"rows":[{col:cell,…},…]} with one object per
+// row keyed by header name, trailing newline included — the shape
+// plotting scripts ingest directly. Cells stay strings; numeric parsing
+// is the consumer's choice.
+func (t *Table) JSON() (string, error) {
+	rows := make([]map[string]string, len(t.Rows))
+	for i, r := range t.Rows {
+		obj := make(map[string]string, len(t.Header))
+		for j, h := range t.Header {
+			obj[h] = r[j]
+		}
+		rows[i] = obj
+	}
+	out, err := json.Marshal(struct {
+		Title  string              `json:"title"`
+		Header []string            `json:"header"`
+		Rows   []map[string]string `json:"rows"`
+	}{t.Title, t.Header, rows})
+	if err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return string(out) + "\n", nil
+}
+
+// Render dispatches on format: "text", "csv", "markdown"/"md", or
+// "json".
 func (t *Table) Render(format string) (string, error) {
 	if err := t.Validate(); err != nil {
 		return "", err
@@ -147,7 +212,9 @@ func (t *Table) Render(format string) (string, error) {
 		return t.CSV(), nil
 	case "markdown", "md":
 		return t.Markdown(), nil
+	case "json":
+		return t.JSON()
 	default:
-		return "", fmt.Errorf("report: unknown format %q", format)
+		return "", fmt.Errorf("report: unknown format %q (want text, csv, markdown, or json)", format)
 	}
 }

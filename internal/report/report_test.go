@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -52,9 +54,75 @@ func TestMarkdown(t *testing.T) {
 	}
 }
 
+func TestJSONRoundTrip(t *testing.T) {
+	out, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(out, "\n") || strings.Count(out, "\n") != 1 {
+		t.Errorf("JSON must be a single newline-terminated line: %q", out)
+	}
+	var got struct {
+		Title  string              `json:"title"`
+		Header []string            `json:"header"`
+		Rows   []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.Title != "Figure X" || !reflect.DeepEqual(got.Header, []string{"kernel", "rate"}) {
+		t.Errorf("title/header wrong: %+v", got)
+	}
+	want := []map[string]string{
+		{"kernel": "pathfinder", "rate": "0.0123"},
+		{"kernel": "with,comma", "rate": `has"quote`},
+	}
+	if !reflect.DeepEqual(got.Rows, want) {
+		t.Errorf("rows = %v, want %v", got.Rows, want)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	tb := New("T", "kernel", "rate")
+	tb.Add("b", "10.00%")
+	tb.Add("a", "9.64%")
+	tb.Add("c", "2.00%")
+	col := func(i int) []string {
+		out := make([]string, len(tb.Rows))
+		for j, r := range tb.Rows {
+			out[j] = r[i]
+		}
+		return out
+	}
+	tb.SortBy(1)
+	if want := []string{"2.00%", "9.64%", "10.00%"}; !reflect.DeepEqual(col(1), want) {
+		t.Errorf("numeric sort with %% suffix: got %v, want %v", col(1), want)
+	}
+	tb.SortBy(0)
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(col(0), want) {
+		t.Errorf("lexical sort: got %v, want %v", col(0), want)
+	}
+	before := col(0)
+	tb.SortBy(7)
+	if !reflect.DeepEqual(col(0), before) {
+		t.Error("out-of-range column must be a no-op")
+	}
+
+	// Mixed numeric/text column: numbers order before text, stably.
+	mx := New("T", "v")
+	mx.Add("n/a")
+	mx.Add("3")
+	mx.Add("1")
+	mx.SortBy(0)
+	if want := []string{"1", "3", "n/a"}; !reflect.DeepEqual(mx.Rows[0], want[:1]) ||
+		mx.Rows[1][0] != "3" || mx.Rows[2][0] != "n/a" {
+		t.Errorf("mixed sort: got %v", mx.Rows)
+	}
+}
+
 func TestRenderDispatch(t *testing.T) {
 	tb := sample()
-	for _, f := range []string{"", "text", "csv", "md", "markdown"} {
+	for _, f := range []string{"", "text", "csv", "md", "markdown", "json"} {
 		if _, err := tb.Render(f); err != nil {
 			t.Errorf("format %q: %v", f, err)
 		}
@@ -70,8 +138,10 @@ func TestValidate(t *testing.T) {
 	if err := tb.Validate(); err == nil {
 		t.Error("ragged table should fail")
 	}
-	if _, err := tb.Render("csv"); err == nil {
-		t.Error("render must validate")
+	for _, f := range []string{"text", "csv", "markdown", "json"} {
+		if _, err := tb.Render(f); err == nil {
+			t.Errorf("Render(%q) must validate and reject a ragged table", f)
+		}
 	}
 }
 

@@ -7,13 +7,46 @@ import (
 	"st2gpu/internal/bitmath"
 )
 
-// CRFStats counts Carry Register File activity for the energy model.
+// CRFStats counts Carry Register File activity for the energy model and
+// the per-row occupancy observability layer.
 type CRFStats struct {
 	Reads           uint64 // full-row reads (one per warp add/sub issue)
 	WriteRequests   uint64 // warp write-back attempts
 	WritesCommitted uint64 // warp write-backs that won arbitration
 	Conflicts       uint64 // warp write-backs dropped by arbitration
 	LaneBitsWritten uint64 // total lane sub-entries actually updated
+
+	// RowReads[i] counts reads that indexed row i — the per-entry read
+	// traffic behind the PC[3:0] indexing scheme.
+	RowReads []uint64
+	// RowDistinctPCs[i] counts how many distinct PCs read row i: >1 means
+	// PCs alias into the same entry and overwrite each other's carry
+	// history (the occupancy/alias view of the paper's 16-entry design).
+	RowDistinctPCs []uint64
+}
+
+// Merge folds another CRF's counters into s. Per-row slices merge
+// element-wise (all SMs share one geometry); distinct-PC counts add, so
+// the merged value is total alias load across shards, not a distinct
+// count over the union.
+func (s *CRFStats) Merge(o CRFStats) {
+	s.Reads += o.Reads
+	s.WriteRequests += o.WriteRequests
+	s.WritesCommitted += o.WritesCommitted
+	s.Conflicts += o.Conflicts
+	s.LaneBitsWritten += o.LaneBitsWritten
+	if len(o.RowReads) > 0 {
+		if s.RowReads == nil {
+			s.RowReads = make([]uint64, len(o.RowReads))
+			s.RowDistinctPCs = make([]uint64, len(o.RowDistinctPCs))
+		}
+		for i, v := range o.RowReads {
+			s.RowReads[i] += v
+		}
+		for i, v := range o.RowDistinctPCs {
+			s.RowDistinctPCs[i] += v
+		}
+	}
 }
 
 // CRF models the per-SM Carry Register File of Section IV-C: a small
@@ -36,6 +69,9 @@ type CRF struct {
 	staged map[int][]crfWrite // row → this cycle's candidate writes
 	rng    *rand.Rand
 	stats  CRFStats
+
+	rowReads []uint64            // per-row read counts
+	rowPCs   []map[uint32]struct{} // per-row set of PCs observed reading it
 }
 
 type crfWrite struct {
@@ -59,12 +95,14 @@ func NewCRF(entries, lanes int, boundaries uint, seed int64) (*CRF, error) {
 		rows[i] = make([]uint64, lanes)
 	}
 	return &CRF{
-		entries: entries,
-		lanes:   lanes,
-		nb:      boundaries,
-		rows:    rows,
-		staged:  make(map[int][]crfWrite),
-		rng:     rand.New(rand.NewSource(seed)),
+		entries:  entries,
+		lanes:    lanes,
+		nb:       boundaries,
+		rows:     rows,
+		staged:   make(map[int][]crfWrite),
+		rng:      rand.New(rand.NewSource(seed)),
+		rowReads: make([]uint64, entries),
+		rowPCs:   make([]map[uint32]struct{}, entries),
 	}, nil
 }
 
@@ -88,7 +126,17 @@ func (c *CRF) Index(pc uint32) int { return int(pc) & (c.entries - 1) }
 // pc. It counts as one 224-bit read port access.
 func (c *CRF) ReadRow(pc uint32) []uint64 {
 	c.stats.Reads++
-	row := c.rows[c.Index(pc)]
+	idx := c.Index(pc)
+	c.rowReads[idx]++
+	set := c.rowPCs[idx]
+	if set == nil {
+		set = make(map[uint32]struct{}, 2)
+		c.rowPCs[idx] = set
+	}
+	if _, seen := set[pc]; !seen {
+		set[pc] = struct{}{}
+	}
+	row := c.rows[idx]
 	out := make([]uint64, len(row))
 	copy(out, row)
 	return out
@@ -161,8 +209,18 @@ func (c *CRF) commit() {
 	c.staged = make(map[int][]crfWrite)
 }
 
-// Stats returns a copy of the activity counters.
-func (c *CRF) Stats() CRFStats { return c.stats }
+// Stats returns a copy of the activity counters, including the per-row
+// read and distinct-PC (alias occupancy) views.
+func (c *CRF) Stats() CRFStats {
+	out := c.stats
+	out.RowReads = make([]uint64, c.entries)
+	copy(out.RowReads, c.rowReads)
+	out.RowDistinctPCs = make([]uint64, c.entries)
+	for i, set := range c.rowPCs {
+		out.RowDistinctPCs[i] = uint64(len(set))
+	}
+	return out
+}
 
 // Reset clears history, staging, and statistics (kernel relaunch).
 func (c *CRF) Reset() {
@@ -174,4 +232,8 @@ func (c *CRF) Reset() {
 	c.staged = make(map[int][]crfWrite)
 	c.stats = CRFStats{}
 	c.cycle = 0
+	for i := range c.rowReads {
+		c.rowReads[i] = 0
+		c.rowPCs[i] = nil
+	}
 }

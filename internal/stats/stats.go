@@ -214,6 +214,26 @@ func (h *Histogram) Merge(o *Histogram) error {
 	return nil
 }
 
+// MergeClamped folds another histogram into h regardless of bin counts:
+// observations beyond h's last bin clamp into it, mirroring Observe.
+// Used to merge histograms from units with different slice counts into
+// one run-level distribution.
+func (h *Histogram) MergeClamped(o *Histogram) {
+	if o == nil {
+		return
+	}
+	last := len(h.Counts) - 1
+	for v, c := range o.Counts {
+		if c == 0 {
+			continue
+		}
+		if v > last {
+			v = last
+		}
+		h.Counts[v] += c
+	}
+}
+
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between order statistics.
 func Percentile(xs []float64, p float64) (float64, error) {

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Smoke benchmark: run the full evaluation suite at scale 1 with the
+# JSONL run manifest enabled and sanity-check the output. Catches the
+# regressions a unit test can miss — NaN statistics leaking into the
+# manifest, kernels silently executing zero instructions, or the
+# manifest losing events. Writes BENCH_smoke.json at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_smoke.json
+
+go run ./cmd/st2sim -kernel all -scale 1 -sms 2 -json "$OUT" -progress >/dev/null
+
+fail() {
+    echo "bench-smoke: FAIL: $1" >&2
+    exit 1
+}
+
+[ -s "$OUT" ] || fail "$OUT is missing or empty"
+
+# Every suite kernel must have produced exactly one manifest event.
+lines=$(wc -l < "$OUT")
+[ "$lines" -ge 23 ] || fail "expected >= 23 manifest events, got $lines"
+
+# NaN never survives json.Marshal, so its presence means someone started
+# sanitizing instead of fixing the source statistic.
+if grep -q 'NaN' "$OUT"; then
+    fail "NaN found in $OUT"
+fi
+
+# A kernel that executed zero thread instructions is a broken workload.
+if grep -q '"total_thread_instrs":0[,}]' "$OUT"; then
+    fail "kernel with zero thread instructions in $OUT"
+fi
+
+echo "bench-smoke: OK ($lines events in $OUT)"
