@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke
+.PHONY: build test vet race check bench bench-smoke bench-dse
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,9 @@ race:
 	$(GO) test -race ./...
 
 # The gate CI runs: static analysis, the full test suite under the race
-# detector, and a suite smoke pass with the run manifest sanity-checked.
-check: vet race bench-smoke
+# detector, a suite smoke pass with the run manifest sanity-checked, and
+# the record-vs-replay DSE benchmark with bit-identity verified.
+check: vet race bench-smoke bench-dse
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -27,3 +28,9 @@ bench:
 # zero-instruction regressions. Writes BENCH_smoke.json.
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# Record-once/replay-many Figure 5 sweep vs the simulate-per-design
+# baseline; fails unless rates are bit-identical and replay is faster.
+# Writes BENCH_dse.json.
+bench-dse:
+	./scripts/bench_dse.sh

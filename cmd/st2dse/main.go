@@ -2,20 +2,35 @@
 // carry-speculation sweep of Figure 5 and the slice-bitwidth study of
 // Section V-B.
 //
+// The Figure 5 sweep records each kernel's adder-op stream once and
+// replays every design from it. -reuse-trace extends that across
+// processes: the first run simulates the suite once and saves the
+// recording set; later runs replay straight from the file with zero
+// simulation. -bench times the record-once/replay-many sweep against the
+// legacy simulate-per-design baseline, verifies the rates are
+// bit-identical, and writes the comparison as JSON.
+//
 // Usage:
 //
-//	st2dse [-scale N] [-sms N]           # Figure 5 sweep
-//	st2dse -widths                       # slice-width characterization
+//	st2dse [-scale N] [-sms N]             # Figure 5 sweep
+//	st2dse -reuse-trace suite.st2rec       # record once, replay thereafter
+//	st2dse -widths                         # slice-width characterization
+//	st2dse -bench BENCH_dse.json           # replay vs simulate-per-design
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"st2gpu/internal/experiments"
 	"st2gpu/internal/metrics"
 	"st2gpu/internal/report"
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/trace"
 )
 
 func main() {
@@ -27,6 +42,9 @@ func main() {
 		sortCol  = flag.Bool("sort", false, "sort the Figure 5 sweep by miss rate instead of paper order")
 		progress = flag.Bool("progress", false, "print [i/n] kernel progress lines to stderr")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
+		reuse    = flag.String("reuse-trace", "", "recording-set file: replay the sweep from it if it exists, else simulate once and save it first")
+		bench    = flag.String("bench", "", "time record-once/replay-many vs simulate-per-design, check bit-identity, write JSON here")
+		recCap   = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
 	)
 	flag.Parse()
 
@@ -61,12 +79,27 @@ func main() {
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.NumSMs = *sms
+	cfg.RecordMaxBytes = *recCap
 	if *progress {
 		cfg.Progress = func(done, total int, name string) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, name)
 		}
 	}
-	rows, err := experiments.Fig5(cfg, nil)
+
+	if *bench != "" {
+		if err := runBench(cfg, *bench); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var rows []experiments.Fig5Row
+	var err error
+	if *reuse != "" {
+		rows, err = sweepReusingTrace(cfg, *reuse)
+	} else {
+		rows, err = experiments.Fig5(cfg, nil)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -79,6 +112,113 @@ func main() {
 		tbl.SortBy(1)
 	}
 	printTable(tbl, *format)
+}
+
+// sweepReusingTrace replays the sweep from path when the recording set
+// already exists; otherwise it simulates the suite once, saves the set,
+// and replays from the fresh capture.
+func sweepReusingTrace(cfg experiments.Config, path string) ([]experiments.Fig5Row, error) {
+	set, err := trace.ReadSetFile(path)
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "st2dse: replaying %d kernels (%d bytes) from %s — no simulation\n",
+			len(set.Names()), set.Bytes(), path)
+	case os.IsNotExist(err):
+		if set, err = experiments.RecordSuite(cfg); err != nil {
+			return nil, err
+		}
+		if err := set.WriteFile(path); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "st2dse: recorded the suite once (%d bytes) to %s; future runs replay it\n",
+			set.Bytes(), path)
+	default:
+		return nil, err
+	}
+	return experiments.Fig5FromSet(cfg, set, nil)
+}
+
+// benchResult is the BENCH_dse.json payload: wall-clock for the
+// record-once/replay-many sweep vs the simulate-per-design baseline over
+// the same designs, plus the bit-identity verdict.
+type benchResult struct {
+	Scale         int     `json:"scale"`
+	NumSMs        int     `json:"num_sms"`
+	Designs       int     `json:"designs"`
+	ReplaySeconds float64 `json:"replay_seconds"` // simulate once + replay all designs
+	LiveSeconds   float64 `json:"live_seconds"`   // sequential live-tracer sim per design
+	Speedup       float64 `json:"speedup"`        // live/replay
+	Identical     bool    `json:"identical"`      // replayed rates == live rates, bit for bit
+	RecordedBytes uint64  `json:"recorded_bytes"` // encoded stream size for the suite
+	RecordedOps   uint64  `json:"recorded_ops"`   // warp-add records captured
+	HostParallel  int     `json:"host_parallelism"`
+}
+
+func runBench(cfg experiments.Config, outPath string) error {
+	designs := speculate.DesignSpace
+
+	tReplay := time.Now()
+	set, err := experiments.RecordSuite(cfg)
+	if err != nil {
+		return err
+	}
+	replayRows, err := experiments.Fig5FromSet(cfg, set, designs)
+	if err != nil {
+		return err
+	}
+	replaySecs := time.Since(tReplay).Seconds()
+
+	// Baseline: one full live-tracer (sequential-SM) simulation of the
+	// suite per design — what a sweep cost before recordings existed.
+	tLive := time.Now()
+	liveRows := make([]experiments.Fig5Row, 0, len(designs))
+	for _, d := range designs {
+		rows, err := experiments.Fig5Live(cfg, []string{d})
+		if err != nil {
+			return err
+		}
+		liveRows = append(liveRows, rows...)
+	}
+	liveSecs := time.Since(tLive).Seconds()
+
+	identical := len(replayRows) == len(liveRows)
+	if identical {
+		for i := range replayRows {
+			if replayRows[i].Design != liveRows[i].Design || replayRows[i].MissRate != liveRows[i].MissRate {
+				identical = false
+				break
+			}
+		}
+	}
+
+	res := benchResult{
+		Scale:         cfg.Scale,
+		NumSMs:        cfg.NumSMs,
+		Designs:       len(designs),
+		ReplaySeconds: replaySecs,
+		LiveSeconds:   liveSecs,
+		Identical:     identical,
+		RecordedBytes: set.Bytes(),
+		RecordedOps:   set.NumOps(),
+		HostParallel:  runtime.GOMAXPROCS(0),
+	}
+	if replaySecs > 0 {
+		res.Speedup = liveSecs / replaySecs
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "st2dse: bench: replay %.2fs vs live %.2fs (%.2fx), identical=%v → %s\n",
+		replaySecs, liveSecs, res.Speedup, identical, outPath)
+	if !identical {
+		return fmt.Errorf("st2dse: replayed rates are NOT bit-identical to the live-tracer path")
+	}
+	return nil
 }
 
 func printTable(t *report.Table, format string) {

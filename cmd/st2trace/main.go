@@ -2,10 +2,17 @@
 // analyses: the Figure 2 value-evolution dump for pathfinder and the
 // Figure 3 carry-in correlation table.
 //
+// The adder-op stream behind both reports can be captured once and
+// replayed: -record simulates the 23-kernel suite a single time (parallel
+// SMs, parallel kernels) and saves the compact recording set; -replay
+// answers any report from such a file without re-simulating.
+//
 // Usage:
 //
 //	st2trace -report fig2 [-gtid N] [-points N]
 //	st2trace -report fig3 [-scale N]
+//	st2trace -record suite.st2rec [-scale N] [-sms N]
+//	st2trace -report fig3 -replay suite.st2rec
 package main
 
 import (
@@ -25,18 +32,50 @@ func main() {
 		points = flag.Int("points", 30, "points per PC for fig2")
 		scale  = flag.Int("scale", 1, "workload scale factor")
 		sms    = flag.Int("sms", 2, "simulated SM count")
+		record = flag.String("record", "", "simulate the suite once and save its recording set to this file (no report)")
+		replay = flag.String("replay", "", "answer the report from a recording set saved by -record (no simulation)")
+		recCap = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.NumSMs = *sms
+	cfg.RecordMaxBytes = *recCap
+
+	if *record != "" {
+		set, err := experiments.RecordSuite(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := set.WriteFile(*record); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("st2trace: recorded %d kernels (%d warp-add records, %d bytes) to %s\n",
+			len(set.Names()), set.NumOps(), set.Bytes(), *record)
+		return
+	}
+
+	var set *trace.Set
+	if *replay != "" {
+		var err error
+		if set, err = trace.ReadSetFile(*replay); err != nil {
+			fatal(err)
+		}
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
 
 	switch *report {
 	case "fig2":
-		series, err := experiments.Fig2(cfg, uint32(*gtid), *points)
+		var series []experiments.Fig2Series
+		var err error
+		if set != nil {
+			series, err = experiments.Fig2FromSet(cfg, set, uint32(*gtid), *points)
+		} else {
+			series, err = experiments.Fig2(cfg, uint32(*gtid), *points)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -49,7 +88,13 @@ func main() {
 			fmt.Fprintln(tw)
 		}
 	case "fig3":
-		rows, err := experiments.Fig3(cfg)
+		var rows []experiments.Fig3Row
+		var err error
+		if set != nil {
+			rows, err = experiments.Fig3FromSet(cfg, set)
+		} else {
+			rows, err = experiments.Fig3(cfg)
+		}
 		if err != nil {
 			fatal(err)
 		}

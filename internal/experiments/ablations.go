@@ -16,7 +16,12 @@ type AblationResult struct {
 }
 
 // suiteMissRate runs the whole suite under a device-config mutation and
-// returns the average thread misprediction rate.
+// returns the average thread misprediction rate. This is the hardware
+// ST² path: the in-pipeline CRF's contention, arbitration and capacity
+// interact with execution timing, so these ablations genuinely need
+// re-simulation and cannot be answered from a recorded stream (contrast
+// the predictor-only ablations, which ride Fig5's record-once/replay-many
+// path).
 func (c Config) suiteMissRate(mut func(*gpusim.Config)) (float64, error) {
 	rates := make([]float64, 23)
 	err := c.forEachKernel(func(i int, w kernels.Workload) error {
@@ -82,7 +87,8 @@ func AblationContention(cfg Config) (AblationResult, error) {
 
 // AblationSharing contrasts thread-history sharing policies on identical
 // operation streams (Fig 5's right half): no disambiguation, Gtid
-// isolation, and Ltid lane sharing.
+// isolation, and Ltid lane sharing. Like every Fig5 delegate it records
+// each kernel once and replays the designs from the captured stream.
 func AblationSharing(cfg Config) ([]Fig5Row, error) {
 	return Fig5(cfg, []string{
 		"Prev+ModPC4+Peek",
@@ -113,39 +119,71 @@ type ApproxRow struct {
 // ApproximateAdderStudy runs the suite once and evaluates uncorrected
 // speculative addition under staticZero (the assumption of approximate
 // adders [10]–[13]) and under ST²'s own predictor — motivating the
-// paper's guaranteed-correctness design point.
+// paper's guaranteed-correctness design point. Kernels are simulated
+// concurrently under the parallel recording path and each meter consumes
+// a replay; rates are bit-identical to ApproximateAdderStudyLive.
 func ApproximateAdderStudy(cfg Config) ([]ApproxRow, error) {
+	return approximateAdderStudy(cfg, func(i int, w kernels.Workload, meter *trace.ApproxMeter) error {
+		rec, err := cfg.recordWorkload(w, gpusim.BaselineAdders)
+		if err != nil {
+			return err
+		}
+		return trace.Replay(rec, meter)
+	})
+}
+
+// ApproximateAdderStudyLive is the legacy live-tracer path (sequential
+// SM worker per launch); kept for parity testing.
+func ApproximateAdderStudyLive(cfg Config) ([]ApproxRow, error) {
+	return approximateAdderStudy(cfg, func(i int, w kernels.Workload, meter *trace.ApproxMeter) error {
+		_, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, meter)
+		return err
+	})
+}
+
+func approximateAdderStudy(cfg Config, feed func(i int, w kernels.Workload, meter *trace.ApproxMeter) error) ([]ApproxRow, error) {
 	designs := []string{"staticZero", "CASA", speculate.FinalDesign}
-	agg := make(map[string][2]float64) // design → {wrongRateSum, relErrSum}
-	n := 0
-	for _, w := range kernels.Suite() {
+	type kernelRates struct{ wrong, relErr []float64 }
+	perKernel := make([]kernelRates, 23)
+	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
 		meter, err := trace.NewApproxMeter(designs)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if _, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, meter); err != nil {
-			return nil, err
+		if err := feed(i, w, meter); err != nil {
+			return err
 		}
-		for _, d := range designs {
+		kr := kernelRates{wrong: make([]float64, len(designs)), relErr: make([]float64, len(designs))}
+		for j, d := range designs {
 			wr, err := meter.WrongRate(d)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			re, err := meter.MeanRelError(d)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			cur := agg[d]
-			agg[d] = [2]float64{cur[0] + wr, cur[1] + re}
+			kr.wrong[j], kr.relErr[j] = wr, re
 		}
-		n++
+		perKernel[i] = kr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// Aggregate in suite order so the floating-point sums match the old
+	// sequential loop bit for bit.
 	out := make([]ApproxRow, len(designs))
-	for i, d := range designs {
-		out[i] = ApproxRow{
+	for j, d := range designs {
+		var wrSum, reSum float64
+		for _, kr := range perKernel {
+			wrSum += kr.wrong[j]
+			reSum += kr.relErr[j]
+		}
+		out[j] = ApproxRow{
 			Design:       d,
-			WrongResults: agg[d][0] / float64(n),
-			MeanRelError: agg[d][1] / float64(n),
+			WrongResults: wrSum / float64(len(perKernel)),
+			MeanRelError: reSum / float64(len(perKernel)),
 		}
 	}
 	return out, nil

@@ -31,6 +31,10 @@ type Config struct {
 	// launch use min(NumSMs, GOMAXPROCS) SM workers, 1 forces sequential
 	// SM simulation. Results are identical either way.
 	ParallelSMs int
+	// RecordMaxBytes caps each kernel's in-memory adder-op recording
+	// (0 = gpusim.DefaultRecordMaxBytes). Exceeding it fails the run with
+	// a loud error instead of exhausting host memory.
+	RecordMaxBytes uint64
 	// Progress, when non-nil, is called after each kernel of a suite pass
 	// finishes: done kernels so far, the suite total, and the kernel that
 	// just completed. Calls are serialized; done is monotonic even when
@@ -75,6 +79,68 @@ func (c Config) runSpec(spec *kernels.Spec, mode gpusim.AdderMode, tracer gpusim
 		}
 	}
 	return rs, d, nil
+}
+
+// recordSpec simulates one workload spec with a stream recorder
+// installed (the parallel launch path stays enabled — recording shards
+// are per-SM) and returns the captured adder-op stream.
+func (c Config) recordSpec(spec *kernels.Spec, mode gpusim.AdderMode) (*gpusim.Recording, error) {
+	d, err := gpusim.New(c.deviceConfig(mode))
+	if err != nil {
+		return nil, err
+	}
+	rec := gpusim.NewRecorder(c.RecordMaxBytes)
+	d.SetRecorder(rec)
+	if spec.Setup != nil {
+		if err := spec.Setup(d.Memory()); err != nil {
+			return nil, fmt.Errorf("experiments: %s setup: %w", spec.Name, err)
+		}
+	}
+	if _, err := d.Launch(spec.Kernel); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+	if spec.Verify != nil {
+		if err := spec.Verify(d.Memory()); err != nil {
+			return nil, fmt.Errorf("experiments: %s output check: %w", spec.Name, err)
+		}
+	}
+	return rec.Recording(), nil
+}
+
+// recordWorkload builds one named workload and records its stream.
+func (c Config) recordWorkload(w kernels.Workload, mode gpusim.AdderMode) (*gpusim.Recording, error) {
+	spec, err := w.Build(c.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return c.recordSpec(spec, mode)
+}
+
+// RecordSuite simulates every suite kernel once under recording (kernels
+// concurrent, SMs parallel within each launch) and returns the captured
+// per-kernel streams, tagged with the capture configuration. The set can
+// be replayed by Fig3FromSet/Fig5FromSet any number of times, or saved
+// with trace.Set.WriteFile and reused across processes
+// (st2trace -record / st2dse -reuse-trace).
+func RecordSuite(cfg Config) (*trace.Set, error) {
+	ws := kernels.Suite()
+	recs := make([]*gpusim.Recording, len(ws))
+	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
+		rec, err := cfg.recordWorkload(w, gpusim.BaselineAdders)
+		if err != nil {
+			return err
+		}
+		recs[i] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := trace.NewSet(cfg.Scale, cfg.NumSMs, cfg.Seed)
+	for i, w := range ws {
+		set.Add(w.Name, recs[i])
+	}
+	return set, nil
 }
 
 // forEachKernel runs fn over the evaluation suite concurrently (one
@@ -240,14 +306,36 @@ type Fig2Series struct {
 }
 
 // Fig2 traces one pathfinder thread's additions per PC — the data behind
-// the paper's Figure 2 (bottom).
+// the paper's Figure 2 (bottom). The kernel is simulated once with the
+// parallel recording path; the value trace is filled from a replay.
 func Fig2(cfg Config, gtid uint32, maxPts int) ([]Fig2Series, error) {
 	spec, err := kernels.Pathfinder(cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
+	rec, err := cfg.recordSpec(spec, gpusim.BaselineAdders)
+	if err != nil {
+		return nil, err
+	}
+	return fig2Replay(rec, gtid, maxPts)
+}
+
+// Fig2FromSet fills the Figure 2 value trace from a captured set's
+// pathfinder recording with zero simulation.
+func Fig2FromSet(cfg Config, set *trace.Set, gtid uint32, maxPts int) ([]Fig2Series, error) {
+	if err := set.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
+		return nil, err
+	}
+	rec, ok := set.Get("pathfinder")
+	if !ok {
+		return nil, fmt.Errorf("experiments: recording set is missing kernel %q", "pathfinder")
+	}
+	return fig2Replay(rec, gtid, maxPts)
+}
+
+func fig2Replay(rec *gpusim.Recording, gtid uint32, maxPts int) ([]Fig2Series, error) {
 	vt := trace.NewValueTrace(gtid, maxPts)
-	if _, _, err := cfg.runSpec(spec, gpusim.BaselineAdders, vt); err != nil {
+	if err := trace.Replay(rec, vt); err != nil {
 		return nil, err
 	}
 	out := make([]Fig2Series, 0, 8)
@@ -269,8 +357,49 @@ type Fig3Row struct {
 }
 
 // Fig3 measures the temporal/spatial carry correlation of every kernel
-// plus the op-weighted suite aggregate (appended as "Average").
+// plus the op-weighted suite aggregate (appended as "Average"). Each
+// kernel is simulated once under the parallel recording path and the
+// meter consumes a replay — the stream, and therefore every rate, is
+// bit-identical to the legacy sequential live-tracer path (Fig3Live).
 func Fig3(cfg Config) ([]Fig3Row, error) {
+	return fig3(cfg, func(i int, w kernels.Workload, cm *trace.CorrMeter) error {
+		rec, err := cfg.recordWorkload(w, gpusim.BaselineAdders)
+		if err != nil {
+			return err
+		}
+		return trace.Replay(rec, cm)
+	})
+}
+
+// Fig3Live is the legacy live-tracer path: the meter observes the stream
+// during simulation, which forces each launch onto the sequential SM
+// worker. Kept for third-party-tracer parity testing; Fig3 returns
+// bit-identical rates without serializing.
+func Fig3Live(cfg Config) ([]Fig3Row, error) {
+	return fig3(cfg, func(i int, w kernels.Workload, cm *trace.CorrMeter) error {
+		_, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, cm)
+		return err
+	})
+}
+
+// Fig3FromSet replays a previously captured recording set (same scale,
+// SM count and seed — checked) without any simulation at all.
+func Fig3FromSet(cfg Config, set *trace.Set) ([]Fig3Row, error) {
+	if err := set.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
+		return nil, err
+	}
+	return fig3(cfg, func(i int, w kernels.Workload, cm *trace.CorrMeter) error {
+		rec, ok := set.Get(w.Name)
+		if !ok {
+			return fmt.Errorf("experiments: recording set is missing kernel %q", w.Name)
+		}
+		return trace.Replay(rec, cm)
+	})
+}
+
+// fig3 runs the Figure 3 analysis with the operation stream delivered by
+// feed — from a live tracer, a fresh recording, or a saved set.
+func fig3(cfg Config, feed func(i int, w kernels.Workload, cm *trace.CorrMeter) error) ([]Fig3Row, error) {
 	rows := make([]Fig3Row, 23)
 	raws := make([][3]stats.Rate, 23)
 	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
@@ -278,7 +407,7 @@ func Fig3(cfg Config) ([]Fig3Row, error) {
 		if err != nil {
 			return err
 		}
-		if _, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, cm); err != nil {
+		if err := feed(i, w, cm); err != nil {
 			return err
 		}
 		rows[i].Kernel = w.Name
@@ -321,9 +450,52 @@ type Fig5Row struct {
 
 // Fig5 sweeps the speculation design space over the full suite with a
 // single simulation pass per kernel (all designs observe the identical
-// operation stream). The returned rows follow the paper's Figure 5
-// left-to-right order; rates are unweighted kernel averages.
+// operation stream). Each kernel is simulated once under the parallel
+// recording path and every design is evaluated from a replay, so adding
+// designs costs replay time, not simulation time; rates are bit-identical
+// to the legacy sequential live-tracer path (Fig5Live). The returned rows
+// follow the paper's Figure 5 left-to-right order; rates are unweighted
+// kernel averages.
 func Fig5(cfg Config, designs []string) ([]Fig5Row, error) {
+	return fig5(cfg, designs, func(i int, w kernels.Workload, meter *trace.DSEMeter) error {
+		rec, err := cfg.recordWorkload(w, gpusim.BaselineAdders)
+		if err != nil {
+			return err
+		}
+		return trace.Replay(rec, meter)
+	})
+}
+
+// Fig5Live is the legacy live-tracer sweep: the meter observes the stream
+// during simulation, forcing each launch onto the sequential SM worker.
+// Kept for parity testing and the replay-vs-live benchmark; Fig5 returns
+// bit-identical rates without serializing.
+func Fig5Live(cfg Config, designs []string) ([]Fig5Row, error) {
+	return fig5(cfg, designs, func(i int, w kernels.Workload, meter *trace.DSEMeter) error {
+		_, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, meter)
+		return err
+	})
+}
+
+// Fig5FromSet sweeps the design space over a previously captured
+// recording set (same scale, SM count and seed — checked) with zero
+// simulation: O(designs × replay) instead of O(designs × simulate).
+func Fig5FromSet(cfg Config, set *trace.Set, designs []string) ([]Fig5Row, error) {
+	if err := set.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
+		return nil, err
+	}
+	return fig5(cfg, designs, func(i int, w kernels.Workload, meter *trace.DSEMeter) error {
+		rec, ok := set.Get(w.Name)
+		if !ok {
+			return fmt.Errorf("experiments: recording set is missing kernel %q", w.Name)
+		}
+		return trace.Replay(rec, meter)
+	})
+}
+
+// fig5 runs the design-space sweep with the operation stream delivered by
+// feed — from a live tracer, a fresh recording, or a saved set.
+func fig5(cfg Config, designs []string, feed func(i int, w kernels.Workload, meter *trace.DSEMeter) error) ([]Fig5Row, error) {
 	if designs == nil {
 		designs = speculate.DesignSpace
 	}
@@ -333,7 +505,7 @@ func Fig5(cfg Config, designs []string) ([]Fig5Row, error) {
 		if err != nil {
 			return err
 		}
-		if _, _, err := cfg.runWorkload(w, gpusim.BaselineAdders, meter); err != nil {
+		if err := feed(i, w, meter); err != nil {
 			return err
 		}
 		m := make(map[string]float64, len(designs))

@@ -83,8 +83,15 @@ type WarpAddOp struct {
 // lanes delivered together. Warp-synchronous delivery matters: hardware
 // predicts every lane of a warp from the *same* pre-update history state,
 // and meters that serialize lanes would overstate shared-history designs.
-// It powers the Figure 2/3 value-correlation analyses and the single-pass
-// design-space sweep.
+//
+// Installing a live tracer forces Launch onto the sequential (one-worker)
+// path, because tracers observe a single globally ordered stream and are
+// not required to be thread-safe. That constraint is kept ONLY for legacy
+// third-party tracers: all built-in meters (trace.CorrMeter,
+// trace.DSEMeter, value traces, …) should instead consume a Recording
+// captured via SetRecorder, which records in parallel — one lock-free
+// shard per SM, folded in SM-ID order — and replays the bit-identical
+// stream any number of times without re-simulating.
 type AddTracer interface {
 	TraceWarpAdds(unit core.UnitKind, pc, gtidBase uint32, ops *[32]WarpAddOp)
 }
@@ -95,6 +102,7 @@ type Device struct {
 	mem    *Memory
 	prices map[core.UnitKind]core.EnergyParams
 	tracer AddTracer
+	rec    *Recorder
 	// l2Stats accumulates the per-SM L2 shard counters across launches
 	// (the device-level cumulative view RunStats.L2 reports). Written
 	// only at fold time, after all SM workers have joined.
@@ -114,6 +122,13 @@ func (d *Device) LaunchTimings() PhaseTimings { return d.timings }
 
 // SetTracer installs (or clears, with nil) the adder-operation observer.
 func (d *Device) SetTracer(t AddTracer) { d.tracer = t }
+
+// SetRecorder installs (or clears, with nil) a warp-add stream recorder.
+// Unlike SetTracer it leaves the parallel launch path enabled; each SM
+// records into its own shard and Launch folds them in SM-ID order. When a
+// metrics registry is installed, each launch publishes the bytes it
+// recorded on the "sim.record_bytes" gauge.
+func (d *Device) SetRecorder(r *Recorder) { d.rec = r }
 
 // New builds a device from the configuration.
 func New(cfg Config) (*Device, error) {
@@ -301,7 +316,10 @@ func (r *RunStats) MispredictionRate() float64 {
 // a race-free kernel can observe is the (commutative) accumulation order
 // of its atomics. Installing an AddTracer forces the sequential path:
 // tracers observe a single globally ordered warp-synchronous stream and
-// are not required to be thread-safe.
+// are not required to be thread-safe (a legacy constraint — see
+// AddTracer). An installed Recorder does NOT serialize the launch: each
+// SM records into its own shard and the shards fold in SM-ID order, so
+// the recorded stream is bit-identical at any worker count.
 func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
@@ -337,6 +355,9 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 		}
 		if d.met != nil {
 			sm.shard = d.met.reg.NewShard()
+		}
+		if d.rec != nil {
+			sm.rec = d.rec.newShard()
 		}
 		sms[smID] = sm
 	}
@@ -384,6 +405,18 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 	for _, sm := range sms {
 		d.foldSM(run, sm)
 	}
+	if d.rec != nil {
+		shards := make([]*recShard, len(sms))
+		for i, sm := range sms {
+			shards[i] = sm.rec
+		}
+		recBytes := d.rec.fold(shards)
+		if d.met != nil {
+			// Registered lazily so plain (non-recording) runs keep their
+			// registry snapshot — and the runlog golden files — unchanged.
+			d.met.reg.Gauge("sim.record_bytes").Set(float64(recBytes))
+		}
+	}
 	d.foldMetrics(run, sms)
 	d.timings.Fold = clampPhase(time.Since(tFold))
 	return run, nil
@@ -422,6 +455,7 @@ func (d *Device) newSM(id int, k *Kernel, params []byte) (*smState, error) {
 		l1:               l1,
 		l2:               l2,
 		liveBlocks:       make(map[int]int),
+		barrierArrived:   make(map[int]int),
 		baselineAdderOps: make(map[core.UnitKind]uint64),
 		stats:            newSMStats(),
 	}
@@ -482,11 +516,18 @@ func (d *Device) foldSM(run *RunStats, sm *smState) {
 	if sm.cycle > run.Cycles {
 		run.Cycles = sm.cycle
 	}
+	// The per-SM counters are dense arrays; only non-zero classes land in
+	// the RunStats maps so reports (and the runlog manifest) keep seeing
+	// exactly the classes the kernel executed.
 	for c, v := range sm.stats.ThreadInstrs {
-		run.ThreadInstrs[c] += v
+		if v != 0 {
+			run.ThreadInstrs[isa.FUClass(c)] += v
+		}
 	}
 	for c, v := range sm.stats.WarpInstrs {
-		run.WarpInstrs[c] += v
+		if v != 0 {
+			run.WarpInstrs[isa.FUClass(c)] += v
+		}
 	}
 	for _, u := range sm.units() {
 		agg := run.Units[u.Kind]

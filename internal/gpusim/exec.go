@@ -254,8 +254,10 @@ func (sm *smState) execIntAddSub(w *warp, pc uint32, in isa.Instr, execMask uint
 		b := sm.operand(w, in.Srcs[1], l)
 		lanes[l] = core.LaneOp{Active: true, A: a, B: b, Op: op}
 	}
-	if sm.dev.tracer != nil {
-		sm.traceLanes(unit, pc, w, &lanes)
+	if sm.dev.tracer != nil || sm.rec != nil {
+		if err := sm.observeLanes(unit, pc, w, &lanes); err != nil {
+			return err
+		}
 	}
 	if sm.dev.cfg.AdderMode == ST2Adders {
 		wr := unit.ExecuteWarp(sm.spec, pc, w.gtidBase, &lanes)
@@ -284,9 +286,11 @@ func (sm *smState) execIntAddSub(w *warp, pc uint32, in isa.Instr, execMask uint
 	return nil
 }
 
-// traceLanes reports the warp's effective adder operations to the
-// installed tracer in one warp-synchronous batch.
-func (sm *smState) traceLanes(unit *core.Unit, pc uint32, w *warp, lanes *[32]core.LaneOp) {
+// observeLanes reports the warp's effective adder operations — in one
+// warp-synchronous batch — to the installed live tracer and/or this SM's
+// recording shard. The only error it can return is the recording
+// byte-cap tripping.
+func (sm *smState) observeLanes(unit *core.Unit, pc uint32, w *warp, lanes *[32]core.LaneOp) error {
 	var ops [32]WarpAddOp
 	any := false
 	for l := 0; l < w.nLanes; l++ {
@@ -298,9 +302,16 @@ func (sm *smState) traceLanes(unit *core.Unit, pc uint32, w *warp, lanes *[32]co
 		ops[l] = WarpAddOp{Active: true, EA: ea, EB: eb, Cin0: cin0, Sum: sum}
 		any = true
 	}
-	if any {
+	if !any {
+		return nil
+	}
+	if sm.dev.tracer != nil {
 		sm.dev.tracer.TraceWarpAdds(unit.Kind, pc, w.gtidBase, &ops)
 	}
+	if sm.rec != nil {
+		return sm.rec.append(unit.Kind, pc, w.gtidBase, &ops)
+	}
+	return nil
 }
 
 // execFloatAddSub: the architectural result is native IEEE; in ST² mode
@@ -327,7 +338,7 @@ func (sm *smState) execFloatAddSub(w *warp, pc uint32, in isa.Instr, execMask ui
 				y = -y
 			}
 			out = f64bits(x + y)
-			if sm.dev.cfg.AdderMode == ST2Adders || sm.dev.tracer != nil {
+			if sm.dev.cfg.AdderMode == ST2Adders || sm.dev.tracer != nil || sm.rec != nil {
 				if mop, ok := core.MantissaOpF64(x, y); ok {
 					lanes[l] = mop
 				}
@@ -338,7 +349,7 @@ func (sm *smState) execFloatAddSub(w *warp, pc uint32, in isa.Instr, execMask ui
 				y = -y
 			}
 			out = uint64(f32bits(x + y))
-			if sm.dev.cfg.AdderMode == ST2Adders || sm.dev.tracer != nil {
+			if sm.dev.cfg.AdderMode == ST2Adders || sm.dev.tracer != nil || sm.rec != nil {
 				if mop, ok := core.MantissaOpF32(x, y); ok {
 					lanes[l] = mop
 				}
@@ -346,8 +357,10 @@ func (sm *smState) execFloatAddSub(w *warp, pc uint32, in isa.Instr, execMask ui
 		}
 		w.setReg(in.Dst, l, out)
 	}
-	if sm.dev.tracer != nil {
-		sm.traceLanes(unit, pc, w, &lanes)
+	if sm.dev.tracer != nil || sm.rec != nil {
+		if err := sm.observeLanes(unit, pc, w, &lanes); err != nil {
+			return err
+		}
 	}
 	if sm.dev.cfg.AdderMode == ST2Adders {
 		wr := unit.ExecuteWarp(sm.spec, pc, w.gtidBase, &lanes)

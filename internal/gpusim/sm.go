@@ -39,11 +39,14 @@ func poolFor(c isa.FUClass) poolKind {
 	}
 }
 
-// SMStats aggregates one SM's activity over a kernel run.
+// SMStats aggregates one SM's activity over a kernel run. The
+// per-FU-class instruction counters are dense arrays indexed by FUClass:
+// they are bumped once per issued instruction, and an array index is a
+// fraction of the map-hash cost that used to sit on that path.
 type SMStats struct {
 	Cycles         uint64
-	WarpInstrs     map[isa.FUClass]uint64
-	ThreadInstrs   map[isa.FUClass]uint64
+	WarpInstrs     [isa.NumFUClasses]uint64
+	ThreadInstrs   [isa.NumFUClasses]uint64
 	RegReads       uint64
 	RegWrites      uint64
 	SharedAccesses uint64
@@ -56,12 +59,7 @@ type SMStats struct {
 	BarrierWaits   uint64
 }
 
-func newSMStats() *SMStats {
-	return &SMStats{
-		WarpInstrs:   make(map[isa.FUClass]uint64),
-		ThreadInstrs: make(map[isa.FUClass]uint64),
-	}
-}
+func newSMStats() *SMStats { return &SMStats{} }
 
 // smState is one streaming multiprocessor mid-simulation. Each SM owns
 // everything it touches on the hot path — warps, caches, execution units,
@@ -100,10 +98,21 @@ type smState struct {
 	lastWarp int // GTO: the warp that issued most recently (-1 none)
 	stats    *SMStats
 
+	// barrierArrived counts, per live block, the warps currently waiting
+	// at a barrier. Maintained incrementally (bumped when a warp arrives,
+	// entry deleted on release) so releaseBarriers does no per-cycle
+	// allocation and is O(blocks-at-barrier), not O(warps).
+	barrierArrived map[int]int
+
 	// shard is this SM's private metrics buffer (nil when no registry is
 	// installed); written once at the end of run, folded by the device in
 	// SM-ID order after all workers join.
 	shard *metrics.Shard
+
+	// rec is this SM's private recording shard (nil when no Recorder is
+	// installed); appended to lock-free on the execution hot path, folded
+	// by the device in SM-ID order after all workers join.
+	rec *recShard
 }
 
 // units returns the SM's ST² execution units in a fixed fold order.
@@ -182,15 +191,15 @@ func (sm *smState) refill() {
 	}
 }
 
-// releaseBarriers frees blocks whose live warps have all arrived.
+// releaseBarriers frees blocks whose live warps have all arrived. The
+// arrival counts are maintained incrementally by tryIssue (and decayed
+// by warp exits through liveBlocks), so the common all-running cycle is
+// a single empty-map check with no allocation.
 func (sm *smState) releaseBarriers() {
-	arrived := make(map[int]int)
-	for _, w := range sm.warps {
-		if !w.done && w.atBarrier {
-			arrived[w.blockIdx]++
-		}
+	if len(sm.barrierArrived) == 0 {
+		return
 	}
-	for b, n := range arrived {
+	for b, n := range sm.barrierArrived {
 		if n == sm.liveBlocks[b] {
 			for _, w := range sm.warps {
 				if w.blockIdx == b && w.atBarrier {
@@ -200,6 +209,7 @@ func (sm *smState) releaseBarriers() {
 					}
 				}
 			}
+			delete(sm.barrierArrived, b)
 		}
 	}
 }
@@ -305,6 +315,7 @@ func (sm *smState) tryIssue(w *warp) (bool, error) {
 	sm.stats.ThreadInstrs[cls] += uint64(res.activeLanes)
 	if res.barrier {
 		w.atBarrier = true
+		sm.barrierArrived[w.blockIdx]++
 		sm.stats.BarrierWaits++
 	}
 	if res.exited {

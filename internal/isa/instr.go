@@ -108,6 +108,10 @@ const (
 	FUSfu              // special function unit
 	FUMem              // LD/ST/atomics
 	FUCtrl             // branches, barriers, exit
+
+	// NumFUClasses sizes dense per-class counter arrays (hot-path stat
+	// bumps index with the class instead of hashing a map key).
+	NumFUClasses = int(FUCtrl) + 1
 )
 
 func (c FUClass) String() string {

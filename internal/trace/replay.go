@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"st2gpu/internal/gpusim"
+)
+
+// Replay feeds a captured recording to one or more meters exactly as a
+// sequential live tracer would have seen the stream (SM-ID-major,
+// per-SM execution order, warp-synchronous batches with reconstructed
+// sums). Record once, replay as many analyses as you like: every meter
+// observes the bit-identical operation stream without re-simulating.
+func Replay(rec *gpusim.Recording, meters ...gpusim.AddTracer) error {
+	switch len(meters) {
+	case 0:
+		return nil
+	case 1:
+		return rec.Replay(meters[0])
+	default:
+		return rec.Replay(Multi(meters))
+	}
+}
+
+// Set is an ordered collection of named per-kernel recordings plus the
+// capture configuration that makes replays comparable: a recording is
+// only a valid stand-in for a live trace of the same (scale, SM count,
+// seed) workload, so those are carried in the container and checked by
+// the experiment drivers before replaying.
+type Set struct {
+	Scale  int
+	NumSMs int
+	Seed   int64
+
+	names []string
+	recs  map[string]*gpusim.Recording
+}
+
+// NewSet builds an empty recording set for the given capture config.
+func NewSet(scale, numSMs int, seed int64) *Set {
+	return &Set{Scale: scale, NumSMs: numSMs, Seed: seed, recs: make(map[string]*gpusim.Recording)}
+}
+
+// Add stores a kernel's recording (replacing any previous entry with the
+// same name; first-add order is preserved).
+func (s *Set) Add(name string, rec *gpusim.Recording) {
+	if _, ok := s.recs[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.recs[name] = rec
+}
+
+// Get returns the named kernel's recording.
+func (s *Set) Get(name string) (*gpusim.Recording, bool) {
+	r, ok := s.recs[name]
+	return r, ok
+}
+
+// Names returns the kernel names in insertion order.
+func (s *Set) Names() []string { return append([]string(nil), s.names...) }
+
+// Bytes returns the total encoded size across all recordings.
+func (s *Set) Bytes() uint64 {
+	var n uint64
+	for _, r := range s.recs {
+		n += r.Bytes()
+	}
+	return n
+}
+
+// NumOps returns the total recorded warp-add records across all kernels.
+func (s *Set) NumOps() uint64 {
+	var n uint64
+	for _, r := range s.recs {
+		n += r.NumOps()
+	}
+	return n
+}
+
+// Matches reports whether the set was captured under the given workload
+// configuration; a mismatch means replays would answer questions about a
+// different workload.
+func (s *Set) Matches(scale, numSMs int, seed int64) error {
+	if s.Scale != scale || s.NumSMs != numSMs || s.Seed != seed {
+		return fmt.Errorf("trace: recording set captured at scale=%d sms=%d seed=%d, replay requested scale=%d sms=%d seed=%d",
+			s.Scale, s.NumSMs, s.Seed, scale, numSMs, seed)
+	}
+	return nil
+}
+
+// setMagic versions the on-disk set encoding.
+var setMagic = []byte("st2set\x01")
+
+// WriteTo serializes the set: header (magic, scale, SM count, seed,
+// entry count), then per kernel a length-prefixed name followed by the
+// recording payload. Deterministic: equal sets write equal bytes.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	var hdr []byte
+	hdr = append(hdr, setMagic...)
+	hdr = binary.AppendUvarint(hdr, uint64(s.Scale))
+	hdr = binary.AppendUvarint(hdr, uint64(s.NumSMs))
+	hdr = binary.AppendVarint(hdr, s.Seed)
+	hdr = binary.AppendUvarint(hdr, uint64(len(s.names)))
+	n, err := w.Write(hdr)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, name := range s.names {
+		var nb []byte
+		nb = binary.AppendUvarint(nb, uint64(len(name)))
+		nb = append(nb, name...)
+		n, err = w.Write(nb)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		m, err := s.recs[name].WriteTo(w)
+		total += m
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadSet deserializes a set written by WriteTo.
+func ReadSet(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(setMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: set header: %w", err)
+	}
+	if string(magic) != string(setMagic) {
+		return nil, fmt.Errorf("trace: not an st2 recording set (bad magic %q)", magic)
+	}
+	scale, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: set scale: %w", err)
+	}
+	numSMs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: set SM count: %w", err)
+	}
+	seed, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: set seed: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: set entry count: %w", err)
+	}
+	s := NewSet(int(scale), int(numSMs), seed)
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: entry %d name length: %w", i, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("trace: entry %d name: %w", i, err)
+		}
+		rec, err := gpusim.ReadRecording(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: entry %d (%s): %w", i, name, err)
+		}
+		s.Add(string(name), rec)
+	}
+	return s, nil
+}
+
+// WriteFile saves the set to path (atomically via a sibling temp file,
+// so a crashed writer never leaves a truncated set behind).
+func (s *Set) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSetFile loads a set saved by WriteFile.
+func ReadSetFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSet(f)
+}
+
+// SortedNames returns the kernel names in lexical order (handy for
+// deterministic reporting regardless of capture order).
+func (s *Set) SortedNames() []string {
+	out := s.Names()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# DSE benchmark: time the record-once/replay-many Figure 5 sweep against
+# the legacy simulate-per-design baseline over the full 12-design space,
+# and verify the miss rates are bit-identical. st2dse -bench exits
+# non-zero itself on a rate mismatch; this script additionally
+# sanity-checks the JSON payload. Writes BENCH_dse.json at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_dse.json
+
+go run ./cmd/st2dse -bench "$OUT" -scale 1 -sms 2
+
+fail() {
+    echo "bench-dse: FAIL: $1" >&2
+    exit 1
+}
+
+[ -s "$OUT" ] || fail "$OUT is missing or empty"
+
+grep -q '"identical": true' "$OUT" || fail "replayed rates not bit-identical to live"
+grep -q '"designs": 12' "$OUT" || fail "sweep did not cover the 12-design space"
+
+if grep -q '"recorded_ops": 0[,}]' "$OUT"; then
+    fail "recording captured zero warp-add records"
+fi
+
+# The replay sweep must beat simulate-per-design even on a single-core
+# CI box (replay skips 11 of 12 simulation passes); multi-core hosts see
+# far more. Keep the floor modest so the gate is not flaky.
+speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' "$OUT")
+[ -n "$speedup" ] || fail "speedup missing from $OUT"
+awk "BEGIN { exit !($speedup >= 1.5) }" || fail "speedup $speedup < 1.5x"
+
+echo "bench-dse: OK (speedup ${speedup}x, identical rates, $OUT)"
