@@ -130,6 +130,45 @@ func BenchmarkFig5Live(b *testing.B) {
 	}
 }
 
+// BenchmarkReplayDecodeOnce vs BenchmarkReplayPerDesign isolate the
+// decode-once trade on an already-recorded suite (simulation excluded
+// from the timer): one SoA decode plus 12 array-walk evaluations against
+// 12 full varint replays. The rows are proven bit-identical by
+// TestSweepBitIdenticalAcrossWorkers; only the work distribution differs.
+
+func BenchmarkReplayDecodeOnce(b *testing.B) {
+	cfg := benchCfg()
+	set, err := experiments.RecordSuite(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := trace.DecodeSet(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig5FromDecoded(cfg, dec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(set.NumOps())*float64(b.N)/b.Elapsed().Seconds(), "decoded-ops/s")
+}
+
+func BenchmarkReplayPerDesign(b *testing.B) {
+	cfg := benchCfg()
+	set, err := experiments.RecordSuite(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5FromSetPerDesign(cfg, set, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Figure 6: per-kernel misprediction on the hardware ST² path ---
 
 func BenchmarkFig6Misprediction(b *testing.B) {

@@ -2,20 +2,24 @@
 // carry-speculation sweep of Figure 5 and the slice-bitwidth study of
 // Section V-B.
 //
-// The Figure 5 sweep records each kernel's adder-op stream once and
-// replays every design from it. -reuse-trace extends that across
-// processes: the first run simulates the suite once and saves the
-// recording set; later runs replay straight from the file with zero
-// simulation. -bench times the record-once/replay-many sweep against the
-// legacy simulate-per-design baseline, verifies the rates are
-// bit-identical, and writes the comparison as JSON.
+// The Figure 5 sweep records each kernel's adder-op stream once, decodes
+// it once into flat structure-of-arrays form, and evaluates every design
+// as a parallel array walk over the (kernel × design) grid
+// (-sweep-workers bounds the pool; results are bit-identical at any
+// count). -reuse-trace extends that across processes: the first run
+// simulates the suite once and saves the recording set; later runs
+// decode straight from the file with zero simulation. -bench times the
+// decode-once parallel sweep against the per-design replay baseline
+// (each design varint-decoding the stream from scratch), verifies the
+// rows are bit-identical at several worker counts, and writes the
+// comparison as JSON.
 //
 // Usage:
 //
-//	st2dse [-scale N] [-sms N]             # Figure 5 sweep
-//	st2dse -reuse-trace suite.st2rec       # record once, replay thereafter
+//	st2dse [-scale N] [-sms N] [-sweep-workers N]  # Figure 5 sweep
+//	st2dse -reuse-trace suite.st2rec       # record once, decode thereafter
 //	st2dse -widths                         # slice-width characterization
-//	st2dse -bench BENCH_dse.json           # replay vs simulate-per-design
+//	st2dse -bench BENCH_dse.json           # decode-once vs per-design replay
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -43,8 +48,9 @@ func main() {
 		progress = flag.Bool("progress", false, "print [i/n] kernel progress lines to stderr")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 		reuse    = flag.String("reuse-trace", "", "recording-set file: replay the sweep from it if it exists, else simulate once and save it first")
-		bench    = flag.String("bench", "", "time record-once/replay-many vs simulate-per-design, check bit-identity, write JSON here")
+		bench    = flag.String("bench", "", "time the decode-once parallel sweep vs per-design replay, check bit-identity, write JSON here")
 		recCap   = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
+		workers  = flag.Int("sweep-workers", 0, "worker pool for the (kernel × design) sweep grid (0 = GOMAXPROCS, 1 = sequential; results identical at any count)")
 	)
 	flag.Parse()
 
@@ -80,6 +86,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.NumSMs = *sms
 	cfg.RecordMaxBytes = *recCap
+	cfg.SweepWorkers = *workers
 	if *progress {
 		cfg.Progress = func(done, total int, name string) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, name)
@@ -139,71 +146,96 @@ func sweepReusingTrace(cfg experiments.Config, path string) ([]experiments.Fig5R
 }
 
 // benchResult is the BENCH_dse.json payload: wall-clock for the
-// record-once/replay-many sweep vs the simulate-per-design baseline over
-// the same designs, plus the bit-identity verdict.
+// decode-once parallel sweep vs the per-design replay baseline (each
+// design varint-decoding the recorded stream from scratch), the decode
+// throughput behind the trade, and the bit-identity verdict.
 type benchResult struct {
-	Scale         int     `json:"scale"`
-	NumSMs        int     `json:"num_sms"`
-	Designs       int     `json:"designs"`
-	ReplaySeconds float64 `json:"replay_seconds"` // simulate once + replay all designs
-	LiveSeconds   float64 `json:"live_seconds"`   // sequential live-tracer sim per design
-	Speedup       float64 `json:"speedup"`        // live/replay
-	Identical     bool    `json:"identical"`      // replayed rates == live rates, bit for bit
-	RecordedBytes uint64  `json:"recorded_bytes"` // encoded stream size for the suite
-	RecordedOps   uint64  `json:"recorded_ops"`   // warp-add records captured
-	HostParallel  int     `json:"host_parallelism"`
+	Scale             int     `json:"scale"`
+	NumSMs            int     `json:"num_sms"`
+	Designs           int     `json:"designs"`
+	SweepWorkers      int     `json:"sweep_workers"`       // grid pool size the timed sweep used
+	RecordSeconds     float64 `json:"record_seconds"`      // simulate the suite once, recording
+	DecodeSeconds     float64 `json:"decode_seconds"`      // the single SoA decode pass
+	DecodeOpsPerSec   float64 `json:"decode_ops_per_sec"`  // recorded_ops / decode_seconds
+	DecodeOnceSeconds float64 `json:"decode_once_seconds"` // decode + parallel (kernel × design) grid
+	PerDesignSeconds  float64 `json:"per_design_seconds"`  // PR-3 path: one full replay per design
+	Speedup           float64 `json:"speedup"`             // per_design / decode_once
+	Identical         bool    `json:"identical"`           // decode-once rows == per-design rows at every tested worker count
+	RecordedBytes     uint64  `json:"recorded_bytes"`      // encoded stream size for the suite
+	RecordedOps       uint64  `json:"recorded_ops"`        // warp-add records captured
+	HostParallel      int     `json:"host_parallelism"`
 }
 
 func runBench(cfg experiments.Config, outPath string) error {
 	designs := speculate.DesignSpace
 
-	tReplay := time.Now()
+	tRecord := time.Now()
 	set, err := experiments.RecordSuite(cfg)
 	if err != nil {
 		return err
 	}
-	replayRows, err := experiments.Fig5FromSet(cfg, set, designs)
+	recordSecs := time.Since(tRecord).Seconds()
+
+	// Decode-once side: one SoA decode pass, then the parallel
+	// (kernel × design) grid — timed together, since the decode is the
+	// price this path pays up front.
+	tDecode := time.Now()
+	dec, err := trace.DecodeSet(set)
 	if err != nil {
 		return err
 	}
-	replaySecs := time.Since(tReplay).Seconds()
+	decodeSecs := time.Since(tDecode).Seconds()
+	onceRows, err := experiments.Fig5FromDecoded(cfg, dec, designs)
+	if err != nil {
+		return err
+	}
+	onceSecs := time.Since(tDecode).Seconds()
 
-	// Baseline: one full live-tracer (sequential-SM) simulation of the
-	// suite per design — what a sweep cost before recordings existed.
-	tLive := time.Now()
-	liveRows := make([]experiments.Fig5Row, 0, len(designs))
-	for _, d := range designs {
-		rows, err := experiments.Fig5Live(cfg, []string{d})
+	// Baseline: the PR-3 sweep shape — every design replays (and
+	// varint-decodes) the full recording set from scratch.
+	tPer := time.Now()
+	perRows, err := experiments.Fig5FromSetPerDesign(cfg, set, designs)
+	if err != nil {
+		return err
+	}
+	perSecs := time.Since(tPer).Seconds()
+
+	// Bit-identity: the timed run, a sequential run, and an
+	// oversubscribed run must all deep-equal the per-design baseline.
+	identical := reflect.DeepEqual(onceRows, perRows)
+	for _, w := range []int{1, 2 * runtime.GOMAXPROCS(0)} {
+		c := cfg
+		c.SweepWorkers = w
+		rows, err := experiments.Fig5FromDecoded(c, dec, designs)
 		if err != nil {
 			return err
 		}
-		liveRows = append(liveRows, rows...)
-	}
-	liveSecs := time.Since(tLive).Seconds()
-
-	identical := len(replayRows) == len(liveRows)
-	if identical {
-		for i := range replayRows {
-			if replayRows[i].Design != liveRows[i].Design || replayRows[i].MissRate != liveRows[i].MissRate {
-				identical = false
-				break
-			}
-		}
+		identical = identical && reflect.DeepEqual(rows, perRows)
 	}
 
+	sweepWorkers := cfg.SweepWorkers
+	if sweepWorkers <= 0 {
+		sweepWorkers = runtime.GOMAXPROCS(0)
+	}
 	res := benchResult{
-		Scale:         cfg.Scale,
-		NumSMs:        cfg.NumSMs,
-		Designs:       len(designs),
-		ReplaySeconds: replaySecs,
-		LiveSeconds:   liveSecs,
-		Identical:     identical,
-		RecordedBytes: set.Bytes(),
-		RecordedOps:   set.NumOps(),
-		HostParallel:  runtime.GOMAXPROCS(0),
+		Scale:             cfg.Scale,
+		NumSMs:            cfg.NumSMs,
+		Designs:           len(designs),
+		SweepWorkers:      sweepWorkers,
+		RecordSeconds:     recordSecs,
+		DecodeSeconds:     decodeSecs,
+		DecodeOnceSeconds: onceSecs,
+		PerDesignSeconds:  perSecs,
+		Identical:         identical,
+		RecordedBytes:     set.Bytes(),
+		RecordedOps:       set.NumOps(),
+		HostParallel:      runtime.GOMAXPROCS(0),
 	}
-	if replaySecs > 0 {
-		res.Speedup = liveSecs / replaySecs
+	if decodeSecs > 0 {
+		res.DecodeOpsPerSec = float64(set.NumOps()) / decodeSecs
+	}
+	if onceSecs > 0 {
+		res.Speedup = perSecs / onceSecs
 	}
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -213,10 +245,10 @@ func runBench(cfg experiments.Config, outPath string) error {
 	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "st2dse: bench: replay %.2fs vs live %.2fs (%.2fx), identical=%v → %s\n",
-		replaySecs, liveSecs, res.Speedup, identical, outPath)
+	fmt.Fprintf(os.Stderr, "st2dse: bench: decode-once %.2fs (decode %.3fs, %.0f ops/s) vs per-design replay %.2fs (%.2fx), workers=%d, identical=%v → %s\n",
+		onceSecs, decodeSecs, res.DecodeOpsPerSec, perSecs, res.Speedup, sweepWorkers, identical, outPath)
 	if !identical {
-		return fmt.Errorf("st2dse: replayed rates are NOT bit-identical to the live-tracer path")
+		return fmt.Errorf("st2dse: decode-once sweep rows are NOT bit-identical to the per-design replay baseline")
 	}
 	return nil
 }

@@ -118,18 +118,21 @@ type ApproxRow struct {
 
 // ApproximateAdderStudy runs the suite once and evaluates uncorrected
 // speculative addition under staticZero (the assumption of approximate
-// adders [10]–[13]) and under ST²'s own predictor — motivating the
-// paper's guaranteed-correctness design point. Kernels are simulated
-// concurrently under the parallel recording path and each meter consumes
-// a replay; rates are bit-identical to ApproximateAdderStudyLive.
+// adders [10]–[13]), CASA, and ST²'s own predictor — motivating the
+// paper's guaranteed-correctness design point. The suite is recorded
+// once, decoded once, and the (kernel × design) grid runs on the
+// decode-once sweep engine; rates are bit-identical to
+// ApproximateAdderStudyLive at any cfg.SweepWorkers count.
 func ApproximateAdderStudy(cfg Config) ([]ApproxRow, error) {
-	return approximateAdderStudy(cfg, func(i int, w kernels.Workload, meter *trace.ApproxMeter) error {
-		rec, err := cfg.recordWorkload(w, gpusim.BaselineAdders)
-		if err != nil {
-			return err
-		}
-		return trace.Replay(rec, meter)
-	})
+	set, err := RecordSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := trace.DecodeSet(set)
+	if err != nil {
+		return nil, err
+	}
+	return approxFromDecoded(cfg, dec, []string{"staticZero", "CASA", speculate.FinalDesign})
 }
 
 // ApproximateAdderStudyLive is the legacy live-tracer path (sequential

@@ -35,6 +35,11 @@ type Config struct {
 	// (0 = gpusim.DefaultRecordMaxBytes). Exceeding it fails the run with
 	// a loud error instead of exhausting host memory.
 	RecordMaxBytes uint64
+	// SweepWorkers bounds the worker pool the decode-once sweep engine
+	// schedules the (kernel × design) grid on: 0 lets the grid use
+	// GOMAXPROCS workers, 1 forces sequential evaluation. Results are
+	// bit-identical at any worker count.
+	SweepWorkers int
 	// Progress, when non-nil, is called after each kernel of a suite pass
 	// finishes: done kernels so far, the suite total, and the kernel that
 	// just completed. Calls are serialized; done is monotonic even when
@@ -357,18 +362,21 @@ type Fig3Row struct {
 }
 
 // Fig3 measures the temporal/spatial carry correlation of every kernel
-// plus the op-weighted suite aggregate (appended as "Average"). Each
-// kernel is simulated once under the parallel recording path and the
-// meter consumes a replay — the stream, and therefore every rate, is
-// bit-identical to the legacy sequential live-tracer path (Fig3Live).
+// plus the op-weighted suite aggregate (appended as "Average"). The
+// suite is simulated once under the parallel recording path, decoded
+// once into flat arrays, and the (kernel × scheme) grid runs on the
+// decode-once sweep engine — every rate is bit-identical to the legacy
+// sequential live-tracer path (Fig3Live) at any cfg.SweepWorkers count.
 func Fig3(cfg Config) ([]Fig3Row, error) {
-	return fig3(cfg, func(i int, w kernels.Workload, cm *trace.CorrMeter) error {
-		rec, err := cfg.recordWorkload(w, gpusim.BaselineAdders)
-		if err != nil {
-			return err
-		}
-		return trace.Replay(rec, cm)
-	})
+	set, err := RecordSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := trace.DecodeSet(set)
+	if err != nil {
+		return nil, err
+	}
+	return Fig3FromDecoded(cfg, dec)
 }
 
 // Fig3Live is the legacy live-tracer path: the meter observes the stream
@@ -382,19 +390,21 @@ func Fig3Live(cfg Config) ([]Fig3Row, error) {
 	})
 }
 
-// Fig3FromSet replays a previously captured recording set (same scale,
-// SM count and seed — checked) without any simulation at all.
+// Fig3FromSet evaluates a previously captured recording set (same scale,
+// SM count, seed and kernel list — checked) without any simulation at
+// all: one decode pass, then the parallel (kernel × scheme) grid.
 func Fig3FromSet(cfg Config, set *trace.Set) ([]Fig3Row, error) {
 	if err := set.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
 		return nil, err
 	}
-	return fig3(cfg, func(i int, w kernels.Workload, cm *trace.CorrMeter) error {
-		rec, ok := set.Get(w.Name)
-		if !ok {
-			return fmt.Errorf("experiments: recording set is missing kernel %q", w.Name)
-		}
-		return trace.Replay(rec, cm)
-	})
+	if err := set.MatchesKernels(kernels.Names()); err != nil {
+		return nil, err
+	}
+	dec, err := trace.DecodeSet(set)
+	if err != nil {
+		return nil, err
+	}
+	return Fig3FromDecoded(cfg, dec)
 }
 
 // fig3 runs the Figure 3 analysis with the operation stream delivered by
@@ -450,20 +460,24 @@ type Fig5Row struct {
 
 // Fig5 sweeps the speculation design space over the full suite with a
 // single simulation pass per kernel (all designs observe the identical
-// operation stream). Each kernel is simulated once under the parallel
-// recording path and every design is evaluated from a replay, so adding
-// designs costs replay time, not simulation time; rates are bit-identical
-// to the legacy sequential live-tracer path (Fig5Live). The returned rows
-// follow the paper's Figure 5 left-to-right order; rates are unweighted
-// kernel averages.
+// operation stream). The suite is recorded once under the parallel
+// recording path, decoded once into flat arrays, and the
+// (kernel × design) grid runs on the decode-once sweep engine — adding
+// designs costs one array walk each, not a decode or a simulation.
+// Rates are bit-identical to the legacy sequential live-tracer path
+// (Fig5Live) at any cfg.SweepWorkers count. The returned rows follow the
+// paper's Figure 5 left-to-right order; rates are unweighted kernel
+// averages.
 func Fig5(cfg Config, designs []string) ([]Fig5Row, error) {
-	return fig5(cfg, designs, func(i int, w kernels.Workload, meter *trace.DSEMeter) error {
-		rec, err := cfg.recordWorkload(w, gpusim.BaselineAdders)
-		if err != nil {
-			return err
-		}
-		return trace.Replay(rec, meter)
-	})
+	set, err := RecordSuite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := trace.DecodeSet(set)
+	if err != nil {
+		return nil, err
+	}
+	return Fig5FromDecoded(cfg, dec, designs)
 }
 
 // Fig5Live is the legacy live-tracer sweep: the meter observes the stream
@@ -478,19 +492,33 @@ func Fig5Live(cfg Config, designs []string) ([]Fig5Row, error) {
 }
 
 // Fig5FromSet sweeps the design space over a previously captured
-// recording set (same scale, SM count and seed — checked) with zero
-// simulation: O(designs × replay) instead of O(designs × simulate).
+// recording set (same scale, SM count, seed and kernel list — checked)
+// with zero simulation: one decode pass plus O(designs) array walks,
+// scheduled on the parallel sweep grid.
 func Fig5FromSet(cfg Config, set *trace.Set, designs []string) ([]Fig5Row, error) {
 	if err := set.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
 		return nil, err
 	}
-	return fig5(cfg, designs, func(i int, w kernels.Workload, meter *trace.DSEMeter) error {
+	if err := set.MatchesKernels(kernels.Names()); err != nil {
+		return nil, err
+	}
+	dec, err := trace.DecodeSet(set)
+	if err != nil {
+		return nil, err
+	}
+	return Fig5FromDecoded(cfg, dec, designs)
+}
+
+// feedFromSet builds a fig5 feed that replays each kernel's recording
+// from a captured set — the per-design replay baseline's delivery path.
+func feedFromSet(set *trace.Set) func(i int, w kernels.Workload, meter *trace.DSEMeter) error {
+	return func(i int, w kernels.Workload, meter *trace.DSEMeter) error {
 		rec, ok := set.Get(w.Name)
 		if !ok {
 			return fmt.Errorf("experiments: recording set is missing kernel %q", w.Name)
 		}
 		return trace.Replay(rec, meter)
-	})
+	}
 }
 
 // fig5 runs the design-space sweep with the operation stream delivered by

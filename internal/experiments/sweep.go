@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"st2gpu/internal/kernels"
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/stats"
+	"st2gpu/internal/trace"
+)
+
+// This file is the decode-once, evaluate-many sweep engine: a recording
+// Set is decoded a single time into trace.Decoded flat arrays, and the
+// (kernel × design) grid of every predictor-only analysis is scheduled
+// over a bounded worker pool. Each grid cell owns its predictor and
+// writes its counter into a slot indexed by (kernel, design); the fold
+// into rows happens afterwards in fixed suite × design order — the same
+// per-worker-shard + fold-in-fixed-order rule the parallel simulator
+// uses — so results are bit-identical at any SweepWorkers count.
+
+// runGrid runs n independent tasks over a bounded worker pool
+// (workers ≤ 0 means GOMAXPROCS). fn receives the task index and must
+// write its result into caller-owned, task-indexed storage; runGrid
+// itself shares nothing between tasks, which is what makes the schedule
+// irrelevant to the outcome.
+func runGrid(workers, n int, fn func(t int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < n; t++ {
+		t := t
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[t] = fn(t)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suiteKernels resolves every suite kernel in the decoded set, in suite
+// order — the fixed fold order of every grid below.
+func suiteKernels(dec *trace.Decoded) ([]kernels.Workload, []*trace.DecodedKernel, error) {
+	ws := kernels.Suite()
+	ks := make([]*trace.DecodedKernel, len(ws))
+	for i, w := range ws {
+		k, ok := dec.Kernel(w.Name)
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: recording set is missing kernel %q", w.Name)
+		}
+		ks[i] = k
+	}
+	return ws, ks, nil
+}
+
+// Fig5FromDecoded sweeps the design space over a decoded set: the
+// (kernel × design) grid runs on cfg.SweepWorkers workers and each cell
+// is one array walk — no varint decoding, no simulation. Rows are
+// bit-identical to Fig5/Fig5Live/Fig5FromSet at any worker count.
+func Fig5FromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Fig5Row, error) {
+	if designs == nil {
+		designs = speculate.DesignSpace
+	}
+	if err := dec.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
+		return nil, err
+	}
+	_, ks, err := suiteKernels(dec)
+	if err != nil {
+		return nil, err
+	}
+	nk, nd := len(ks), len(designs)
+	rates := make([]stats.Rate, nk*nd)
+	err = runGrid(cfg.SweepWorkers, nk*nd, func(t int) error {
+		i, j := t/nd, t%nd
+		r, err := ks[i].EvalMiss(designs[j])
+		if err != nil {
+			return err
+		}
+		rates[t] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig5Row, nd)
+	vals := make([]float64, nk)
+	for j, d := range designs {
+		for i := 0; i < nk; i++ {
+			vals[i] = rates[i*nd+j].Value()
+		}
+		out[j] = Fig5Row{Design: d, MissRate: stats.Mean(vals)}
+	}
+	return out, nil
+}
+
+// Fig3FromDecoded runs the Figure 3 correlation analysis over a decoded
+// set with the (kernel × scheme) grid on cfg.SweepWorkers workers. Rows
+// are bit-identical to Fig3/Fig3Live/Fig3FromSet at any worker count.
+func Fig3FromDecoded(cfg Config, dec *trace.Decoded) ([]Fig3Row, error) {
+	if err := dec.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
+		return nil, err
+	}
+	ws, ks, err := suiteKernels(dec)
+	if err != nil {
+		return nil, err
+	}
+	nk, nd := len(ks), len(trace.Fig3Designs)
+	rates := make([]stats.Rate, nk*nd)
+	err = runGrid(cfg.SweepWorkers, nk*nd, func(t int) error {
+		i, j := t/nd, t%nd
+		r, err := ks[i].EvalCorr(trace.Fig3Designs[j])
+		if err != nil {
+			return err
+		}
+		rates[t] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, nk)
+	var agg [3]stats.Rate
+	for i := 0; i < nk; i++ {
+		rows[i].Kernel = ws[i].Name
+		for j := 0; j < nd; j++ {
+			r := rates[i*nd+j]
+			rows[i].Rates[j] = r.Value()
+			rows[i].Samples[j] = r.Total
+			agg[j].Merge(r)
+		}
+	}
+	var avg Fig3Row
+	avg.Kernel = "Average"
+	for j := range agg {
+		avg.Rates[j] = agg[j].Value()
+		avg.Samples[j] = agg[j].Total
+	}
+	return append(rows, avg), nil
+}
+
+// approxFromDecoded is the decoded-grid form of the approximate-adder
+// study; rows are bit-identical to the meter-replay path.
+func approxFromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]ApproxRow, error) {
+	if err := dec.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
+		return nil, err
+	}
+	_, ks, err := suiteKernels(dec)
+	if err != nil {
+		return nil, err
+	}
+	nk, nd := len(ks), len(designs)
+	res := make([]trace.ApproxResult, nk*nd)
+	err = runGrid(cfg.SweepWorkers, nk*nd, func(t int) error {
+		i, j := t/nd, t%nd
+		r, err := ks[i].EvalApprox(designs[j])
+		if err != nil {
+			return err
+		}
+		res[t] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate in suite order so the floating-point sums match the old
+	// sequential loop bit for bit.
+	out := make([]ApproxRow, nd)
+	for j, d := range designs {
+		var wrSum, reSum float64
+		for i := 0; i < nk; i++ {
+			wrSum += res[i*nd+j].Wrong.Value()
+			reSum += res[i*nd+j].MeanRelErr
+		}
+		out[j] = ApproxRow{
+			Design:       d,
+			WrongResults: wrSum / float64(nk),
+			MeanRelError: reSum / float64(nk),
+		}
+	}
+	return out, nil
+}
+
+// Fig5FromSetPerDesign is the PR-3-style per-design replay baseline,
+// kept for the decode-once benchmark: every design replays — and
+// therefore varint-decodes — the full recording set from scratch
+// (N designs cost N decodes). Rows are bit-identical to the decode-once
+// sweep; only the work distribution differs.
+func Fig5FromSetPerDesign(cfg Config, set *trace.Set, designs []string) ([]Fig5Row, error) {
+	if designs == nil {
+		designs = speculate.DesignSpace
+	}
+	if err := set.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
+		return nil, err
+	}
+	out := make([]Fig5Row, 0, len(designs))
+	for _, d := range designs {
+		rows, err := fig5(cfg, []string{d}, feedFromSet(set))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows[0])
+	}
+	return out, nil
+}

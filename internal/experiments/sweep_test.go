@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/trace"
+)
+
+// TestSweepBitIdenticalAcrossWorkers pins the sweep-grid determinism
+// rule: the (kernel × design) grid must produce deep-equal rows at any
+// SweepWorkers count, and those rows must equal the per-design replay
+// baseline (which decodes the stream once per design instead of once
+// total). Run under -race by scripts/check.sh, this also proves the
+// decoded arrays are treated as read-only by concurrent evaluations.
+func TestSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	cfg := Default()
+	set, err := RecordSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := trace.DecodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fig5Rows [][]Fig5Row
+	var fig3Rows [][]Fig3Row
+	var approxRows [][]ApproxRow
+	for _, workers := range []int{1, 2, 5} {
+		c := cfg
+		c.SweepWorkers = workers
+		f5, err := Fig5FromDecoded(c, dec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig5Rows = append(fig5Rows, f5)
+		f3, err := Fig3FromDecoded(c, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig3Rows = append(fig3Rows, f3)
+		ax, err := approxFromDecoded(c, dec, []string{"staticZero", "CASA", speculate.FinalDesign})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approxRows = append(approxRows, ax)
+	}
+	for i := 1; i < len(fig5Rows); i++ {
+		if !reflect.DeepEqual(fig5Rows[0], fig5Rows[i]) {
+			t.Errorf("Fig5 rows differ between SweepWorkers=1 and the %d-th worker config", i)
+		}
+		if !reflect.DeepEqual(fig3Rows[0], fig3Rows[i]) {
+			t.Errorf("Fig3 rows differ between SweepWorkers=1 and the %d-th worker config", i)
+		}
+		if !reflect.DeepEqual(approxRows[0], approxRows[i]) {
+			t.Errorf("approx rows differ between SweepWorkers=1 and the %d-th worker config", i)
+		}
+	}
+
+	// The decode-once grid must agree with the per-design replay baseline
+	// bit for bit — it is the same analysis, minus the redundant decodes.
+	perDesign, err := Fig5FromSetPerDesign(cfg, set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig5Rows[0], perDesign) {
+		t.Errorf("decode-once rows %v differ from per-design replay rows %v", fig5Rows[0], perDesign)
+	}
+
+	// Bad-config and bad-kernel-list rejection on the decoded form.
+	bad := cfg
+	bad.Seed = cfg.Seed + 1
+	if _, err := Fig5FromDecoded(bad, dec, nil); err == nil {
+		t.Error("Fig5FromDecoded accepted a decoded set with a different seed")
+	}
+	partial := trace.NewSet(cfg.Scale, cfg.NumSMs, cfg.Seed)
+	if _, err := Fig5FromSet(cfg, partial, nil); err == nil {
+		t.Error("Fig5FromSet accepted a set missing every suite kernel")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 	"sync/atomic"
 
 	"st2gpu/internal/bitmath"
@@ -198,13 +199,34 @@ func unitWidth(kind core.UnitKind) uint {
 	}
 }
 
-// Replay feeds the recorded stream to t in the exact order a sequential
+// DecodedRecord is one warp-synchronous record delivered by Decode: the
+// lane masks plus the per-active-lane operands and reconstructed sums in
+// ascending lane order (the j-th set bit of Active owns EA[j], EB[j],
+// Sum[j]). The slices alias decoder scratch and are valid only for the
+// duration of the visit callback — copy what must outlive it.
+type DecodedRecord struct {
+	Kind     core.UnitKind
+	PC       uint32
+	GtidBase uint32
+	Active   uint32 // bit l set: lane l executed the op
+	Cin      uint32 // bit l set: lane l's Cin0 was 1
+	EA, EB   []uint64
+	Sum      []uint64
+}
+
+// Decode walks the recorded stream once, in the exact order a sequential
 // live tracer would have observed it (SM-ID-major, per-SM execution
-// order). Sums are reconstructed from the effective operands, so the
-// delivered WarpAddOps are bit-identical to the live-traced ones. Replay
-// is read-only: the same Recording can be replayed any number of times,
-// concurrently from multiple goroutines.
-func (r *Recording) Replay(t AddTracer) error {
+// order), invoking visit per warp-synchronous record. Sums are
+// reconstructed from the effective operands (Sum = EA + EB + Cin0 over
+// the unit width) — the integrity check that makes a recording a valid
+// stand-in for a live trace. This is the single varint-decode pass
+// behind both Replay and the structure-of-arrays decoded caches built by
+// internal/trace; callers that evaluate many designs should decode once
+// and walk the flat arrays instead of re-decoding per consumer.
+// Decode is read-only and safe to call concurrently.
+func (r *Recording) Decode(visit func(rec *DecodedRecord) error) error {
+	var ea, eb, sum [32]uint64
+	dr := DecodedRecord{}
 	for si, seg := range r.segs {
 		var prevPC, prevBase uint32
 		pos := 0
@@ -252,16 +274,16 @@ func (r *Recording) Replay(t AddTracer) error {
 				return fmt.Errorf("gpusim: replay segment %d: record with no active lanes", si)
 			}
 
-			var ops [32]WarpAddOp
+			n := 0
 			for l := 0; l < 32; l++ {
 				if active&(1<<l) == 0 {
 					continue
 				}
-				ea, err := readUvarint(seg, &pos)
+				a, err := readUvarint(seg, &pos)
 				if err != nil {
 					return fmt.Errorf("gpusim: replay segment %d: lane %d EA: %w", si, l, err)
 				}
-				eb, err := readUvarint(seg, &pos)
+				b, err := readUvarint(seg, &pos)
 				if err != nil {
 					return fmt.Errorf("gpusim: replay segment %d: lane %d EB: %w", si, l, err)
 				}
@@ -269,13 +291,44 @@ func (r *Recording) Replay(t AddTracer) error {
 				if cin&(1<<l) != 0 {
 					c = 1
 				}
-				sum, _ := bitmath.AddWithCarry(ea, eb, c, width)
-				ops[l] = WarpAddOp{Active: true, EA: ea, EB: eb, Cin0: c, Sum: sum}
+				s, _ := bitmath.AddWithCarry(a, b, c, width)
+				ea[n], eb[n], sum[n] = a, b, s
+				n++
 			}
-			t.TraceWarpAdds(kind, pc, base, &ops)
+			dr = DecodedRecord{
+				Kind: kind, PC: pc, GtidBase: base, Active: active, Cin: cin,
+				EA: ea[:n], EB: eb[:n], Sum: sum[:n],
+			}
+			if err := visit(&dr); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// Replay feeds the recorded stream to t in the exact order a sequential
+// live tracer would have observed it. Sums are reconstructed from the
+// effective operands, so the delivered WarpAddOps are bit-identical to
+// the live-traced ones. Replay is read-only: the same Recording can be
+// replayed any number of times, concurrently from multiple goroutines.
+func (r *Recording) Replay(t AddTracer) error {
+	return r.Decode(func(rec *DecodedRecord) error {
+		var ops [32]WarpAddOp
+		j := 0
+		for m := rec.Active; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			ops[l] = WarpAddOp{
+				Active: true,
+				EA:     rec.EA[j], EB: rec.EB[j],
+				Cin0: uint(rec.Cin >> l & 1),
+				Sum:  rec.Sum[j],
+			}
+			j++
+		}
+		t.TraceWarpAdds(rec.Kind, rec.PC, rec.GtidBase, &ops)
+		return nil
+	})
 }
 
 // --- serialization ---

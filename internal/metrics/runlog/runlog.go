@@ -161,8 +161,11 @@ func CollectHost() Host {
 }
 
 // Version returns the build's VCS revision ("rev" or "rev-dirty") from
-// the embedded build info, or "unknown" outside a stamped build (go test,
-// go run of a dirty tree without VCS stamping).
+// the embedded build info. Outside a VCS-stamped build (go test, go run
+// of a tree built without stamping) it degrades through the module
+// version (e.g. "(devel)") and then the toolchain version, so manifests
+// still record which build produced them; "unknown" only appears when
+// the binary carries no build info at all.
 func Version() string {
 	bi, ok := debug.ReadBuildInfo()
 	if !ok {
@@ -180,6 +183,12 @@ func Version() string {
 		}
 	}
 	if rev == "" {
+		if v := bi.Main.Version; v != "" {
+			return v
+		}
+		if bi.GoVersion != "" {
+			return bi.GoVersion
+		}
 		return "unknown"
 	}
 	if len(rev) > 12 {

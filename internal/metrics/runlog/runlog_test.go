@@ -218,3 +218,13 @@ func TestSequenceNumbers(t *testing.T) {
 		}
 	}
 }
+
+// TestVersionNeverUnknownUnderTest pins the build-info fallback chain:
+// go test binaries carry no VCS stamp, but they do embed module and
+// toolchain versions, so manifests written from tests (and from go run)
+// must not degrade to the useless "unknown".
+func TestVersionNeverUnknownUnderTest(t *testing.T) {
+	if v := Version(); v == "unknown" || v == "" {
+		t.Errorf("Version() = %q; want a VCS revision, module version, or toolchain version", v)
+	}
+}

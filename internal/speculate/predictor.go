@@ -111,19 +111,18 @@ func (s *staticPredictor) Reset()                       {}
 // PeekBits computes the statically-resolvable boundaries for the given
 // effective operands: boundary i (the carry out of slice i) is 0 when both
 // MSBs of slice i's operands are 0, and 1 when both are 1. Returns the
-// resolved mask and the resolved values.
+// resolved mask and the resolved values. The per-boundary gather is
+// branchless (a boundary resolves exactly when the two MSBs agree, and
+// resolves to their AND), keeping the hot sweep path free of
+// data-dependent branches.
 func PeekBits(g Geometry, ea, eb uint64) (static, values uint64) {
 	nb := g.Boundaries()
+	agree := ^(ea ^ eb) // bit set where the operands' bits match
+	both := ea & eb     // bit set where they match at 1
 	for i := uint(0); i < nb; i++ {
 		msbPos := (i+1)*g.SliceBits - 1
-		a := uint((ea >> msbPos) & 1)
-		b := uint((eb >> msbPos) & 1)
-		if a == 0 && b == 0 {
-			static |= 1 << i // resolved to 0
-		} else if a == 1 && b == 1 {
-			static |= 1 << i
-			values |= 1 << i // resolved to 1
-		}
+		static |= (agree >> msbPos & 1) << i
+		values |= (both >> msbPos & 1) << i
 	}
 	return static, values
 }

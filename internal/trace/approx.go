@@ -22,6 +22,7 @@ type ApproxMeter struct {
 	preds   map[string]speculate.Predictor
 	wrong   map[string]*stats.Rate
 	relErr  map[string]*runningMean
+	scratch warpScratch
 }
 
 type runningMean struct {
@@ -30,6 +31,13 @@ type runningMean struct {
 }
 
 func (r *runningMean) add(v float64) { r.sum += v; r.n++ }
+
+// addRelative records |got−exact|/max(1,|exact|) with both values read as
+// two's-complement signed results.
+func (r *runningMean) addRelative(got, exact uint64) {
+	denom := math.Max(1, math.Abs(float64(int64(exact))))
+	r.add(math.Abs(float64(int64(got))-float64(int64(exact))) / denom)
+}
 func (r *runningMean) mean() float64 {
 	if r.n == 0 {
 		return 0
@@ -94,47 +102,14 @@ func approxSum(ea, eb uint64, cin0 uint, width uint, predicted uint64) uint64 {
 	return out & bitmath.Mask(width)
 }
 
-// TraceWarpAdds implements gpusim.AddTracer.
+// TraceWarpAdds implements gpusim.AddTracer. The warp is compacted once
+// (the traced Sum doubles as the exact result — the recording integrity
+// check pins Sum == EA+EB+Cin0 over the unit width) and every design
+// runs the shared batched eval core.
 func (m *ApproxMeter) TraceWarpAdds(kind core.UnitKind, pc, gtidBase uint32, ops *[32]gpusim.WarpAddOp) {
-	width := widthOf(kind)
-	mask := bitmath.Mask(bitmath.NumSlices(width, 8) - 1)
-	var actuals [32]uint64
-	var exacts [32]uint64
-	var ctxs [32]speculate.Context
-	for l := 0; l < 32; l++ {
-		if !ops[l].Active {
-			continue
-		}
-		actuals[l] = bitmath.BoundaryCarriesPacked(ops[l].EA, ops[l].EB, ops[l].Cin0, 64, 8) & mask
-		exacts[l], _ = bitmath.AddWithCarry(ops[l].EA, ops[l].EB, ops[l].Cin0, width)
-		ctxs[l] = speculate.Context{PC: pc, Gtid: gtidBase + uint32(l), Ltid: uint8(l),
-			EA: ops[l].EA, EB: ops[l].EB, Cin0: ops[l].Cin0}
-	}
+	r := m.scratch.compact(kind, pc, gtidBase, ops)
 	for _, d := range m.Designs {
-		p := m.preds[d]
-		var mispred [32]bool
-		for l := 0; l < 32; l++ {
-			if !ops[l].Active {
-				continue
-			}
-			pred := p.Predict(ctxs[l])
-			carries := (pred.Carries &^ pred.Static) | (actuals[l] & pred.Static & mask)
-			// Peek-resolved boundaries are exact even without correction;
-			// dynamic ones use whatever was predicted.
-			got := approxSum(ops[l].EA, ops[l].EB, ops[l].Cin0, width, carries)
-			wrongResult := got != exacts[l]
-			mispred[l] = (pred.Carries^actuals[l])&mask&^pred.Static != 0
-			m.wrong[d].AddBool(wrongResult)
-			if wrongResult {
-				denom := math.Max(1, math.Abs(float64(int64(exacts[l]))))
-				m.relErr[d].add(math.Abs(float64(int64(got))-float64(int64(exacts[l]))) / denom)
-			}
-		}
-		for l := 0; l < 32; l++ {
-			if ops[l].Active {
-				p.Update(ctxs[l], actuals[l], mispred[l])
-			}
-		}
+		approxStep(m.preds[d], m.wrong[d], m.relErr[d], r, &m.scratch.eval)
 	}
 }
 

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"math/bits"
+
+	"st2gpu/internal/bitmath"
+	"st2gpu/internal/core"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/stats"
+)
+
+// warpRec is the canonical flat form of one warp-synchronous record: the
+// lane masks plus per-active-lane operands, exact sums and (unmasked)
+// boundary carry-outs in ascending lane order — the j-th set bit of
+// active owns index j. Both the live AddTracer meters (via warpScratch)
+// and the decoded SoA caches (via DecodedKernel views) produce this form
+// and run the same eval steps below, which is what makes decoded
+// evaluation bit-identical to live metering by construction.
+type warpRec struct {
+	kind        core.UnitKind
+	pc, base    uint32
+	active, cin uint32
+	ea, eb, sum []uint64
+	carries     []uint64 // 7-boundary carry-outs, kind mask applied at eval
+}
+
+// evalScratch is the per-evaluator lane scratch reused across records.
+type evalScratch struct {
+	carries, static, actual [32]uint64
+}
+
+// warpScratch compacts the dense [32]WarpAddOp tracer form into a
+// warpRec, computing each lane's boundary carry-outs once per record (the
+// meters then share them across every design).
+type warpScratch struct {
+	rec                  warpRec
+	ea, eb, sum, carries [32]uint64
+	eval                 evalScratch
+}
+
+func (w *warpScratch) compact(kind core.UnitKind, pc, base uint32, ops *[32]gpusim.WarpAddOp) *warpRec {
+	var active, cin uint32
+	n := 0
+	for l := 0; l < 32; l++ {
+		op := &ops[l]
+		if !op.Active {
+			continue
+		}
+		active |= 1 << l
+		cin |= uint32(op.Cin0&1) << l
+		w.ea[n], w.eb[n], w.sum[n] = op.EA, op.EB, op.Sum
+		w.carries[n] = bitmath.BoundaryCarriesPacked(op.EA, op.EB, op.Cin0, 64, 8)
+		n++
+	}
+	w.rec = warpRec{
+		kind: kind, pc: pc, base: base, active: active, cin: cin,
+		ea: w.ea[:n], eb: w.eb[:n], sum: w.sum[:n], carries: w.carries[:n],
+	}
+	return &w.rec
+}
+
+// nonZeroBit returns 1 when x != 0 and 0 otherwise, without a branch.
+func nonZeroBit(x uint64) uint64 { return (x | -x) >> 63 }
+
+// dseStep evaluates one design on one warp record with Figure 5
+// semantics: predictions for every lane come from the pre-update state,
+// a lane mispredicts when any non-Peek boundary was speculated wrong,
+// and mispredicting lanes write back. The judge loop is branchless.
+func dseStep(p speculate.Predictor, miss *stats.Rate, r *warpRec, s *evalScratch) {
+	mask := bitmath.Mask(boundariesOf(r.kind))
+	n := len(r.ea)
+	carries, static := s.carries[:n], s.static[:n]
+	speculate.PredictWarp(p, r.pc, r.base, r.active, r.cin, r.ea, r.eb, carries, static)
+	var mispred uint32
+	var missed uint64
+	j := 0
+	for m := r.active; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros32(m)
+		actual := r.carries[j] & mask
+		s.actual[j] = actual
+		wrong := nonZeroBit((carries[j] ^ actual) & mask &^ static[j])
+		mispred |= uint32(wrong) << l
+		missed += wrong
+		j++
+	}
+	miss.Add(missed, uint64(n))
+	speculate.UpdateWarp(p, r.pc, r.base, r.active, mispred, r.cin, r.ea, r.eb, s.actual[:n])
+}
+
+// corrStep evaluates one Figure 3 scheme on one warp record: per-boundary
+// match tallies against the pre-update history, then every active lane
+// writes back (the correlation analysis compares with the immediately
+// preceding operation, so history updates unconditionally).
+func corrStep(p speculate.Predictor, match *stats.Rate, r *warpRec, s *evalScratch) {
+	nb := boundariesOf(r.kind)
+	mask := bitmath.Mask(nb)
+	n := len(r.ea)
+	carries, static := s.carries[:n], s.static[:n]
+	speculate.PredictWarp(p, r.pc, r.base, r.active, r.cin, r.ea, r.eb, carries, static)
+	var matched uint64
+	for j := 0; j < n; j++ {
+		actual := r.carries[j] & mask
+		s.actual[j] = actual
+		matched += uint64(nb) - uint64(bits.OnesCount64((carries[j]^actual)&mask))
+	}
+	match.Add(matched, uint64(nb)*uint64(n))
+	speculate.UpdateWarp(p, r.pc, r.base, r.active, r.active, r.cin, r.ea, r.eb, s.actual[:n])
+}
+
+// approxStep evaluates one design on one warp record with the
+// approximate-adder (no-correction) semantics: Peek-resolved boundaries
+// are exact, dynamic ones use whatever was predicted, and the
+// uncorrected result is compared against the exact sum. relErr
+// accumulates in ascending lane order (floating-point sums are
+// order-sensitive, and this is the order the sequential path used).
+func approxStep(p speculate.Predictor, wrong *stats.Rate, relErr *runningMean, r *warpRec, s *evalScratch) {
+	width := widthOf(r.kind)
+	mask := bitmath.Mask(bitmath.NumSlices(width, 8) - 1)
+	n := len(r.ea)
+	carries, static := s.carries[:n], s.static[:n]
+	speculate.PredictWarp(p, r.pc, r.base, r.active, r.cin, r.ea, r.eb, carries, static)
+	var mispred uint32
+	var wrongResults uint64
+	j := 0
+	for m := r.active; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros32(m)
+		actual := r.carries[j] & mask
+		s.actual[j] = actual
+		used := (carries[j] &^ static[j]) | (actual & static[j] & mask)
+		got := approxSum(r.ea[j], r.eb[j], uint(r.cin>>l&1), width, used)
+		mispred |= uint32(nonZeroBit((carries[j]^actual)&mask&^static[j])) << l
+		if got != r.sum[j] {
+			wrongResults++
+			relErr.addRelative(got, r.sum[j])
+		}
+		j++
+	}
+	wrong.Add(wrongResults, uint64(n))
+	speculate.UpdateWarp(p, r.pc, r.base, r.active, mispred, r.cin, r.ea, r.eb, s.actual[:n])
+}

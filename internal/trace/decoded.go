@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"st2gpu/internal/bitmath"
+	"st2gpu/internal/core"
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/stats"
+)
+
+// DecodedKernel is the structure-of-arrays decoded form of one kernel's
+// recording: record i's masks live at index i of Kind/PC/GtidBase/
+// Active/Cin, and its active lanes occupy Off[i]:Off[i+1] of the flat
+// lane arrays in ascending lane order. Sums are reconstructed (and
+// thereby integrity-checked) and each lane's boundary carry-outs are
+// precomputed once at decode time, so evaluating a design is a pure
+// array walk — no varint decoding, no carry recomputation.
+type DecodedKernel struct {
+	Kind     []core.UnitKind
+	PC       []uint32
+	GtidBase []uint32
+	Active   []uint32
+	Cin      []uint32
+	Off      []uint32 // len(Kind)+1 prefix sums into the lane arrays
+	EA, EB   []uint64
+	Sum      []uint64
+	Carries  []uint64 // unmasked 7-boundary carry-outs per lane
+}
+
+// NumRecords returns the number of warp-synchronous records.
+func (k *DecodedKernel) NumRecords() int { return len(k.Kind) }
+
+// NumLanes returns the total number of active thread-ops.
+func (k *DecodedKernel) NumLanes() int { return len(k.EA) }
+
+// decodeKernel runs the single varint-decode pass over one recording and
+// materializes the flat arrays.
+func decodeKernel(rec *gpusim.Recording) (*DecodedKernel, error) {
+	nrec := int(rec.NumOps())
+	k := &DecodedKernel{
+		Kind:     make([]core.UnitKind, 0, nrec),
+		PC:       make([]uint32, 0, nrec),
+		GtidBase: make([]uint32, 0, nrec),
+		Active:   make([]uint32, 0, nrec),
+		Cin:      make([]uint32, 0, nrec),
+		Off:      make([]uint32, 1, nrec+1),
+	}
+	err := rec.Decode(func(r *gpusim.DecodedRecord) error {
+		k.Kind = append(k.Kind, r.Kind)
+		k.PC = append(k.PC, r.PC)
+		k.GtidBase = append(k.GtidBase, r.GtidBase)
+		k.Active = append(k.Active, r.Active)
+		k.Cin = append(k.Cin, r.Cin)
+		k.EA = append(k.EA, r.EA...)
+		k.EB = append(k.EB, r.EB...)
+		k.Sum = append(k.Sum, r.Sum...)
+		j := 0
+		for m := r.Active; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			k.Carries = append(k.Carries,
+				bitmath.BoundaryCarriesPacked(r.EA[j], r.EB[j], uint(r.Cin>>l&1), 64, 8))
+			j++
+		}
+		k.Off = append(k.Off, uint32(len(k.EA)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// each walks the records in stream order, presenting each as a warpRec
+// view over the flat arrays (zero-copy; valid during the callback).
+func (k *DecodedKernel) each(visit func(r *warpRec)) {
+	var r warpRec
+	for i := range k.Kind {
+		lo, hi := k.Off[i], k.Off[i+1]
+		r = warpRec{
+			kind: k.Kind[i], pc: k.PC[i], base: k.GtidBase[i],
+			active: k.Active[i], cin: k.Cin[i],
+			ea: k.EA[lo:hi], eb: k.EB[lo:hi], sum: k.Sum[lo:hi], carries: k.Carries[lo:hi],
+		}
+		visit(&r)
+	}
+}
+
+// Replay feeds the decoded stream to a legacy AddTracer, reconstructing
+// the dense [32]WarpAddOp form — bit-identical to replaying the original
+// recording.
+func (k *DecodedKernel) Replay(t gpusim.AddTracer) {
+	k.each(func(r *warpRec) {
+		var ops [32]gpusim.WarpAddOp
+		j := 0
+		for m := r.active; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			ops[l] = gpusim.WarpAddOp{
+				Active: true,
+				EA:     r.ea[j], EB: r.eb[j],
+				Cin0: uint(r.cin >> l & 1),
+				Sum:  r.sum[j],
+			}
+			j++
+		}
+		t.TraceWarpAdds(r.kind, r.pc, r.base, &ops)
+	})
+}
+
+// EvalMiss evaluates one speculation design over the decoded stream with
+// Figure 5 semantics and returns its thread-misprediction counter —
+// bit-identical to replaying the recording through a DSEMeter, at the
+// cost of an array walk.
+func (k *DecodedKernel) EvalMiss(design string) (stats.Rate, error) {
+	p, err := speculate.NewDesign(design, g64)
+	if err != nil {
+		return stats.Rate{}, fmt.Errorf("trace: design %q: %w", design, err)
+	}
+	var miss stats.Rate
+	var s evalScratch
+	k.each(func(r *warpRec) { dseStep(p, &miss, r, &s) })
+	return miss, nil
+}
+
+// EvalCorr evaluates one Figure 3 correlation scheme over the decoded
+// stream — bit-identical to a CorrMeter replay.
+func (k *DecodedKernel) EvalCorr(design string) (stats.Rate, error) {
+	p, err := speculate.NewDesign(design, g64)
+	if err != nil {
+		return stats.Rate{}, fmt.Errorf("trace: design %q: %w", design, err)
+	}
+	var match stats.Rate
+	var s evalScratch
+	k.each(func(r *warpRec) { corrStep(p, &match, r, &s) })
+	return match, nil
+}
+
+// ApproxResult is one design's uncorrected-adder outcome on one kernel.
+type ApproxResult struct {
+	Wrong       stats.Rate
+	MeanRelErr  float64
+	WrongErrSum float64 // relative-error numerator (Σ relErr over wrong results)
+}
+
+// EvalApprox evaluates one design with the approximate-adder
+// (no-correction) semantics — bit-identical to an ApproxMeter replay.
+func (k *DecodedKernel) EvalApprox(design string) (ApproxResult, error) {
+	p, err := speculate.NewDesign(design, g64)
+	if err != nil {
+		return ApproxResult{}, fmt.Errorf("trace: approx design %q: %w", design, err)
+	}
+	var wrong stats.Rate
+	var re runningMean
+	var s evalScratch
+	k.each(func(r *warpRec) { approxStep(p, &wrong, &re, r, &s) })
+	return ApproxResult{Wrong: wrong, MeanRelErr: re.mean(), WrongErrSum: re.sum}, nil
+}
+
+// Decoded is the decode-once form of a whole recording Set: every kernel
+// materialized as a DecodedKernel, stamped with the same capture
+// configuration. Build it with DecodeSet, then evaluate as many designs
+// as you like — N designs cost one decode plus N array walks, and the
+// flat arrays are read-only so evaluations can run concurrently.
+type Decoded struct {
+	Scale  int
+	NumSMs int
+	Seed   int64
+
+	names   []string
+	kernels map[string]*DecodedKernel
+}
+
+// DecodeSet decodes every kernel of a recording set once (kernels
+// decoded concurrently, bounded by GOMAXPROCS; the result does not
+// depend on the worker count).
+func DecodeSet(s *Set) (*Decoded, error) {
+	names := s.Names()
+	d := &Decoded{
+		Scale: s.Scale, NumSMs: s.NumSMs, Seed: s.Seed,
+		names:   names,
+		kernels: make(map[string]*DecodedKernel, len(names)),
+	}
+	decoded := make([]*DecodedKernel, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		rec, ok := s.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("trace: recording set is missing kernel %q", name)
+		}
+		i, name, rec := i, name, rec
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			k, err := decodeKernel(rec)
+			if err != nil {
+				errs[i] = fmt.Errorf("trace: decode kernel %q: %w", name, err)
+				return
+			}
+			decoded[i] = k
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, name := range names {
+		d.kernels[name] = decoded[i]
+	}
+	return d, nil
+}
+
+// Names returns the kernel names in the set's insertion order.
+func (d *Decoded) Names() []string { return append([]string(nil), d.names...) }
+
+// Kernel returns the named kernel's decoded form.
+func (d *Decoded) Kernel(name string) (*DecodedKernel, bool) {
+	k, ok := d.kernels[name]
+	return k, ok
+}
+
+// NumOps returns the total decoded warp-add records across all kernels.
+func (d *Decoded) NumOps() uint64 {
+	var n uint64
+	for _, k := range d.kernels {
+		n += uint64(k.NumRecords())
+	}
+	return n
+}
+
+// NumLanes returns the total decoded active thread-ops across all kernels.
+func (d *Decoded) NumLanes() uint64 {
+	var n uint64
+	for _, k := range d.kernels {
+		n += uint64(k.NumLanes())
+	}
+	return n
+}
+
+// Matches reports whether the decoded set was captured under the given
+// workload configuration, field by field (see Set.Matches).
+func (d *Decoded) Matches(scale, numSMs int, seed int64) error {
+	return matchesConfig("decoded recording set", d.Scale, d.NumSMs, d.Seed, scale, numSMs, seed)
+}

@@ -82,13 +82,41 @@ func (s *Set) NumOps() uint64 {
 	return n
 }
 
+// matchesConfig checks one capture configuration against a requested
+// one, reporting the first mismatching field with both the captured and
+// the requested value named.
+func matchesConfig(what string, haveScale, haveSMs int, haveSeed int64, scale, numSMs int, seed int64) error {
+	if haveScale != scale {
+		return fmt.Errorf("trace: %s scale mismatch: captured scale=%d, replay requested scale=%d", what, haveScale, scale)
+	}
+	if haveSMs != numSMs {
+		return fmt.Errorf("trace: %s SM-count mismatch: captured sms=%d, replay requested sms=%d", what, haveSMs, numSMs)
+	}
+	if haveSeed != seed {
+		return fmt.Errorf("trace: %s seed mismatch: captured seed=%d, replay requested seed=%d", what, haveSeed, seed)
+	}
+	return nil
+}
+
 // Matches reports whether the set was captured under the given workload
 // configuration; a mismatch means replays would answer questions about a
-// different workload.
+// different workload. Each field is checked separately so the error
+// names exactly what diverged, with both the captured and the requested
+// value.
 func (s *Set) Matches(scale, numSMs int, seed int64) error {
-	if s.Scale != scale || s.NumSMs != numSMs || s.Seed != seed {
-		return fmt.Errorf("trace: recording set captured at scale=%d sms=%d seed=%d, replay requested scale=%d sms=%d seed=%d",
-			s.Scale, s.NumSMs, s.Seed, scale, numSMs, seed)
+	return matchesConfig("recording set", s.Scale, s.NumSMs, s.Seed, scale, numSMs, seed)
+}
+
+// MatchesKernels reports whether the set contains a recording for every
+// named kernel, naming the first missing one and what the set does hold.
+// Experiment drivers call this up front so a stale or partial set fails
+// before any replay work starts.
+func (s *Set) MatchesKernels(names []string) error {
+	for _, name := range names {
+		if _, ok := s.recs[name]; !ok {
+			return fmt.Errorf("trace: recording set kernel-list mismatch: missing kernel %q (set holds %d kernels: %v)",
+				name, len(s.names), s.names)
+		}
 	}
 	return nil
 }

@@ -113,8 +113,9 @@ var Fig3Designs = []string{"Gtid+Prev", "Gtid+Prev+FullPC", "Ltid+Prev+FullPC"}
 // lets *shared* histories (Ltid) score higher than fully disambiguated
 // ones (Gtid): sharing warms buckets faster.
 type CorrMeter struct {
-	preds map[string]speculate.Predictor
-	match map[string]*stats.Rate
+	preds   map[string]speculate.Predictor
+	match   map[string]*stats.Rate
+	scratch warpScratch
 }
 
 // NewCorrMeter builds the three-scheme correlation meter.
@@ -136,35 +137,12 @@ func NewCorrMeter() (*CorrMeter, error) {
 
 // TraceWarpAdds implements gpusim.AddTracer: every lane's prediction is
 // read from the pre-update history (warp-synchronous), then all lanes
-// write back.
+// write back. The warp is compacted once and all three schemes run the
+// shared batched eval core.
 func (m *CorrMeter) TraceWarpAdds(kind core.UnitKind, pc, gtidBase uint32, ops *[32]gpusim.WarpAddOp) {
-	nb := boundariesOf(kind)
-	mask := bitmath.Mask(nb)
-	var actuals [32]uint64
-	var ctxs [32]speculate.Context
-	for l := 0; l < 32; l++ {
-		if !ops[l].Active {
-			continue
-		}
-		actuals[l] = bitmath.BoundaryCarriesPacked(ops[l].EA, ops[l].EB, ops[l].Cin0, 64, 8) & mask
-		ctxs[l] = speculate.Context{PC: pc, Gtid: gtidBase + uint32(l), Ltid: uint8(l),
-			EA: ops[l].EA, EB: ops[l].EB, Cin0: ops[l].Cin0}
-	}
+	r := m.scratch.compact(kind, pc, gtidBase, ops)
 	for _, d := range Fig3Designs {
-		p := m.preds[d]
-		for l := 0; l < 32; l++ {
-			if !ops[l].Active {
-				continue
-			}
-			pred := p.Predict(ctxs[l])
-			diff := (pred.Carries ^ actuals[l]) & mask
-			m.match[d].Add(uint64(int(nb)-popcount(diff)), uint64(nb))
-		}
-		for l := 0; l < 32; l++ {
-			if ops[l].Active {
-				p.Update(ctxs[l], actuals[l], true)
-			}
-		}
+		corrStep(m.preds[d], m.match[d], r, &m.scratch.eval)
 	}
 }
 
@@ -207,6 +185,7 @@ type DSEMeter struct {
 	Designs []string
 	preds   map[string]speculate.Predictor
 	miss    map[string]*stats.Rate
+	scratch warpScratch
 }
 
 // NewDSEMeter builds a sweep over the given designs (defaulting to the
@@ -233,36 +212,13 @@ func NewDSEMeter(designs []string) (*DSEMeter, error) {
 
 // TraceWarpAdds implements gpusim.AddTracer: predictions for every lane
 // come from the pre-update history (as in hardware, where the CRF row is
-// read once per warp), then mispredicting lanes write back.
+// read once per warp), then mispredicting lanes write back. The warp is
+// compacted once (boundary carries computed per lane, not per design)
+// and every design runs the shared batched eval core.
 func (m *DSEMeter) TraceWarpAdds(kind core.UnitKind, pc, gtidBase uint32, ops *[32]gpusim.WarpAddOp) {
-	mask := bitmath.Mask(boundariesOf(kind))
-	var actuals [32]uint64
-	var ctxs [32]speculate.Context
-	for l := 0; l < 32; l++ {
-		if !ops[l].Active {
-			continue
-		}
-		actuals[l] = bitmath.BoundaryCarriesPacked(ops[l].EA, ops[l].EB, ops[l].Cin0, 64, 8) & mask
-		ctxs[l] = speculate.Context{PC: pc, Gtid: gtidBase + uint32(l), Ltid: uint8(l),
-			EA: ops[l].EA, EB: ops[l].EB, Cin0: ops[l].Cin0}
-	}
+	r := m.scratch.compact(kind, pc, gtidBase, ops)
 	for _, d := range m.Designs {
-		p := m.preds[d]
-		var mispred [32]bool
-		for l := 0; l < 32; l++ {
-			if !ops[l].Active {
-				continue
-			}
-			pred := p.Predict(ctxs[l])
-			wrong := (pred.Carries ^ actuals[l]) & mask &^ pred.Static
-			mispred[l] = wrong != 0
-			m.miss[d].AddBool(mispred[l])
-		}
-		for l := 0; l < 32; l++ {
-			if ops[l].Active {
-				p.Update(ctxs[l], actuals[l], mispred[l])
-			}
-		}
+		dseStep(m.preds[d], m.miss[d], r, &m.scratch.eval)
 	}
 }
 

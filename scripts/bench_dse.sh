@@ -1,9 +1,12 @@
 #!/bin/sh
-# DSE benchmark: time the record-once/replay-many Figure 5 sweep against
-# the legacy simulate-per-design baseline over the full 12-design space,
-# and verify the miss rates are bit-identical. st2dse -bench exits
-# non-zero itself on a rate mismatch; this script additionally
-# sanity-checks the JSON payload. Writes BENCH_dse.json at the repo root.
+# DSE benchmark: time the decode-once parallel Figure 5 sweep (one SoA
+# decode + (kernel × design) grid) against the per-design replay baseline
+# (each design varint-decodes the recorded stream from scratch) over the
+# full 12-design space, and verify the rows are bit-identical at several
+# worker counts. st2dse -bench exits non-zero itself on a row mismatch;
+# this script additionally sanity-checks the JSON payload and fails
+# loudly if identity or the speedup floor is lost. Writes BENCH_dse.json
+# at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,18 +21,29 @@ fail() {
 
 [ -s "$OUT" ] || fail "$OUT is missing or empty"
 
-grep -q '"identical": true' "$OUT" || fail "replayed rates not bit-identical to live"
+grep -q '"identical": true' "$OUT" || fail "decode-once rows not bit-identical to per-design replay"
 grep -q '"designs": 12' "$OUT" || fail "sweep did not cover the 12-design space"
+grep -q '"sweep_workers":' "$OUT" || fail "sweep_workers missing from $OUT"
 
 if grep -q '"recorded_ops": 0[,}]' "$OUT"; then
     fail "recording captured zero warp-add records"
 fi
 
-# The replay sweep must beat simulate-per-design even on a single-core
-# CI box (replay skips 11 of 12 simulation passes); multi-core hosts see
-# far more. Keep the floor modest so the gate is not flaky.
+# Decode throughput must be present and nonzero — it is the denominator
+# of the whole decode-once trade.
+decops=$(sed -n 's/.*"decode_ops_per_sec": \([0-9.]*\).*/\1/p' "$OUT")
+[ -n "$decops" ] || fail "decode_ops_per_sec missing from $OUT"
+awk "BEGIN { exit !($decops > 0) }" || fail "decode throughput is zero"
+
+# The decode-once sweep must never lose to per-design replay: on a
+# single-core box it still saves 11 of 12 varint decodes (floor 1.0);
+# with real host parallelism the grid should win by at least 2x.
 speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' "$OUT")
 [ -n "$speedup" ] || fail "speedup missing from $OUT"
-awk "BEGIN { exit !($speedup >= 1.5) }" || fail "speedup $speedup < 1.5x"
+hostpar=$(sed -n 's/.*"host_parallelism": \([0-9]*\).*/\1/p' "$OUT")
+[ -n "$hostpar" ] || fail "host_parallelism missing from $OUT"
+floor=1.0
+[ "$hostpar" -gt 1 ] && floor=2.0
+awk "BEGIN { exit !($speedup >= $floor) }" || fail "speedup $speedup < ${floor}x (host_parallelism=$hostpar)"
 
-echo "bench-dse: OK (speedup ${speedup}x, identical rates, $OUT)"
+echo "bench-dse: OK (speedup ${speedup}x over per-design replay, decode ${decops} ops/s, identical rows, $OUT)"

@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./...
+
+# The sweep-grid determinism rule deserves its own named gate: the
+# (kernel × design) grid must be race-clean and bit-identical at any
+# -sweep-workers count (the full -race sweep above also covers it, but a
+# failure here names the broken invariant directly).
+go test -race -count=1 -run TestSweepBitIdenticalAcrossWorkers ./internal/experiments
