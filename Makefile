@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke bench-dse
+.PHONY: build test vet lint race check bench bench-smoke bench-dse
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# st2lint: the determinism/shard-ownership analyzers (DESIGN.md §11).
+# Exits non-zero on any finding not suppressed by //st2:det-ok <reason>.
+lint:
+	$(GO) run ./cmd/st2lint ./...
+
 # Race-detector run over the packages that exercise the parallel per-SM
 # launch path (plus everything downstream of it).
 race:
 	$(GO) test -race ./...
 
-# The gate CI runs: static analysis, the full test suite under the race
-# detector, a suite smoke pass with the run manifest sanity-checked, and
-# the record-vs-replay DSE benchmark with bit-identity verified.
-check: vet race bench-smoke bench-dse
+# The gate CI runs: static analysis (vet + st2lint), the full test suite
+# under the race detector, a suite smoke pass with the run manifest
+# sanity-checked, and the record-vs-replay DSE benchmark with
+# bit-identity verified.
+check: vet lint race bench-smoke bench-dse
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,108 @@
+// Command st2lint statically enforces the simulator's determinism and
+// shard-ownership invariants: the bit-identical-at-any-worker-count
+// guarantee behind every reproduced paper figure is checked at lint
+// time, not just by the runtime identity tests.
+//
+// Usage:
+//
+//	st2lint [-run detmaprange,detclock,...] [-json] [-v] ./...
+//
+// st2lint exits 1 when any finding survives suppression filtering, so
+// `make lint` (and `make check`, which runs it before the race-detector
+// suite) fails fast on a violation. A finding is suppressed by a
+// `//st2:det-ok <reason>` comment on the flagged line or the line
+// above; the reason is mandatory (see the detok analyzer).
+//
+// Analyzers (each documents the invariant it encodes in its Doc):
+//
+//	detmaprange  no map-order iteration in result-producing paths
+//	detclock     no wall-clock/global-rand reads in simulation code
+//	shardown     worker goroutines write only worker-owned shards
+//	foldorder    cross-shard float folds only in blessed fold helpers
+//	detok        suppressions must carry a reason
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"st2gpu/internal/analysis"
+)
+
+func main() {
+	var (
+		runList  = flag.String("run", "", "comma-separated analyzers to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON lines")
+		verbose  = flag.Bool("v", false, "print per-analyzer docs and a summary")
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: st2lint [-run names] [-json] [-v] packages...\n\n"+
+				"Statically enforces determinism and shard-ownership invariants.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *listOnly {
+		for _, a := range analyzers {
+			doc := a.Doc
+			for i, r := range doc {
+				if r == '\n' {
+					doc = doc[:i]
+					break
+				}
+			}
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "st2lint: running %d analyzers over %v\n", len(analyzers), patterns)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(wd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		if *jsonOut {
+			b, err := json.Marshal(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Println(d.String())
+		}
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "st2lint: %d findings\n", len(diags))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

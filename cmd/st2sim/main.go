@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"st2gpu/internal/core"
 	"st2gpu/internal/gpusim"
 	"st2gpu/internal/isa"
 	"st2gpu/internal/kernels"
@@ -180,7 +181,10 @@ func printRow(tw *tabwriter.Writer, report, name string, rs *gpusim.RunStats) {
 	case "mispred":
 		var ops, mis uint64
 		var recompN, recompSum float64
-		for _, u := range rs.Units {
+		// Canonical kind order keeps the float fold independent of map
+		// iteration order.
+		for _, kind := range core.UnitKinds {
+			u := rs.Units[kind]
 			ops += u.ThreadOps
 			mis += u.ThreadMispredicts
 			if u.RecomputeHistogram != nil && u.RecomputeHistogram.Total() > 0 {

@@ -1,0 +1,188 @@
+// Package analysis is st2lint: a suite of static analyzers that enforce
+// the simulator's determinism and shard-ownership invariants at lint
+// time, before a map-order fold or a stray wall-clock read can silently
+// skew a reproduced paper figure.
+//
+// The headline guarantee of the parallel simulator — bit-identical
+// RunStats, recordings, and sweep rows at any worker count — is enforced
+// at runtime by tests like TestSweepBitIdenticalAcrossWorkers, but
+// runtime tests only cover the paths they exercise. These analyzers
+// check every function in the tree:
+//
+//   - detmaprange: no map-order iteration in result-producing paths
+//   - detclock:    no wall-clock or global-rand reads in simulation code
+//   - shardown:    worker goroutines write only worker-owned shards
+//   - foldorder:   cross-shard float folds happen in blessed fold helpers
+//   - detok:       //st2:det-ok suppressions must carry a reason
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, an analysistest-style harness) so the
+// suite can migrate to the upstream driver if the repository ever takes
+// that dependency; the build intentionally stays stdlib-only.
+//
+// A finding is suppressed by a line comment on the flagged line or the
+// line above it:
+//
+//	//st2:det-ok <reason>
+//
+// The reason is mandatory: a det-ok with no reason does not suppress
+// anything and is itself flagged by the detok analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, printed with each diagnostic
+	// and accepted by st2lint's -run filter.
+	Name string
+	// Doc states the invariant the analyzer encodes, first line short.
+	Doc string
+	// Skip reports whether the analyzer does not apply to the package
+	// with the given import path (nil: applies everywhere). Skipped
+	// packages are not traversed at all.
+	Skip func(pkgPath string) bool
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	PkgPath   string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer,
+// so lint output is stable run to run.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// DetOkPrefix introduces a suppression comment. The directive form (no
+// space after //, like //go:build) keeps it out of godoc.
+const DetOkPrefix = "//st2:det-ok"
+
+// Suppression is one parsed //st2:det-ok comment.
+type Suppression struct {
+	Pos    token.Position
+	Reason string // empty reasons are invalid and suppress nothing
+	Used   bool
+}
+
+// Suppressions collects every det-ok comment in the files, keyed by
+// (filename, line). Multi-line comment groups attach each directive to
+// its own line.
+func Suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]*Suppression {
+	out := make(map[string]map[int]*Suppression)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, DetOkPrefix)
+				if !ok {
+					continue
+				}
+				// Guard against //st2:det-okay and friends: the directive
+				// must end exactly at the prefix or be followed by space.
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]*Suppression)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = &Suppression{Pos: pos, Reason: strings.TrimSpace(text)}
+			}
+		}
+	}
+	return out
+}
+
+// Filter drops findings covered by a valid suppression on the same line
+// or the line directly above, marking those suppressions used. Findings
+// from the detok analyzer itself are never suppressible.
+func Filter(diags []Diagnostic, sup map[string]map[int]*Suppression) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != DetOk.Name {
+			if s := lookupSuppression(sup, d.Pos); s != nil && s.Reason != "" {
+				s.Used = true
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func lookupSuppression(sup map[string]map[int]*Suppression, pos token.Position) *Suppression {
+	byLine := sup[pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	if s := byLine[pos.Line]; s != nil {
+		return s
+	}
+	return byLine[pos.Line-1]
+}
+
+// runOne applies one analyzer to one package.
+func runOne(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, pkgPath string, diags *[]Diagnostic) error {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		PkgPath:   pkgPath,
+		diags:     diags,
+	}
+	return a.Run(pass)
+}

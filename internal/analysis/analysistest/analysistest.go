@@ -1,0 +1,128 @@
+// Package analysistest runs st2lint analyzers over testdata packages
+// and checks the reported findings against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the stdlib-only
+// framework in internal/analysis.
+//
+// A want comment sits on the line the diagnostic is reported at and
+// holds one quoted regular expression per expected finding:
+//
+//	for k := range m { // want `range over map m`
+//
+// Each expectation must be matched by exactly one diagnostic on its
+// line, and every diagnostic must match an expectation; the regexp is
+// unanchored and tested against "analyzer: message".
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"st2gpu/internal/analysis"
+	"st2gpu/internal/analysis/load"
+)
+
+// Run loads the single package rooted at pkgdir (normally
+// testdata/src/<analyzer>), applies the analyzers through the same
+// pipeline as st2lint — including //st2:det-ok suppression filtering,
+// but without the per-package Skip filter, since testdata import paths
+// are synthetic — and compares the surviving findings to the package's
+// want comments.
+func Run(t *testing.T, pkgdir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	diags, fset, pkg := Check(t, pkgdir, analyzers...)
+	wants := parseWants(t, fset, pkg)
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched `%s`", w.pos.Filename, w.pos.Line, w.re)
+		}
+	}
+}
+
+// Check loads pkgdir and returns its suppression-filtered findings
+// without comparing them to want comments. Tests that assert on
+// diagnostics directly (e.g. for findings reported at comment positions,
+// where a want comment cannot share the line) use this.
+func Check(t *testing.T, pkgdir string, analyzers ...*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, *load.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := load.LoadDir(fset, pkgdir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgdir, err)
+	}
+	for _, e := range pkg.Errors {
+		t.Errorf("%s does not type-check: %v", pkgdir, e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	diags, err := analysis.CheckForTests(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("checking %s: %v", pkgdir, err)
+	}
+	return diags, fset, pkg
+}
+
+// expectation is one parsed `// want` regexp, bound to a file and line.
+type expectation struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					rest = rest[len(q):]
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					out = append(out, &expectation{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation on d's line whose regexp
+// matches, reporting whether one was found.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	text := d.Analyzer + ": " + d.Message
+	for _, w := range wants {
+		if w.matched || w.pos.Filename != d.Pos.Filename || w.pos.Line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(text) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"st2gpu/internal/analysis"
+	"st2gpu/internal/analysis/analysistest"
+)
+
+func testdata(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestDetMapRange(t *testing.T) {
+	analysistest.Run(t, testdata("detmaprange"), analysis.DetMapRange)
+}
+
+func TestDetClock(t *testing.T) {
+	analysistest.Run(t, testdata("detclock"), analysis.DetClock)
+}
+
+func TestShardOwn(t *testing.T) {
+	analysistest.Run(t, testdata("shardown"), analysis.ShardOwn)
+}
+
+func TestFoldOrder(t *testing.T) {
+	analysistest.Run(t, testdata("foldorder"), analysis.FoldOrder)
+}
+
+// TestDetOk asserts on the diagnostics directly: detok reports at the
+// offending comment's own position, so a want comment cannot share the
+// line with it.
+func TestDetOk(t *testing.T) {
+	diags, _, _ := analysistest.Check(t, testdata("detok"), analysis.DetOk)
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "missing a reason") {
+		t.Errorf("first finding should flag the reasonless det-ok, got: %s", diags[0].String())
+	}
+	if !strings.Contains(diags[1].Message, "unknown //st2: directive") ||
+		!strings.Contains(diags[1].Message, "det-okay") {
+		t.Errorf("second finding should flag the //st2:det-okay typo, got: %s", diags[1].String())
+	}
+	if diags[0].Pos.Line >= diags[1].Pos.Line {
+		t.Errorf("findings out of source order: %v", diags)
+	}
+}
+
+// TestDetOkNeverSuppressed pins the rule that a det-ok finding cannot
+// be silenced by another det-ok: running detok together with detclock
+// over the detclock fixtures must keep detclock suppressions working
+// without detok gaining any.
+func TestDetOkNeverSuppressed(t *testing.T) {
+	diags, _, _ := analysistest.Check(t, testdata("detok"), analysis.All()...)
+	for _, d := range diags {
+		if d.Analyzer != analysis.DetOk.Name {
+			t.Errorf("non-detok finding in detok fixtures: %s", d.String())
+		}
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d detok findings, want 2:\n%v", len(diags), diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 5", len(all), err)
+	}
+	two, err := analysis.ByName("detmaprange, detok")
+	if err != nil || len(two) != 2 || two[0].Name != "detmaprange" || two[1].Name != "detok" {
+		t.Fatalf("ByName(\"detmaprange, detok\") = %v, err %v", two, err)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") should fail")
+	}
+}
+
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analysis.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if !seen["detok"] {
+		t.Error("suite must include the detok companion check")
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"st2gpu/internal/analysis/load"
+)
+
+// All returns the full st2lint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetMapRange, DetClock, ShardOwn, FoldOrder, DetOk}
+}
+
+// ByName resolves a comma-separated analyzer list ("detmaprange,detok");
+// empty selects the whole suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("st2lint: unknown analyzer %q (have %s)", n, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names lists the suite's analyzer names in order.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// CheckPackages runs the analyzers over loaded packages, applies
+// //st2:det-ok suppression filtering, and returns the surviving
+// findings sorted by position. Packages that failed to load contribute
+// an error instead of silently passing.
+func CheckPackages(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			return nil, fmt.Errorf("st2lint: %s did not type-check: %v", pkg.ImportPath, pkg.Errors[0])
+		}
+		pkgDiags, err := checkOnePackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, pkgDiags...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// checkOnePackage applies the analyzers to one package and filters
+// suppressed findings. Suppression state is per package: a det-ok
+// comment can only cover findings in its own file.
+func checkOnePackage(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Skip != nil && a.Skip(pkg.ImportPath) {
+			continue
+		}
+		if err := runOne(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, pkg.ImportPath, &diags); err != nil {
+			return nil, fmt.Errorf("st2lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sup := Suppressions(pkg.Fset, pkg.Syntax)
+	return Filter(diags, sup), nil
+}
+
+// CheckForTests applies the analyzers to one loaded package without the
+// per-analyzer Skip filter (testdata import paths are synthetic) and
+// with suppression filtering, returning the surviving findings sorted.
+// It is the analysistest harness's entry point.
+func CheckForTests(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if err := runOne(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, pkg.ImportPath, &diags); err != nil {
+			return nil, fmt.Errorf("st2lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sup := Suppressions(pkg.Fset, pkg.Syntax)
+	diags = Filter(diags, sup)
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// Run is the multichecker entry point: load patterns from dir, check,
+// return findings.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	pkgs, err := load.Load(fset, dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return CheckPackages(pkgs, analyzers)
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetClock flags wall-clock reads (time.Now / time.Since / time.Until)
+// and globally seeded math/rand calls inside the simulation, trace,
+// speculate, stats, metrics, and experiments packages.
+//
+// Simulated time is cycle counts; every random stream is a seeded
+// *rand.Rand derived from Config.Seed. A wall-clock read on a result
+// path makes RunStats differ run to run, and the package-level
+// math/rand functions draw from a process-global, randomly seeded
+// source. Wall-clock belongs in exactly two places: the runlog phase
+// timings (internal/metrics/runlog, which deliberately keeps timings
+// off RunStats) and CLI progress output under cmd/ — both outside this
+// analyzer's scope. The phase-timing probes that feed runlog from
+// inside scoped packages carry //st2:det-ok suppressions.
+//
+// Seeded constructors (rand.New, rand.NewSource, rand.NewZipf, and the
+// v2 PCG/ChaCha8 sources) are allowed; the nondeterminism would come
+// from the seed expression, and a time.Now() there is flagged anyway.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc: "flags wall-clock and global math/rand reads in simulation code\n\n" +
+		"Results must be functions of (kernel, config, seed) alone; " +
+		"wall-clock belongs only in runlog phase timings and CLI progress.",
+	Skip: func(pkgPath string) bool {
+		if pkgPath == "st2gpu/internal/metrics/runlog" {
+			return true // the one blessed wall-clock consumer
+		}
+		return skipOutside(
+			"st2gpu/internal/gpusim",
+			"st2gpu/internal/trace",
+			"st2gpu/internal/speculate",
+			"st2gpu/internal/stats",
+			"st2gpu/internal/metrics",
+			"st2gpu/internal/experiments",
+			"st2gpu/internal/kernels",
+			"st2gpu/internal/core",
+			"st2gpu/internal/adder",
+			"st2gpu/internal/bitmath",
+			"st2gpu/internal/power",
+		)(pkgPath)
+	},
+	Run: runDetClock,
+}
+
+// allowedRandFuncs are the math/rand (and v2) package-level names that
+// construct explicitly seeded generators rather than reading the global
+// one.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDetClock(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := selectorPkgName(pass.TypesInfo, sel)
+			if pkg == "" {
+				return true
+			}
+			// Only function references matter: rand.Rand / rand.Source as
+			// type names are how the seeded idiom is written.
+			if _, isFunc := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func); !isFunc {
+				return true
+			}
+			switch pkg {
+			case "time":
+				switch name {
+				case "Now", "Since", "Until":
+					pass.Reportf(sel.Pos(),
+						"wall-clock read time.%s in a deterministic package: results must depend only on (kernel, config, seed); keep timings in runlog/CLI or suppress with %s <reason>",
+						name, DetOkPrefix)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand.%s draws from the process-global nondeterministically seeded source; thread a seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMapRange flags `range` statements over maps in result-producing
+// packages. Go randomizes map iteration order per run, so any map-order
+// loop whose body effects are order-sensitive leaks schedule-dependent
+// bits into RunStats, recordings, manifests, or sweep rows — exactly
+// the nondeterminism the parallel simulator's fold-in-SM-ID-order rule
+// exists to prevent.
+//
+// Two idioms are recognized as deterministic and allowed:
+//
+//  1. Key collection: the body only appends the loop key (or value) to
+//     a slice that is sorted later in the same function —
+//     `for k := range m { keys = append(keys, k) } ... sort.X(keys)`.
+//  2. Commutative integer folding: every statement in the body is an
+//     order-insensitive integer accumulation — `sum += v`, `n++`,
+//     bitwise or/and/xor folds, keyed transfers like `dst[k] += v`
+//     (each iteration touches its own cell), integer max/min tracking,
+//     `delete(m, k)`, or an if/range wrapper around only such
+//     statements. Floating-point accumulation is never allowed: float
+//     addition rounds differently under reordering.
+//
+// Anything else needs either a sorted key slice or a
+// `//st2:det-ok <reason>` suppression.
+var DetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc: "flags map-order iteration in result-producing paths\n\n" +
+		"Map iteration order is randomized; loops whose bodies are not " +
+		"provably order-insensitive must iterate a sorted key slice.",
+	Skip: skipUnder(
+		"st2gpu/internal/analysis",
+		"st2gpu/examples",
+	),
+	Run: runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) error {
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || !isMap(tv.Type) {
+				return true
+			}
+			if allowedKeyCollection(pass, rs, stack) || allowedCommutativeBody(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map %s has order-sensitive effects; iterate a sorted key slice, restrict the body to commutative integer folds, or suppress with %s <reason>",
+				types.ExprString(rs.X), DetOkPrefix)
+			return true
+		})
+	}
+	return nil
+}
+
+// allowedKeyCollection accepts `for k := range m { s = append(s, k) }`
+// when s is sorted by a sort./slices. call later in the same function.
+func allowedKeyCollection(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fid.Name != "append" {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(first) != pass.TypesInfo.ObjectOf(dst) {
+		return false
+	}
+	// The collected elements must not call anything: pure key/value reads.
+	for _, a := range call.Args[1:] {
+		if containsCall(pass.TypesInfo, a) {
+			return false
+		}
+	}
+	_, body := enclosingFunc(stack)
+	return body != nil && sortedAfter(pass, body, pass.TypesInfo.ObjectOf(dst), rs.End())
+}
+
+// sortedAfter reports whether obj is passed to a recognized sorting
+// call somewhere after pos in body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found || len(call.Args) == 0 {
+			return !found
+		}
+		pkg, name := selectorPkgName(pass.TypesInfo, call.Fun)
+		sorter := false
+		switch pkg {
+		case "sort":
+			sorter = true // Strings, Ints, Slice, SliceStable, Sort, ...
+		case "slices":
+			switch name {
+			case "Sort", "SortFunc", "SortStableFunc":
+				sorter = true
+			}
+		}
+		if !sorter {
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil && pass.TypesInfo.ObjectOf(root) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// allowedCommutativeBody accepts bodies made solely of order-insensitive
+// integer statements.
+func allowedCommutativeBody(pass *Pass, rs *ast.RangeStmt) bool {
+	keyObj := rangeVarObj(pass, rs.Key)
+	for _, s := range rs.Body.List {
+		if !commutativeStmt(pass, s, keyObj) {
+			return false
+		}
+	}
+	return len(rs.Body.List) > 0
+}
+
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// commutativeStmt reports whether s is order-insensitive: integer
+// accumulation into a plain variable or a cell keyed by the loop key,
+// integer max/min tracking, delete, continue, or an if/range wrapper
+// around only such statements.
+func commutativeStmt(pass *Pass, s ast.Stmt, keyObj types.Object) bool {
+	info := pass.TypesInfo
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return intAccumTarget(info, lhs, keyObj) &&
+				isInteger(info.Types[rhs].Type) && !containsCall(info, rhs)
+		case token.ASSIGN:
+			// x = max(x, e) / x = min(x, e) over integers.
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return false
+			}
+			fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || (fid.Name != "max" && fid.Name != "min") {
+				return false
+			}
+			if _, isBuiltin := info.ObjectOf(fid).(*types.Builtin); !isBuiltin {
+				return false
+			}
+			return intAccumTarget(info, lhs, keyObj) &&
+				(sameObjectExpr(info, lhs, call.Args[0]) || sameObjectExpr(info, lhs, call.Args[1])) &&
+				!containsCall(info, call.Args[0]) && !containsCall(info, call.Args[1])
+		}
+		return false
+	case *ast.IncDecStmt:
+		return intAccumTarget(info, s.X, keyObj)
+	case *ast.ExprStmt:
+		// delete(m, k): spec-sanctioned during iteration, order-free.
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fid.Name != "delete" {
+			return false
+		}
+		_, isBuiltin := info.ObjectOf(fid).(*types.Builtin)
+		return isBuiltin
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.IfStmt:
+		// Guards like `if v != 0 { sum += v }` and max-tracking `if v >
+		// best { best = v }`: the condition must be call-free and the
+		// branches order-insensitive themselves.
+		if s.Init != nil || containsCall(info, s.Cond) {
+			return false
+		}
+		for _, bs := range s.Body.List {
+			if !commutativeStmt(pass, bs, keyObj) {
+				return false
+			}
+		}
+		if s.Else != nil {
+			eb, ok := s.Else.(*ast.BlockStmt)
+			if !ok {
+				return false
+			}
+			for _, bs := range eb.List {
+				if !commutativeStmt(pass, bs, keyObj) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		// A nested range over a slice/array (e.g. histogram buckets) is
+		// positionally ordered; only its body must stay commutative.
+		tv, ok := info.Types[s.X]
+		if !ok || isMap(tv.Type) {
+			return false
+		}
+		for _, bs := range s.Body.List {
+			if !commutativeStmt(pass, bs, keyObj) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// intAccumTarget reports whether lhs is a legitimate commutative
+// accumulation cell: an integer variable, or an integer map/slice cell
+// indexed by the loop key (each iteration then owns a distinct cell).
+func intAccumTarget(info *types.Info, lhs ast.Expr, keyObj types.Object) bool {
+	lhs = ast.Unparen(lhs)
+	if !isInteger(info.Types[lhs].Type) {
+		return false
+	}
+	switch lv := lhs.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		idx, ok := ast.Unparen(lv.Index).(*ast.Ident)
+		if !ok || keyObj == nil {
+			return false
+		}
+		return info.ObjectOf(idx) == keyObj
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// DetOk is the companion check for the suppression mechanism itself: a
+// `//st2:det-ok` comment must carry a reason, and near-miss spellings of
+// the directive must not silently do nothing.
+//
+// A reasonless suppression is doubly broken — it suppresses nothing
+// (Filter ignores it) while looking like it does — so it is reported,
+// and the report cannot itself be suppressed. Unknown `//st2:`
+// directives (typos like //st2:detok or //st2:det-okay) are reported
+// too, since a typoed suppression would otherwise leave its target
+// finding active with no hint why.
+var DetOk = &Analyzer{
+	Name: "detok",
+	Doc: "requires //st2:det-ok suppressions to carry a reason\n\n" +
+		"A det-ok without a reason suppresses nothing and is flagged; " +
+		"unknown //st2: directives are flagged as probable typos.",
+	Run: runDetOk,
+}
+
+func runDetOk(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//st2:")
+				if !ok {
+					continue
+				}
+				if after, ok := strings.CutPrefix(c.Text, DetOkPrefix); ok &&
+					(after == "" || after[0] == ' ' || after[0] == '\t') {
+					if strings.TrimSpace(after) == "" {
+						pass.Reportf(c.Pos(),
+							"%s suppression is missing a reason: write %s <why this site is deterministic>; a reasonless det-ok suppresses nothing",
+							DetOkPrefix, DetOkPrefix)
+					}
+					continue
+				}
+				word := rest
+				if i := strings.IndexAny(word, " \t"); i >= 0 {
+					word = word[:i]
+				}
+				pass.Reportf(c.Pos(),
+					"unknown //st2: directive %q: the only recognized directive is %s <reason>",
+					"//st2:"+word, DetOkPrefix)
+			}
+		}
+	}
+	return nil
+}

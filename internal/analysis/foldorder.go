@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FoldOrder guards the floating-point half of the bit-identical
+// guarantee: float addition is not associative, so any float
+// accumulation whose iteration order can vary re-rounds differently and
+// breaks TestSweepBitIdenticalAcrossWorkers-style identities. The
+// simulator's rule is that cross-shard float folds happen in exactly one
+// place: a blessed fold helper (a function named fold*/Fold*) that walks
+// shards in SM-ID or suite order after the workers have joined.
+//
+// Three shapes are flagged:
+//
+//  1. float accumulation inside a range-over-map body (iteration order
+//     is random);
+//  2. float accumulation into a variable captured by a worker goroutine
+//     (accumulation order follows the schedule);
+//  3. float accumulation while ranging over a shard collection (element
+//     type named *Shard*/smState) outside a fold* helper — folds belong
+//     in the blessed helpers where the ordering contract is visible.
+var FoldOrder = &Analyzer{
+	Name: "foldorder",
+	Doc: "restricts cross-shard floating-point folds to blessed fold helpers\n\n" +
+		"Float addition re-rounds under reordering; folds must run in " +
+		"SM-ID/suite order inside fold*-named helpers.",
+	Skip: skipUnder(
+		"st2gpu/internal/analysis",
+		"st2gpu/examples",
+	),
+	Run: runFoldOrder,
+}
+
+func runFoldOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			lhs, ok := floatAccumTarget(pass.TypesInfo, n)
+			if !ok {
+				return true
+			}
+			if mrs := enclosingMapRange(pass, stack); mrs != nil {
+				pass.Reportf(n.Pos(),
+					"floating-point accumulation into %s inside a range over map %s: map order is random and float addition re-rounds under reordering; fold in a fixed key order",
+					types.ExprString(lhs), types.ExprString(mrs.X))
+				return true
+			}
+			if lit := enclosingGoLit(stack); lit != nil && capturedBy(pass, lhs, lit) {
+				pass.Reportf(n.Pos(),
+					"floating-point accumulation into %s captured by a worker goroutine: accumulation order follows the schedule; accumulate per worker and fold in SM-ID order",
+					types.ExprString(lhs))
+				return true
+			}
+			if srs := enclosingShardRange(pass, stack); srs != nil && !inFoldHelper(stack) {
+				pass.Reportf(n.Pos(),
+					"floating-point fold over shard collection %s outside a blessed fold helper: move the accumulation into a fold*-named helper that walks shards in SM-ID order",
+					types.ExprString(srs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// floatAccumTarget reports whether n is a float accumulation statement
+// (x += e, x -= e, or x = x ± e) and returns the accumulation target.
+func floatAccumTarget(info *types.Info, n ast.Node) (ast.Expr, bool) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	lhs := ast.Unparen(as.Lhs[0])
+	if !isFloat(info.Types[lhs].Type) {
+		return nil, false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return lhs, true
+	case token.ASSIGN:
+		be, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+			return nil, false
+		}
+		if sameObjectExpr(info, lhs, be.X) || sameObjectExpr(info, lhs, be.Y) {
+			return lhs, true
+		}
+	}
+	return nil, false
+}
+
+func enclosingMapRange(pass *Pass, stack []ast.Node) *ast.RangeStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil // scope boundary: a closure runs when called, not per iteration
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[s.X]; ok && isMap(tv.Type) {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// enclosingGoLit returns the innermost function literal launched by a
+// `go` statement (or passed to a call inside one) that encloses the
+// stack tip, stopping at function-declaration boundaries.
+func enclosingGoLit(stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncDecl:
+			return nil
+		case *ast.FuncLit:
+			if i > 0 {
+				if gs, ok := stack[i-1].(*ast.GoStmt); ok && gs.Call.Fun == s {
+					return s
+				}
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && i > 1 {
+					if gs, ok := stack[i-2].(*ast.GoStmt); ok && gs.Call == call {
+						return s
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func capturedBy(pass *Pass, e ast.Expr, lit *ast.FuncLit) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return !declaredWithin(obj, lit)
+}
+
+// enclosingShardRange finds a range over a collection whose element type
+// names it a shard (metrics.Shard, recShard, smState, …).
+func enclosingShardRange(pass *Pass, stack []ast.Node) *ast.RangeStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[s.X]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			var elem types.Type
+			switch u := tv.Type.Underlying().(type) {
+			case *types.Slice:
+				elem = u.Elem()
+			case *types.Array:
+				elem = u.Elem()
+			case *types.Map:
+				elem = u.Elem()
+			default:
+				continue
+			}
+			if isShardType(elem) {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+func isShardType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "shard") || name == "smState"
+}
+
+// inFoldHelper reports whether the innermost enclosing function is a
+// blessed fold helper: its name begins with "fold" or "Fold".
+func inFoldHelper(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			name := fd.Name.Name
+			return strings.HasPrefix(name, "fold") || strings.HasPrefix(name, "Fold")
+		}
+	}
+	return false
+}

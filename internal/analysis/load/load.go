@@ -1,0 +1,293 @@
+// Package load turns `go list` package graphs into parsed, type-checked
+// packages using nothing but the standard library.
+//
+// It exists because the canonical loader (golang.org/x/tools/go/packages)
+// is a module dependency this repository deliberately does not take: the
+// build must stay stdlib-only so `go build ./...` is green from a clean
+// module cache with no network. The loader shells out to the go command
+// for package discovery — `go list -deps -json` emits the transitive
+// import closure in dependency order — and then parses and type-checks
+// every package from source, stdlib included, with go/parser and
+// go/types. That is slower than reading export data, but it is fully
+// offline, deterministic, and gives analyzers complete syntax trees and
+// types.Info for every target package.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string // absolute paths, build-constraint filtered by go list
+	Standard   bool     // part of the standard library
+	Target     bool     // named by the Load patterns (not a pure dependency)
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// Errors holds parse and type errors. Dependencies are allowed to
+	// carry errors (analysis degrades gracefully); targets with errors
+	// should normally abort the run.
+	Errors []error
+
+	imports   map[string]*Package // source import path -> package
+	importMap map[string]string   // source path -> canonical (vendored) path
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir (module-aware, offline) and returns the
+// type-checked target packages in `go list` order. Dependencies are
+// checked too — from source — but only targets are returned.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	byPath, order, err := checkGraph(fset, listed)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, path := range order {
+		if p := byPath[path]; p.Target {
+			targets = append(targets, p)
+		}
+	}
+	return targets, nil
+}
+
+// LoadDir parses the single package rooted at dir — which may live under
+// a testdata directory the go tool refuses to list — resolves its
+// imports against the standard library, and type-checks it. Used by the
+// analysistest harness.
+func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	pkg := &Package{
+		ImportPath: "testdata/" + filepath.Base(dir),
+		Dir:        dir,
+		GoFiles:    files,
+		Target:     true,
+		Fset:       fset,
+		imports:    make(map[string]*Package),
+	}
+	if err := parsePackage(fset, pkg); err != nil {
+		return nil, err
+	}
+	// Gather the imports the testdata package needs and type-check them
+	// (and their dependencies) from source.
+	seen := map[string]bool{}
+	var deps []string
+	for _, f := range pkg.Syntax {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				deps = append(deps, path)
+			}
+		}
+	}
+	sort.Strings(deps)
+	if len(deps) > 0 {
+		listed, err := goList(dir, deps...)
+		if err != nil {
+			return nil, err
+		}
+		byPath, _, err := checkGraph(fset, listed)
+		if err != nil {
+			return nil, err
+		}
+		for path, dep := range byPath {
+			pkg.imports[path] = dep
+		}
+	}
+	typeCheck(fset, pkg)
+	return pkg, nil
+}
+
+// goList runs `go list -e -deps -json` and decodes the stream. CGO is
+// disabled so every package resolves to pure Go sources the type
+// checker can consume.
+func goList(dir string, patterns ...string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-deps",
+		"-json=ImportPath,Name,Dir,Standard,DepOnly,GoFiles,CgoFiles,Imports,ImportMap,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("load: starting go list: %w", err)
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return listed, nil
+}
+
+// checkGraph parses and type-checks every listed package. `go list
+// -deps` emits dependencies before dependents, so a single forward pass
+// sees every import already checked.
+func checkGraph(fset *token.FileSet, listed []*listPackage) (map[string]*Package, []string, error) {
+	byPath := make(map[string]*Package, len(listed))
+	order := make([]string, 0, len(listed))
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = &Package{ImportPath: "unsafe", Standard: true, Types: types.Unsafe, Fset: fset}
+			order = append(order, "unsafe")
+			continue
+		}
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Standard:   lp.Standard,
+			Target:     !lp.DepOnly,
+			Fset:       fset,
+			imports:    make(map[string]*Package, len(lp.Imports)),
+			importMap:  lp.ImportMap,
+		}
+		if lp.Error != nil {
+			pkg.Errors = append(pkg.Errors, fmt.Errorf("%s", lp.Error.Err))
+		}
+		for _, f := range lp.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(lp.Dir, f)
+			}
+			pkg.GoFiles = append(pkg.GoFiles, f)
+		}
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok {
+				pkg.imports[imp] = dep
+			}
+		}
+		if len(lp.CgoFiles) > 0 {
+			pkg.Errors = append(pkg.Errors,
+				fmt.Errorf("%s: cgo package cannot be type-checked from source", lp.ImportPath))
+		} else if err := parsePackage(fset, pkg); err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+		}
+		typeCheck(fset, pkg)
+		byPath[lp.ImportPath] = pkg
+		order = append(order, lp.ImportPath)
+	}
+	return byPath, order, nil
+}
+
+func parsePackage(fset *token.FileSet, pkg *Package) error {
+	for _, name := range pkg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	return nil
+}
+
+func typeCheck(fset *token.FileSet, pkg *Package) {
+	if len(pkg.Syntax) == 0 {
+		return
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &graphImporter{pkg: pkg},
+		Error: func(err error) {
+			pkg.Errors = append(pkg.Errors, err)
+		},
+		Sizes: types.SizesFor("gc", "amd64"),
+	}
+	tpkg, _ := conf.Check(pkg.ImportPath, fset, pkg.Syntax, info)
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+}
+
+// graphImporter resolves imports against the already-checked graph,
+// applying go list's ImportMap for stdlib-vendored paths.
+type graphImporter struct {
+	pkg *Package
+}
+
+func (gi *graphImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	canonical := path
+	if mapped, ok := gi.pkg.importMap[path]; ok {
+		canonical = mapped
+	}
+	dep, ok := gi.pkg.imports[canonical]
+	if !ok {
+		dep, ok = gi.pkg.imports[path]
+	}
+	if !ok || dep.Types == nil {
+		return nil, fmt.Errorf("load: import %q not in dependency graph of %s", path, gi.pkg.ImportPath)
+	}
+	return dep.Types, nil
+}

@@ -1,0 +1,711 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardOwn enforces the per-SM / per-cell ownership rule of DESIGN.md §7
+// inside worker goroutines: a goroutine spawned by Launch or a sweep
+// pool may write a shared slice only at the index it owns (its claimed
+// SM id, its grid-cell index, its per-iteration loop variable), and may
+// never write a shared map or append to a shared slice at all.
+//
+// "Owned" is computed by local dataflow inside the worker body:
+//
+//   - parameters of a worker callback invoked by a dispatcher (a
+//     function that calls its func-typed parameter from inside a
+//     goroutine, like experiments.runGrid / Config.forEachKernel);
+//   - variables captured from a loop iteration that encloses the `go`
+//     statement (Go ≥1.22 loop variables are per-iteration);
+//   - results of an atomic claim (x.Add(1) on a sync/atomic value) or a
+//     channel receive;
+//   - arithmetic over owned values, constants, and read-only captures;
+//     and elements of shared slices read at an owned index.
+//
+// Ownership facts propagate across same-package helper calls: passing a
+// shared slice together with an owned index into a helper re-checks the
+// helper's writes with those parameters marked shared/owned. Writes to
+// captured scalars are allowed only under a held sync mutex.
+var ShardOwn = &Analyzer{
+	Name: "shardown",
+	Doc: "enforces worker-goroutine shard ownership (DESIGN.md §7)\n\n" +
+		"Worker goroutines may write shared slices only at worker-owned " +
+		"indices, and may never write shared maps.",
+	Skip: skipUnder(
+		"st2gpu/internal/analysis",
+		"st2gpu/examples",
+	),
+	Run: runShardOwn,
+}
+
+func runShardOwn(pass *Pass) error {
+	so := &shardOwn{
+		pass:    pass,
+		decls:   make(map[types.Object]*ast.FuncDecl),
+		checked: make(map[helperKey]bool),
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.ObjectOf(fd.Name); obj != nil {
+					so.decls[obj] = fd
+				}
+			}
+		}
+	}
+	so.findDispatchers()
+	for _, file := range pass.Files {
+		so.checkFile(file)
+	}
+	return nil
+}
+
+type shardOwn struct {
+	pass  *Pass
+	decls map[types.Object]*ast.FuncDecl
+	// dispatchers maps a function's func-typed parameter object to the
+	// per-argument ownedness with which worker goroutines invoke it.
+	dispatchers map[types.Object][]bool
+	checked     map[helperKey]bool
+}
+
+type helperKey struct {
+	fn          types.Object
+	shared, own uint64 // parameter bitmasks (receiver = bit 63)
+}
+
+const recvBit = 63
+
+// workerCtx is the analysis state for one worker function body.
+type workerCtx struct {
+	so *shardOwn
+	// body is the worker function literal (or helper declaration).
+	fn ast.Node
+	// encl is the outermost enclosing FuncDecl, for read-only checks.
+	encl *ast.FuncDecl
+	// owned holds objects carrying the worker-owned index/work-item.
+	owned map[types.Object]bool
+	// sharedParams marks helper parameters bound to shared containers at
+	// a propagated call site: declared inside the helper, but aliasing
+	// state shared across workers.
+	sharedParams map[types.Object]bool
+	// loops are the for/range statements enclosing the `go` statement;
+	// variables declared inside them are per-iteration copies.
+	loops []ast.Node
+	depth int
+}
+
+// findDispatchers records, for every function in the package that calls
+// one of its own func-typed parameters from inside a `go` literal, how
+// owned each argument of that call is. A func literal passed to such a
+// parameter elsewhere in the package is then analyzed as a worker body.
+func (so *shardOwn) findDispatchers() {
+	so.dispatchers = make(map[types.Object][]bool)
+	info := so.pass.TypesInfo
+	for _, fd := range so.decls {
+		fd := fd
+		walkStack(fd, func(n ast.Node, stack []ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ctx := so.newGoCtx(fd, gs, lit, stack)
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil || !isFuncParamOf(obj, fd) {
+					return true
+				}
+				ownedArgs := make([]bool, len(call.Args))
+				for i, a := range call.Args {
+					ownedArgs[i] = ctx.ownedExpr(a) == ownOwned
+				}
+				if prev, ok := so.dispatchers[obj]; ok {
+					for i := range prev {
+						if i < len(ownedArgs) {
+							prev[i] = prev[i] && ownedArgs[i]
+						}
+					}
+				} else {
+					so.dispatchers[obj] = ownedArgs
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isFuncParamOf reports whether obj is a func-typed parameter of fd.
+func isFuncParamOf(obj types.Object, fd *ast.FuncDecl) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+		return false
+	}
+	if fd.Type.Params == nil {
+		return false
+	}
+	return declaredWithin(obj, fd.Type.Params)
+}
+
+// checkFile analyzes every worker body in the file: `go` literals, and
+// func literals passed to known dispatcher parameters.
+func (so *shardOwn) checkFile(file *ast.File) {
+	info := so.pass.TypesInfo
+	walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				fd := enclosingDecl(stack)
+				ctx := so.newGoCtx(fd, n, lit, stack)
+				// Immediate-call arguments bind to literal parameters.
+				params := paramObjs(info, lit.Type)
+				for i, a := range n.Call.Args {
+					if i < len(params) && ctx.ownedExpr(a) == ownOwned {
+						ctx.owned[params[i]] = true
+					}
+				}
+				ctx.checkBody(lit.Body)
+				return false // literal handled; don't double-visit nested go stmts? keep walking for nested
+			}
+		case *ast.CallExpr:
+			callee := calleeObject(info, n.Fun)
+			if callee == nil {
+				return true
+			}
+			fd, ok := so.decls[callee]
+			if !ok {
+				return true
+			}
+			// Map call args to parameter objects; a func literal passed to
+			// a dispatcher parameter runs on worker goroutines.
+			params := paramObjs(info, fd.Type)
+			for i, a := range n.Args {
+				lit, ok := ast.Unparen(a).(*ast.FuncLit)
+				if !ok || i >= len(params) {
+					continue
+				}
+				ownedArgs, ok := so.dispatchers[params[i]]
+				if !ok {
+					continue
+				}
+				ctx := &workerCtx{
+					so:    so,
+					fn:    lit,
+					encl:  enclosingDecl(stack),
+					owned: make(map[types.Object]bool),
+				}
+				litParams := paramObjs(info, lit.Type)
+				for j, p := range litParams {
+					if j < len(ownedArgs) && ownedArgs[j] {
+						ctx.owned[p] = true
+					}
+				}
+				ctx.checkBody(lit.Body)
+			}
+		}
+		return true
+	})
+}
+
+// newGoCtx builds the worker context for a `go func(...){...}(...)`
+// statement: captures declared inside enclosing loops are per-iteration.
+func (so *shardOwn) newGoCtx(encl *ast.FuncDecl, gs *ast.GoStmt, lit *ast.FuncLit, stack []ast.Node) *workerCtx {
+	ctx := &workerCtx{
+		so:    so,
+		fn:    lit,
+		encl:  encl,
+		owned: make(map[types.Object]bool),
+	}
+	for _, a := range stack {
+		switch a.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			ctx.loops = append(ctx.loops, a)
+		}
+	}
+	return ctx
+}
+
+func enclosingDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+func paramObjs(info *types.Info, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, f := range ft.Params.List {
+		for _, name := range f.Names {
+			out = append(out, info.ObjectOf(name))
+		}
+	}
+	return out
+}
+
+// calleeObject resolves a call target to its function object, for plain
+// and method calls.
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		if o, ok := info.ObjectOf(f).(*types.Func); ok {
+			return o
+		}
+	case *ast.SelectorExpr:
+		if o, ok := info.ObjectOf(f.Sel).(*types.Func); ok {
+			return o
+		}
+	}
+	return nil
+}
+
+// ownedness lattice for expressions inside a worker body.
+type ownedness int
+
+const (
+	ownTaint ownedness = iota // reaches shared mutable state or unknown calls
+	ownPure                   // constants and read-only captures only
+	ownOwned                  // derived from the worker-owned index/claim
+)
+
+func combine(a, b ownedness) ownedness {
+	if a == ownTaint || b == ownTaint {
+		return ownTaint
+	}
+	if a == ownOwned || b == ownOwned {
+		return ownOwned
+	}
+	return ownPure
+}
+
+// localTo reports whether obj is declared inside the worker body itself.
+func (ctx *workerCtx) localTo(obj types.Object) bool {
+	return declaredWithin(obj, ctx.fn)
+}
+
+// perIteration reports whether obj is declared inside a loop that
+// encloses the worker's `go` statement — a fresh copy per iteration.
+func (ctx *workerCtx) perIteration(obj types.Object) bool {
+	for _, l := range ctx.loops {
+		if declaredWithin(obj, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// readOnlyCapture reports whether obj (captured from outside the worker
+// body) is never reassigned or address-taken in the enclosing function,
+// making it constant-like for index arithmetic.
+func (ctx *workerCtx) readOnlyCapture(obj types.Object) bool {
+	if ctx.encl == nil || !declaredWithin(obj, ctx.encl) {
+		return false // package-level or unknown: stay conservative
+	}
+	info := ctx.so.pass.TypesInfo
+	writable := false
+	ast.Inspect(ctx.encl, func(n ast.Node) bool {
+		if writable {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range n.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					writable = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				writable = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					writable = true
+				}
+			}
+		}
+		return !writable
+	})
+	return !writable
+}
+
+// ownedExpr classifies an expression.
+func (ctx *workerCtx) ownedExpr(e ast.Expr) ownedness {
+	info := ctx.so.pass.TypesInfo
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return ownPure
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return ownTaint
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return ownPure
+		}
+		if ctx.sharedParams[obj] {
+			return ownTaint
+		}
+		if ctx.owned[obj] || ctx.perIteration(obj) {
+			return ownOwned
+		}
+		if ctx.localTo(obj) {
+			// Locals are classified when assigned (checkBody seeds
+			// ctx.owned); an unseeded local is schedule-private but not
+			// owned: it cannot prove a shared write safe.
+			return ownPure
+		}
+		if ctx.readOnlyCapture(obj) {
+			return ownPure
+		}
+		return ownTaint
+	case *ast.SelectorExpr:
+		if root := rootIdent(e); root != nil {
+			return ctx.ownedExpr(root)
+		}
+		return ownTaint
+	case *ast.IndexExpr:
+		base := ctx.ownedExpr(e.X)
+		idx := ctx.ownedExpr(e.Index)
+		if idx == ownOwned {
+			return ownOwned // shared[ownedIdx]: the worker's own element
+		}
+		return combine(base, idx)
+	case *ast.BinaryExpr:
+		return combine(ctx.ownedExpr(e.X), ctx.ownedExpr(e.Y))
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return ownOwned // received work item
+		}
+		return ctx.ownedExpr(e.X)
+	case *ast.StarExpr:
+		return ctx.ownedExpr(e.X)
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion.
+			res := ownPure
+			for _, a := range e.Args {
+				res = combine(res, ctx.ownedExpr(a))
+			}
+			return res
+		}
+		if isAtomicClaim(info, e) {
+			return ownOwned
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin &&
+				(id.Name == "len" || id.Name == "cap" || id.Name == "min" || id.Name == "max") {
+				res := ownPure
+				for _, a := range e.Args {
+					if ctx.ownedExpr(a) == ownOwned {
+						res = ownOwned
+					}
+				}
+				return res
+			}
+		}
+		return ownTaint
+	}
+	return ownTaint
+}
+
+// isAtomicClaim recognizes x.Add(n) on a sync/atomic value — the
+// worker-pool idiom for claiming the next work index.
+func isAtomicClaim(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	obj, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic"
+}
+
+// checkBody walks a worker body: classifying locals, validating writes,
+// and propagating facts into same-package helpers.
+func (ctx *workerCtx) checkBody(body *ast.BlockStmt) {
+	info := ctx.so.pass.TypesInfo
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// First classify defines so later uses see ownedness.
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, l := range n.Lhs {
+					if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.ObjectOf(id); obj != nil && ctx.ownedExpr(n.Rhs[i]) == ownOwned {
+							ctx.owned[obj] = true
+						}
+					}
+				}
+			}
+			for _, l := range n.Lhs {
+				ctx.checkWrite(n, l, n.Rhs, stack)
+			}
+		case *ast.RangeStmt:
+			// `for v := range ch` inside the worker: items are owned.
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.ObjectOf(id); obj != nil {
+							ctx.owned[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			ctx.checkWrite(n, n.X, nil, stack)
+		case *ast.CallExpr:
+			ctx.propagateCall(n, stack)
+		}
+		return true
+	})
+}
+
+// sharedRoot resolves the base of a write target: returns the captured
+// (shared, non-owned) root identifier's object, or nil when the target
+// is local or owned.
+func (ctx *workerCtx) sharedRoot(e ast.Expr) types.Object {
+	root := rootIdent(e)
+	if root == nil {
+		return nil // unknown shape: stay silent rather than guess
+	}
+	obj := ctx.so.pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return nil
+	}
+	if ctx.sharedParams[obj] {
+		return obj
+	}
+	if ctx.localTo(obj) || ctx.owned[obj] || ctx.perIteration(obj) {
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+// checkWrite validates one assignment target inside the worker body.
+func (ctx *workerCtx) checkWrite(stmt ast.Node, lhs ast.Expr, rhs []ast.Expr, stack []ast.Node) {
+	info := ctx.so.pass.TypesInfo
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	if rootmost := rootmostIndex(lhs); rootmost != nil {
+		obj := ctx.sharedRoot(rootmost.X)
+		if obj == nil {
+			return
+		}
+		// The index applied directly to the shared root decides ownership:
+		// once the worker has selected its own cell (rows[i]), everything
+		// beneath it (rows[i].Rates[j]) is worker-private.
+		baseType := info.Types[rootmost.X].Type
+		if isMap(baseType) {
+			ctx.so.pass.Reportf(lhs.Pos(),
+				"write to shared map %s inside a worker goroutine: concurrent map writes fault even at distinct keys; give each worker its own map and fold in SM-ID order (DESIGN.md §7)",
+				types.ExprString(rootmost.X))
+			return
+		}
+		if ctx.ownedExpr(rootmost.Index) != ownOwned {
+			ctx.so.pass.Reportf(lhs.Pos(),
+				"write to shared %s at index %s that is not derived from the worker-owned index; workers may write only the cells they own (DESIGN.md §7)",
+				types.ExprString(rootmost.X), types.ExprString(rootmost.Index))
+		}
+		return
+	}
+	obj := ctx.sharedRoot(lhs)
+	if obj == nil {
+		return
+	}
+	// append-to-shared is a growth race even at "distinct" elements.
+	for _, r := range rhs {
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					ctx.so.pass.Reportf(lhs.Pos(),
+						"append to shared slice %s inside a worker goroutine races on length and backing array; accumulate into a per-worker shard and fold after the workers join (DESIGN.md §7)",
+						obj.Name())
+					return
+				}
+			}
+		}
+	}
+	if ctx.mutexHeld(stack) {
+		return
+	}
+	ctx.so.pass.Reportf(lhs.Pos(),
+		"write to captured variable %s inside a worker goroutine without a held mutex; shard it per worker or guard it (DESIGN.md §7)",
+		types.ExprString(lhs))
+}
+
+// rootmostIndex returns the index expression applied closest to the
+// root of an lvalue chain (rows[i].Rates[j] -> rows[i]), or nil when
+// the chain contains no indexing. The root-most index is the one that
+// selects the worker's cell out of the shared container; everything
+// below it lives inside that cell.
+func rootmostIndex(e ast.Expr) *ast.IndexExpr {
+	var last *ast.IndexExpr
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			last = v
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return last
+		}
+	}
+}
+
+// mutexHeld reports whether a sync mutex .Lock() call appears earlier in
+// one of the statement blocks enclosing the write, inside the worker
+// body — a lightweight "is this the guarded-progress idiom" test.
+func (ctx *workerCtx) mutexHeld(stack []ast.Node) bool {
+	info := ctx.so.pass.TypesInfo
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == ctx.fn {
+			break
+		}
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for _, s := range block.List {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+				continue
+			}
+			if fn, ok := info.ObjectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// propagateCall pushes shared/owned facts into same-package helpers: a
+// helper handed a shared container plus owned indices must itself obey
+// the ownership rule.
+func (ctx *workerCtx) propagateCall(call *ast.CallExpr, stack []ast.Node) {
+	if ctx.depth >= 4 {
+		return
+	}
+	info := ctx.so.pass.TypesInfo
+	callee := calleeObject(info, call.Fun)
+	if callee == nil {
+		return
+	}
+	fd, ok := ctx.so.decls[callee]
+	if !ok {
+		return
+	}
+	var sharedMask, ownMask uint64
+	params := paramObjs(info, fd.Type)
+	for i, a := range call.Args {
+		if i >= len(params) || i >= 63 {
+			break
+		}
+		t := info.Types[a].Type
+		if t != nil && (isMap(t) || isSliceOrArray(t) || isPointer(t)) {
+			if obj := ctx.sharedRoot(a); obj != nil && ctx.ownedExpr(a) != ownOwned {
+				sharedMask |= 1 << i
+				continue
+			}
+		}
+		if ctx.ownedExpr(a) == ownOwned {
+			ownMask |= 1 << i
+		}
+	}
+	// A method's receiver propagates too: calling m on a shared pointer
+	// receiver hands the callee the shared state.
+	var recvShared bool
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && fd.Recv != nil {
+		t := info.Types[sel.X].Type
+		if t != nil && isPointer(t) {
+			if obj := ctx.sharedRoot(sel.X); obj != nil && ctx.ownedExpr(sel.X) != ownOwned {
+				recvShared = true
+				sharedMask |= 1 << recvBit
+			}
+		}
+	}
+	if sharedMask == 0 {
+		return
+	}
+	key := helperKey{fn: callee, shared: sharedMask, own: ownMask}
+	if ctx.so.checked[key] {
+		return
+	}
+	ctx.so.checked[key] = true
+
+	helper := &workerCtx{
+		so:    ctx.so,
+		fn:    fd,
+		encl:  fd,
+		owned: make(map[types.Object]bool),
+		depth: ctx.depth + 1,
+	}
+	for i, p := range params {
+		if ownMask&(1<<i) != 0 {
+			helper.owned[p] = true
+		}
+	}
+	helper.sharedParams = make(map[types.Object]bool)
+	for i, p := range params {
+		if sharedMask&(1<<i) != 0 {
+			helper.sharedParams[p] = true
+		}
+	}
+	if recvShared && fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		if obj := info.ObjectOf(fd.Recv.List[0].Names[0]); obj != nil {
+			helper.sharedParams[obj] = true
+		}
+	}
+	helper.checkBody(fd.Body)
+}
+
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}

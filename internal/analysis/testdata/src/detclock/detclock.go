@@ -1,0 +1,40 @@
+// Package detclock exercises the detclock analyzer: no wall-clock or
+// globally seeded math/rand reads in simulation code.
+package detclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClock reads the wall clock twice.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `wall-clock read time\.Now`
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+// deadline reads the clock through Until.
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `wall-clock read time\.Until`
+}
+
+// globalRand draws from the process-global source.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+// seeded constructs an explicitly seeded generator: allowed. The
+// time.Duration and rand.Rand type references are not function reads.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// simulatedTime is cycle counting, not wall clock.
+func simulatedTime(cycles uint64) uint64 {
+	return cycles + 1
+}
+
+// suppressedClock carries a reason, so the finding is filtered.
+func suppressedClock() time.Time {
+	return time.Now() //st2:det-ok test fixture: display-only timestamp
+}

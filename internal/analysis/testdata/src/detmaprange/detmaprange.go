@@ -1,0 +1,114 @@
+// Package detmaprange exercises the detmaprange analyzer: map-order
+// ranges must follow an allowed deterministic idiom or carry a
+// //st2:det-ok reason.
+package detmaprange
+
+import "sort"
+
+// badKeys leaks map order into the returned slice.
+func badKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m has order-sensitive effects`
+		out = append(out, k)
+	}
+	return out
+}
+
+// floatFold re-rounds differently per iteration order.
+func floatFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map m has order-sensitive effects`
+		sum += v
+	}
+	return sum
+}
+
+// callInBody may have order-sensitive side effects.
+func callInBody(m map[string]func()) {
+	for _, f := range m { // want `range over map m has order-sensitive effects`
+		f()
+	}
+}
+
+// sortedKeys is the blessed key-collection idiom: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slicesSorted uses the slices package for the same idiom.
+func slicesSorted(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// unsortedKeys collects but never sorts: the order still leaks.
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map m has order-sensitive effects`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// intFold is a commutative integer accumulation: exact at any order.
+func intFold(m map[string]uint64) uint64 {
+	var n uint64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyedTransfer touches a distinct destination cell per iteration.
+func keyedTransfer(dst, src map[string]uint64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// guardedFold mixes an if guard, max tracking, and bit folds — all
+// order-insensitive.
+func guardedFold(m map[string]int) (int, int) {
+	var bits, best int
+	for _, v := range m {
+		if v != 0 {
+			bits |= v
+		}
+		best = max(best, v)
+	}
+	return bits, best
+}
+
+// drain deletes during iteration, which the spec sanctions.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// suppressed carries a valid reason, so the finding is filtered.
+func suppressed(m map[string]func()) {
+	//st2:det-ok test fixture: callbacks are independent and order-free
+	for _, f := range m {
+		f()
+	}
+}
+
+// reasonless has a det-ok with no reason: it suppresses nothing.
+func reasonless(m map[string]int) []string {
+	var out []string
+	//st2:det-ok
+	for k := range m { // want `range over map m has order-sensitive effects`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package detok exercises the suppression-directive companion check.
+// Findings here are reported at the comment positions themselves, so
+// the test asserts on them directly instead of using want comments (a
+// line comment cannot share its line with a second comment).
+package detok
+
+// reasoned is a well-formed suppression (it has nothing to suppress,
+// which is fine — unused suppressions are not errors).
+func reasoned() int {
+	return 1 //st2:det-ok fixture: a valid reason
+}
+
+// reasonless suppresses nothing and must be flagged.
+func reasonless() int {
+	return 2 //st2:det-ok
+}
+
+// typo is an unknown directive and must be flagged.
+func typo() int {
+	return 3 //st2:det-okay close but not the directive
+}
+
+// otherDirectives that are not st2-prefixed are none of our business.
+//
+//go:noinline
+func otherDirectives() int {
+	return 4
+}

@@ -1,0 +1,107 @@
+// Package foldorder exercises the foldorder analyzer: cross-shard
+// floating-point folds belong in blessed fold* helpers that walk shards
+// in a fixed order.
+package foldorder
+
+import "sync"
+
+type shard struct {
+	energy float64
+	ops    uint64
+}
+
+// foldShards is a blessed helper: fold-prefixed, walks shards in slice
+// order.
+func foldShards(shards []*shard) float64 {
+	var total float64
+	for _, s := range shards {
+		total += s.energy
+	}
+	return total
+}
+
+// sumShards does the same fold outside a blessed helper.
+func sumShards(shards []*shard) float64 {
+	var total float64
+	for _, s := range shards {
+		total += s.energy // want `outside a blessed fold helper`
+	}
+	return total
+}
+
+// intShardFold is exact at any order: integers never re-round.
+func intShardFold(shards []*shard) uint64 {
+	var n uint64
+	for _, s := range shards {
+		n += s.ops
+	}
+	return n
+}
+
+// mapFold accumulates floats in random map order.
+func mapFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `inside a range over map m`
+	}
+	return sum
+}
+
+// mapFoldExplicit spells the accumulation as x = x + v.
+func mapFoldExplicit(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `inside a range over map m`
+	}
+	return sum
+}
+
+// workerAccum accumulates in schedule order across goroutines.
+func workerAccum(vals []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum += v // want `captured by a worker goroutine`
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// localInWorker accumulates into a goroutine-local: fine.
+func localInWorker(vals []float64, out []float64) {
+	var wg sync.WaitGroup
+	for i := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0.0
+			local += vals[i]
+			out[i] = local
+		}()
+	}
+	wg.Wait()
+}
+
+// sliceFold over plain floats (not shards) outside a map range or
+// goroutine is positionally ordered and deterministic.
+func sliceFold(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// suppressedFold carries a reason, so the finding is filtered.
+func suppressedFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //st2:det-ok test fixture: tolerance-checked aggregate
+	}
+	return sum
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// walkStack traverses root, calling fn with each node and the stack of
+// its ancestors (outermost first, not including the node itself). fn
+// returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		if ok {
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}
+
+// isMap reports whether t's core type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isSliceOrArray reports whether t is a slice, array, or pointer to
+// array.
+func isSliceOrArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+// isInteger reports whether t is an integer (or untyped int) type.
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isFloat reports whether t is a float32/float64 (or untyped float).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprObj resolves an identifier or selector's terminal identifier to
+// its object: x -> obj(x), a.b.c -> obj(c). Returns nil for anything
+// else.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// rootIdent returns the leftmost identifier of an expression chain
+// (x, x.f, x[i].f, (*x).f -> x), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pkgFunc reports whether call's callee is the named function of the
+// named package (matched by package path), e.g. pkgFunc(info, call,
+// "time", "Now").
+func pkgFunc(info *types.Info, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := info.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath
+}
+
+// selectorPkgName returns (package path, selected name) when e is a
+// selector on an imported package identifier (time.Now, rand.Intn), or
+// ("", "") otherwise.
+func selectorPkgName(info *types.Info, e ast.Expr) (string, string) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// containsCall reports whether e contains any function or method call
+// (conversions excluded).
+func containsCall(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return !found // conversion, keep looking inside
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// sameObjectExpr reports whether a and b resolve to the same variable
+// reference: identical identifiers, or selector/index chains over the
+// same objects with identical index expressions.
+func sameObjectExpr(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && info.ObjectOf(av) != nil && info.ObjectOf(av) == info.ObjectOf(bv)
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && info.ObjectOf(av.Sel) == info.ObjectOf(bv.Sel) && sameObjectExpr(info, av.X, bv.X)
+	case *ast.IndexExpr:
+		bv, ok := b.(*ast.IndexExpr)
+		return ok && sameObjectExpr(info, av.X, bv.X) && sameObjectExpr(info, av.Index, bv.Index)
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// in the stack, with its body.
+func enclosingFunc(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f, f.Body
+		case *ast.FuncLit:
+			return f, f.Body
+		}
+	}
+	return nil, nil
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && node != nil && obj.Pos() != token.NoPos &&
+		obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// pathHasPrefix reports whether pkg path is p or lives under p/.
+func pathHasPrefix(path, p string) bool {
+	return path == p || (len(path) > len(p) && path[:len(p)] == p && path[len(p)] == '/')
+}
+
+// skipOutside builds a Skip func that keeps only packages under one of
+// the given path prefixes.
+func skipOutside(prefixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range prefixes {
+			if pathHasPrefix(pkgPath, p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// skipUnder builds a Skip func that rejects packages under any of the
+// given prefixes and accepts everything else.
+func skipUnder(prefixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range prefixes {
+			if pathHasPrefix(pkgPath, p) {
+				return true
+			}
+		}
+		return false
+	}
+}

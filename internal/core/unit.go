@@ -25,6 +25,14 @@ const (
 	DPU
 )
 
+// UnitKinds lists every unit kind in canonical declaration order. Code
+// that folds per-unit results (energy totals, misprediction means) must
+// iterate this slice rather than ranging over a map keyed by UnitKind:
+// map order is random per process, and float accumulation re-rounds
+// under reordering, which would break the bit-identical-results
+// guarantee (DESIGN.md §7).
+var UnitKinds = []UnitKind{ALU, ALU32, FPU, DPU}
+
 func (k UnitKind) String() string {
 	switch k {
 	case ALU:

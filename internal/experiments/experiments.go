@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"st2gpu/internal/circuit"
+	"st2gpu/internal/core"
 	"st2gpu/internal/gpusim"
 	"st2gpu/internal/isa"
 	"st2gpu/internal/kernels"
@@ -225,14 +226,14 @@ func RunSuite(cfg Config, mode gpusim.AdderMode, lg *runlog.Logger) ([]*gpusim.R
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
 		}
-		tVerify := time.Now()
+		tVerify := time.Now() //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
 		if spec.Verify != nil {
 			if err := spec.Verify(d.Memory()); err != nil {
 				return nil, fmt.Errorf("experiments: %s output check: %w", spec.Name, err)
 			}
 		}
 		ph := d.LaunchTimings()
-		if ph.Verify = time.Since(tVerify); ph.Verify <= 0 {
+		if ph.Verify = time.Since(tVerify); ph.Verify <= 0 { //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
 			ph.Verify = time.Nanosecond
 		}
 		if lg != nil {
@@ -591,7 +592,10 @@ func Fig6(cfg Config) ([]Fig6Row, error) {
 		merged.MissRate = rs.MispredictionRate()
 		var mean float64
 		var n float64
-		for _, u := range rs.Units {
+		// Canonical kind order: the float fold below must not depend on
+		// map iteration order.
+		for _, kind := range core.UnitKinds {
+			u := rs.Units[kind]
 			if u.RecomputeHistogram == nil || u.RecomputeHistogram.Total() == 0 {
 				continue
 			}

@@ -199,6 +199,7 @@ func (sm *smState) releaseBarriers() {
 	if len(sm.barrierArrived) == 0 {
 		return
 	}
+	//st2:det-ok per-block effects are disjoint and idempotent: each b releases only its own block's warps, so visit order cannot reach results
 	for b, n := range sm.barrierArrived {
 		if n == sm.liveBlocks[b] {
 			for _, w := range sm.warps {

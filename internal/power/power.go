@@ -170,13 +170,16 @@ func FromRun(rs *gpusim.RunStats, prices map[core.UnitKind]core.EnergyParams, tb
 	var b Breakdown
 
 	// --- ALU+FPU: the adders first. ---
+	// Fold per-unit energies in canonical kind order: float addition
+	// re-rounds under reordering, so ranging the maps directly would make
+	// the energy figures depend on map iteration order.
 	if rs.Mode == gpusim.ST2Adders {
-		for _, u := range rs.Units {
-			b[CompALUFPU] += u.EnergyST2
+		for _, kind := range core.UnitKinds {
+			b[CompALUFPU] += rs.Units[kind].EnergyST2
 		}
 	} else {
-		for kind, n := range rs.BaselineAdderOps {
-			b[CompALUFPU] += float64(n) * prices[kind].RefAdderEnergy
+		for _, kind := range core.UnitKinds {
+			b[CompALUFPU] += float64(rs.BaselineAdderOps[kind]) * prices[kind].RefAdderEnergy
 		}
 	}
 	// Simple single-cycle ops share the ALU+FPU bucket.

@@ -54,7 +54,13 @@ func (m *ChainMeter) TraceWarpAdds(kind core.UnitKind, _, _ uint32, ops *[32]gpu
 func (m *ChainMeter) MeanChainLength() float64 {
 	var sum float64
 	var n uint64
-	for _, h := range m.Lengths {
+	// Canonical kind order: float accumulation re-rounds under
+	// reordering, so map iteration order must not reach the result.
+	for _, kind := range core.UnitKinds {
+		h, ok := m.Lengths[kind]
+		if !ok {
+			continue
+		}
 		sum += h.Mean() * float64(h.Total())
 		n += h.Total()
 	}

@@ -231,8 +231,8 @@ func (d *Decoded) Kernel(name string) (*DecodedKernel, bool) {
 // NumOps returns the total decoded warp-add records across all kernels.
 func (d *Decoded) NumOps() uint64 {
 	var n uint64
-	for _, k := range d.kernels {
-		n += uint64(k.NumRecords())
+	for _, name := range d.names {
+		n += uint64(d.kernels[name].NumRecords())
 	}
 	return n
 }
@@ -240,8 +240,8 @@ func (d *Decoded) NumOps() uint64 {
 // NumLanes returns the total decoded active thread-ops across all kernels.
 func (d *Decoded) NumLanes() uint64 {
 	var n uint64
-	for _, k := range d.kernels {
-		n += uint64(k.NumLanes())
+	for _, name := range d.names {
+		n += uint64(d.kernels[name].NumLanes())
 	}
 	return n
 }

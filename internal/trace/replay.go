@@ -67,8 +67,8 @@ func (s *Set) Names() []string { return append([]string(nil), s.names...) }
 // Bytes returns the total encoded size across all recordings.
 func (s *Set) Bytes() uint64 {
 	var n uint64
-	for _, r := range s.recs {
-		n += r.Bytes()
+	for _, name := range s.names {
+		n += s.recs[name].Bytes()
 	}
 	return n
 }
@@ -76,8 +76,8 @@ func (s *Set) Bytes() uint64 {
 // NumOps returns the total recorded warp-add records across all kernels.
 func (s *Set) NumOps() uint64 {
 	var n uint64
-	for _, r := range s.recs {
-		n += r.NumOps()
+	for _, name := range s.names {
+		n += s.recs[name].NumOps()
 	}
 	return n
 }

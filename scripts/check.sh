@@ -6,6 +6,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
+
+# st2lint enforces the determinism and shard-ownership invariants
+# statically (DESIGN.md §11) — it must pass before the race suite runs,
+# since a lint violation usually predicts a bit-identity failure that is
+# much slower to chase at runtime.
+go run ./cmd/st2lint ./...
+
 go test -race ./...
 
 # The sweep-grid determinism rule deserves its own named gate: the
