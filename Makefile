@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-smoke bench-dse
+.PHONY: build test vet lint race fuzz-smoke check bench bench-smoke bench-dse
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,17 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# Short fuzz pass over the recording decoder: the seed corpus (valid,
+# truncated, and oversized-declaration inputs) plus a few seconds of
+# mutation must never panic, over-allocate, or round-trip unstably.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadRecording -fuzztime=5s ./internal/gpusim
+
 # The gate CI runs: static analysis (vet + st2lint), the full test suite
-# under the race detector, a suite smoke pass with the run manifest
-# sanity-checked, and the record-vs-replay DSE benchmark with
-# bit-identity verified.
-check: vet lint race bench-smoke bench-dse
+# under the race detector, a short decoder fuzz pass, a suite smoke pass
+# with the run manifest sanity-checked, and the record-vs-replay DSE
+# benchmark with bit-identity verified.
+check: vet lint race fuzz-smoke bench-smoke bench-dse
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -155,6 +155,30 @@ func BenchmarkReplayDecodeOnce(b *testing.B) {
 	b.ReportMetric(float64(set.NumOps())*float64(b.N)/b.Elapsed().Seconds(), "decoded-ops/s")
 }
 
+// BenchmarkReplayBatched isolates the design-batched evaluation kernel
+// itself: decode excluded from the timer, one (kernel × design-batch)
+// sweep per iteration scoring all 12 designs in a single pass per
+// kernel. eval-ops/s counts records × designs — the figure the
+// bench_dse.sh throughput floor gates.
+func BenchmarkReplayBatched(b *testing.B) {
+	cfg := benchCfg()
+	set, err := experiments.RecordSuite(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := trace.DecodeSet(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5FromDecoded(cfg, dec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(set.NumOps())*float64(len(speculate.DesignSpace))*float64(b.N)/b.Elapsed().Seconds(), "eval-ops/s")
+}
+
 func BenchmarkReplayPerDesign(b *testing.B) {
 	cfg := benchCfg()
 	set, err := experiments.RecordSuite(cfg)

@@ -3,26 +3,28 @@
 // Section V-B.
 //
 // The Figure 5 sweep records each kernel's adder-op stream once, decodes
-// it once into flat structure-of-arrays form, and evaluates every design
-// as a parallel array walk over the (kernel × design) grid
-// (-sweep-workers bounds the pool; results are bit-identical at any
-// count). -reuse-trace extends that across processes: the first run
-// simulates the suite once and saves the recording set; later runs
+// it once into flat structure-of-arrays form, and evaluates the designs
+// over the parallel (kernel × design-batch) grid: each grid cell walks
+// its kernel's arrays once, scoring a whole contiguous batch of designs
+// per record (-sweep-workers bounds the pool; results are bit-identical
+// at any count). -reuse-trace extends that across processes: the first
+// run simulates the suite once and saves the recording set; later runs
 // decode straight from the file with zero simulation. -bench times the
-// decode-once parallel sweep against the per-design replay baseline
-// (each design varint-decoding the stream from scratch), verifies the
-// rows are bit-identical at several worker counts, and writes the
-// comparison as JSON.
+// design-batched sweep against the unbatched decode-once grid and the
+// per-design replay baseline (each design varint-decoding the stream
+// from scratch), verifies all strategies stay bit-identical at several
+// worker counts, and appends the comparison to a JSON array.
 //
 // Usage:
 //
 //	st2dse [-scale N] [-sms N] [-sweep-workers N]  # Figure 5 sweep
 //	st2dse -reuse-trace suite.st2rec       # record once, decode thereafter
 //	st2dse -widths                         # slice-width characterization
-//	st2dse -bench BENCH_dse.json           # decode-once vs per-design replay
+//	st2dse -bench BENCH_dse.json           # batched vs decode-once vs per-design
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -125,7 +127,7 @@ func main() {
 // already exists; otherwise it simulates the suite once, saves the set,
 // and replays from the fresh capture.
 func sweepReusingTrace(cfg experiments.Config, path string) ([]experiments.Fig5Row, error) {
-	set, err := trace.ReadSetFile(path)
+	set, err := trace.ReadSetFileLimit(path, cfg.RecordMaxBytes)
 	switch {
 	case err == nil:
 		fmt.Fprintf(os.Stderr, "st2dse: replaying %d kernels (%d bytes) from %s — no simulation\n",
@@ -145,25 +147,70 @@ func sweepReusingTrace(cfg experiments.Config, path string) ([]experiments.Fig5R
 	return experiments.Fig5FromSet(cfg, set, nil)
 }
 
-// benchResult is the BENCH_dse.json payload: wall-clock for the
-// decode-once parallel sweep vs the per-design replay baseline (each
-// design varint-decoding the recorded stream from scratch), the decode
-// throughput behind the trade, and the bit-identity verdict.
+// benchResult is one BENCH_dse.json entry: wall-clock for the three
+// sweep strategies — design-batched (one array walk per kernel scores a
+// whole design batch), unbatched decode-once (one walk per design), and
+// the per-design replay baseline (each design varint-decoding the
+// recorded stream from scratch) — plus the eval throughputs behind the
+// trade and the bit-identity verdict. BENCH_dse.json is an append-only
+// JSON array of these, newest last.
 type benchResult struct {
 	Scale             int     `json:"scale"`
 	NumSMs            int     `json:"num_sms"`
 	Designs           int     `json:"designs"`
-	SweepWorkers      int     `json:"sweep_workers"`       // grid pool size the timed sweep used
+	SweepWorkers      int     `json:"sweep_workers"`       // grid pool size the timed sweeps used
 	RecordSeconds     float64 `json:"record_seconds"`      // simulate the suite once, recording
 	DecodeSeconds     float64 `json:"decode_seconds"`      // the single SoA decode pass
 	DecodeOpsPerSec   float64 `json:"decode_ops_per_sec"`  // recorded_ops / decode_seconds
-	DecodeOnceSeconds float64 `json:"decode_once_seconds"` // decode + parallel (kernel × design) grid
+	BatchedSeconds    float64 `json:"batched_seconds"`     // design-batched (kernel × design-batch) grid, post-decode
+	DecodeOnceSeconds float64 `json:"decode_once_seconds"` // unbatched (kernel × design) grid, post-decode
 	PerDesignSeconds  float64 `json:"per_design_seconds"`  // PR-3 path: one full replay per design
-	Speedup           float64 `json:"speedup"`             // per_design / decode_once
-	Identical         bool    `json:"identical"`           // decode-once rows == per-design rows at every tested worker count
-	RecordedBytes     uint64  `json:"recorded_bytes"`      // encoded stream size for the suite
-	RecordedOps       uint64  `json:"recorded_ops"`        // warp-add records captured
+	EvalOps           uint64  `json:"eval_ops"`            // recorded_ops × designs: the work every strategy performs
+	BatchedEvalRate   float64 `json:"batched_eval_ops_per_sec"`
+	PerDesignEvalRate float64 `json:"per_design_eval_ops_per_sec"`
+	Speedup           float64 `json:"speedup"`         // per_design / (decode + decode_once)
+	BatchedSpeedup    float64 `json:"batched_speedup"` // per_design / batched: the design-batching win
+	Identical         bool    `json:"identical"`       // all strategies agree at every tested worker count
+	RecordedBytes     uint64  `json:"recorded_bytes"`  // encoded stream size for the suite
+	RecordedOps       uint64  `json:"recorded_ops"`    // warp-add records captured
 	HostParallel      int     `json:"host_parallelism"`
+}
+
+// appendBenchResult appends res to the JSON array at outPath, wrapping a
+// legacy single-object file into an array first.
+func appendBenchResult(outPath string, res benchResult) error {
+	var entries []json.RawMessage
+	if buf, err := os.ReadFile(outPath); err == nil {
+		trimmed := bytes.TrimSpace(buf)
+		switch {
+		case len(trimmed) == 0:
+		case trimmed[0] == '[':
+			if err := json.Unmarshal(trimmed, &entries); err != nil {
+				return fmt.Errorf("st2dse: existing %s: %w", outPath, err)
+			}
+		default: // legacy single-object file
+			entries = append(entries, json.RawMessage(trimmed))
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	buf, err := json.MarshalIndent(res, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	entries = append(entries, json.RawMessage(buf))
+	var out bytes.Buffer
+	out.WriteString("[\n")
+	for i, e := range entries {
+		out.WriteString("  ")
+		out.Write(e)
+		if i < len(entries)-1 {
+			out.WriteString(",")
+		}
+		out.WriteString("\n")
+	}
+	out.WriteString("]\n")
+	return os.WriteFile(outPath, out.Bytes(), 0o644)
 }
 
 func runBench(cfg experiments.Config, outPath string) error {
@@ -176,20 +223,32 @@ func runBench(cfg experiments.Config, outPath string) error {
 	}
 	recordSecs := time.Since(tRecord).Seconds()
 
-	// Decode-once side: one SoA decode pass, then the parallel
-	// (kernel × design) grid — timed together, since the decode is the
-	// price this path pays up front.
+	// The shared up-front cost of both decode-once strategies: one SoA
+	// decode pass.
 	tDecode := time.Now()
 	dec, err := trace.DecodeSet(set)
 	if err != nil {
 		return err
 	}
 	decodeSecs := time.Since(tDecode).Seconds()
-	onceRows, err := experiments.Fig5FromDecoded(cfg, dec, designs)
+
+	// Design-batched: the (kernel × design-batch) grid, one array walk
+	// per cell scoring its whole batch.
+	tBatched := time.Now()
+	batchedRows, err := experiments.Fig5FromDecoded(cfg, dec, designs)
 	if err != nil {
 		return err
 	}
-	onceSecs := time.Since(tDecode).Seconds()
+	batchedSecs := time.Since(tBatched).Seconds()
+
+	// Unbatched decode-once: the pre-batching (kernel × design) grid,
+	// one full array walk per design.
+	tOnce := time.Now()
+	onceRows, err := experiments.Fig5FromDecodedPerDesign(cfg, dec, designs)
+	if err != nil {
+		return err
+	}
+	onceSecs := time.Since(tOnce).Seconds()
 
 	// Baseline: the PR-3 sweep shape — every design replays (and
 	// varint-decodes) the full recording set from scratch.
@@ -200,9 +259,9 @@ func runBench(cfg experiments.Config, outPath string) error {
 	}
 	perSecs := time.Since(tPer).Seconds()
 
-	// Bit-identity: the timed run, a sequential run, and an
+	// Bit-identity: the timed runs, a sequential run, and an
 	// oversubscribed run must all deep-equal the per-design baseline.
-	identical := reflect.DeepEqual(onceRows, perRows)
+	identical := reflect.DeepEqual(batchedRows, perRows) && reflect.DeepEqual(onceRows, perRows)
 	for _, w := range []int{1, 2 * runtime.GOMAXPROCS(0)} {
 		c := cfg
 		c.SweepWorkers = w
@@ -217,6 +276,7 @@ func runBench(cfg experiments.Config, outPath string) error {
 	if sweepWorkers <= 0 {
 		sweepWorkers = runtime.GOMAXPROCS(0)
 	}
+	evalOps := set.NumOps() * uint64(len(designs))
 	res := benchResult{
 		Scale:             cfg.Scale,
 		NumSMs:            cfg.NumSMs,
@@ -224,8 +284,10 @@ func runBench(cfg experiments.Config, outPath string) error {
 		SweepWorkers:      sweepWorkers,
 		RecordSeconds:     recordSecs,
 		DecodeSeconds:     decodeSecs,
+		BatchedSeconds:    batchedSecs,
 		DecodeOnceSeconds: onceSecs,
 		PerDesignSeconds:  perSecs,
+		EvalOps:           evalOps,
 		Identical:         identical,
 		RecordedBytes:     set.Bytes(),
 		RecordedOps:       set.NumOps(),
@@ -234,21 +296,23 @@ func runBench(cfg experiments.Config, outPath string) error {
 	if decodeSecs > 0 {
 		res.DecodeOpsPerSec = float64(set.NumOps()) / decodeSecs
 	}
-	if onceSecs > 0 {
-		res.Speedup = perSecs / onceSecs
+	if batchedSecs > 0 {
+		res.BatchedEvalRate = float64(evalOps) / batchedSecs
+		res.BatchedSpeedup = perSecs / batchedSecs
 	}
-	buf, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
+	if perSecs > 0 {
+		res.PerDesignEvalRate = float64(evalOps) / perSecs
+	}
+	if decodeSecs+onceSecs > 0 {
+		res.Speedup = perSecs / (decodeSecs + onceSecs)
+	}
+	if err := appendBenchResult(outPath, res); err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "st2dse: bench: decode-once %.2fs (decode %.3fs, %.0f ops/s) vs per-design replay %.2fs (%.2fx), workers=%d, identical=%v → %s\n",
-		onceSecs, decodeSecs, res.DecodeOpsPerSec, perSecs, res.Speedup, sweepWorkers, identical, outPath)
+	fmt.Fprintf(os.Stderr, "st2dse: bench: batched %.3fs (%.0f eval-ops/s, %.1fx) vs decode-once %.2fs vs per-design replay %.2fs (decode %.3fs, %.0f ops/s), workers=%d, identical=%v → %s\n",
+		batchedSecs, res.BatchedEvalRate, res.BatchedSpeedup, onceSecs, perSecs, decodeSecs, res.DecodeOpsPerSec, sweepWorkers, identical, outPath)
 	if !identical {
-		return fmt.Errorf("st2dse: decode-once sweep rows are NOT bit-identical to the per-design replay baseline")
+		return fmt.Errorf("st2dse: sweep rows are NOT bit-identical across strategies")
 	}
 	return nil
 }

@@ -216,3 +216,18 @@ func SignExtend(x uint64, width uint) int64 {
 // PopCount64 reports the number of set bits. Thin wrapper kept so callers
 // outside this package do not need math/bits directly.
 func PopCount64(x uint64) int { return bits.OnesCount64(x) }
+
+// NonZeroBit returns 1 when x != 0 and 0 otherwise, without a branch —
+// the judge primitive of the branchless evaluation kernels.
+func NonZeroBit(x uint64) uint64 { return (x | -x) >> 63 }
+
+// GatherMSB8 collects the most-significant bit of each 8-bit byte of x
+// into the low 8 bits of the result: output bit k is bit 8k+7 of x. For
+// 8-bit slices this turns the per-boundary MSB walk (Peek's agree/both
+// tests, 7 shift-and-mask steps for a 64-bit adder) into one mask, one
+// multiply and one shift. The multiplier places byte k's MSB at bit
+// 49−7k+8k+7 = 56+k; the partial products cannot carry into the top
+// byte because each lands on a distinct bit.
+func GatherMSB8(x uint64) uint64 {
+	return (x & 0x8080808080808080) * 0x0002040810204081 >> 56
+}

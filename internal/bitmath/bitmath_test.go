@@ -301,3 +301,32 @@ func TestCarryIntoExactSum(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: GatherMSB8 equals the naive per-byte MSB walk for all inputs.
+func TestGatherMSB8MatchesWalk(t *testing.T) {
+	f := func(x uint64) bool {
+		var want uint64
+		for k := uint(0); k < 8; k++ {
+			want |= (x >> (8*k + 7) & 1) << k
+		}
+		return GatherMSB8(x) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	if got := GatherMSB8(0x8080808080808080); got != 0xFF {
+		t.Errorf("GatherMSB8(all MSBs) = %#x, want 0xFF", got)
+	}
+	if got := GatherMSB8(0x7F7F7F7F7F7F7F7F); got != 0 {
+		t.Errorf("GatherMSB8(no MSBs) = %#x, want 0", got)
+	}
+}
+
+func TestNonZeroBit(t *testing.T) {
+	cases := map[uint64]uint64{0: 0, 1: 1, 0x80: 1, 1 << 63: 1, ^uint64(0): 1}
+	for x, want := range cases {
+		if got := NonZeroBit(x); got != want {
+			t.Errorf("NonZeroBit(%#x) = %d, want %d", x, got, want)
+		}
+	}
+}

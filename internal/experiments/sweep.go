@@ -13,12 +13,17 @@ import (
 
 // This file is the decode-once, evaluate-many sweep engine: a recording
 // Set is decoded a single time into trace.Decoded flat arrays, and the
-// (kernel × design) grid of every predictor-only analysis is scheduled
-// over a bounded worker pool. Each grid cell owns its predictor and
-// writes its counter into a slot indexed by (kernel, design); the fold
-// into rows happens afterwards in fixed suite × design order — the same
-// per-worker-shard + fold-in-fixed-order rule the parallel simulator
-// uses — so results are bit-identical at any SweepWorkers count.
+// (kernel × design-batch) grid of every predictor-only analysis is
+// scheduled over a bounded worker pool. Each grid cell walks its kernel's
+// arrays ONCE scoring a contiguous batch of designs (the design-batched
+// kernel in trace amortizes the operand loads, true-carry masks and Peek
+// computation across the batch), and writes its results into a
+// task-indexed slot; the fold into rows happens afterwards in fixed
+// suite × design order — the same per-worker-shard + fold-in-fixed-order
+// rule the parallel simulator uses. The batch partition varies with the
+// worker count, but each design's counters never depend on which batch
+// it landed in (per-design predictor state is independent), so rows are
+// bit-identical at any SweepWorkers count.
 
 // runGrid runs n independent tasks over a bounded worker pool
 // (workers ≤ 0 means GOMAXPROCS). fn receives the task index and must
@@ -62,6 +67,42 @@ func runGrid(workers, n int, fn func(t int) error) error {
 	return nil
 }
 
+// designBatches splits nd designs into contiguous [lo, hi) batches sized
+// so the (kernel × batch) grid still has at least `workers` cells to
+// keep every worker busy, clamped to [1, nd] batches. One worker gets
+// one batch of everything — the maximum-amortization schedule.
+func designBatches(workers, nk, nd int) [][2]int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nb := (workers + nk - 1) / nk
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > nd {
+		nb = nd
+	}
+	out := make([][2]int, nb)
+	for b := 0; b < nb; b++ {
+		out[b] = [2]int{b * nd / nb, (b + 1) * nd / nb}
+	}
+	return out
+}
+
+// foldBatches scatters per-cell batched results back into the flat
+// (kernel × design) rate grid, in fixed order.
+func foldBatches(rates []stats.Rate, cells [][]stats.Rate, batches [][2]int, nk, nd int) {
+	nb := len(batches)
+	for i := 0; i < nk; i++ {
+		for b := 0; b < nb; b++ {
+			lo := batches[b][0]
+			for x, r := range cells[i*nb+b] {
+				rates[i*nd+lo+x] = r
+			}
+		}
+	}
+}
+
 // suiteKernels resolves every suite kernel in the decoded set, in suite
 // order — the fixed fold order of every grid below.
 func suiteKernels(dec *trace.Decoded) ([]kernels.Workload, []*trace.DecodedKernel, error) {
@@ -78,9 +119,10 @@ func suiteKernels(dec *trace.Decoded) ([]kernels.Workload, []*trace.DecodedKerne
 }
 
 // Fig5FromDecoded sweeps the design space over a decoded set: the
-// (kernel × design) grid runs on cfg.SweepWorkers workers and each cell
-// is one array walk — no varint decoding, no simulation. Rows are
-// bit-identical to Fig5/Fig5Live/Fig5FromSet at any worker count.
+// (kernel × design-batch) grid runs on cfg.SweepWorkers workers and each
+// cell is ONE array walk scoring its whole design batch — no varint
+// decoding, no simulation, operand loads amortized across designs. Rows
+// are bit-identical to Fig5/Fig5Live/Fig5FromSet at any worker count.
 func Fig5FromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Fig5Row, error) {
 	if designs == nil {
 		designs = speculate.DesignSpace
@@ -93,19 +135,23 @@ func Fig5FromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Fig5Ro
 		return nil, err
 	}
 	nk, nd := len(ks), len(designs)
-	rates := make([]stats.Rate, nk*nd)
-	err = runGrid(cfg.SweepWorkers, nk*nd, func(t int) error {
-		i, j := t/nd, t%nd
-		r, err := ks[i].EvalMiss(designs[j])
+	batches := designBatches(cfg.SweepWorkers, nk, nd)
+	nb := len(batches)
+	cells := make([][]stats.Rate, nk*nb)
+	err = runGrid(cfg.SweepWorkers, nk*nb, func(t int) error {
+		i, b := t/nb, t%nb
+		rs, err := ks[i].EvalMissBatch(designs[batches[b][0]:batches[b][1]])
 		if err != nil {
 			return err
 		}
-		rates[t] = r
+		cells[t] = rs
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	rates := make([]stats.Rate, nk*nd)
+	foldBatches(rates, cells, batches, nk, nd)
 	out := make([]Fig5Row, nd)
 	vals := make([]float64, nk)
 	for j, d := range designs {
@@ -118,8 +164,8 @@ func Fig5FromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Fig5Ro
 }
 
 // Fig3FromDecoded runs the Figure 3 correlation analysis over a decoded
-// set with the (kernel × scheme) grid on cfg.SweepWorkers workers. Rows
-// are bit-identical to Fig3/Fig3Live/Fig3FromSet at any worker count.
+// set with the (kernel × scheme-batch) grid on cfg.SweepWorkers workers.
+// Rows are bit-identical to Fig3/Fig3Live/Fig3FromSet at any worker count.
 func Fig3FromDecoded(cfg Config, dec *trace.Decoded) ([]Fig3Row, error) {
 	if err := dec.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
 		return nil, err
@@ -129,19 +175,23 @@ func Fig3FromDecoded(cfg Config, dec *trace.Decoded) ([]Fig3Row, error) {
 		return nil, err
 	}
 	nk, nd := len(ks), len(trace.Fig3Designs)
-	rates := make([]stats.Rate, nk*nd)
-	err = runGrid(cfg.SweepWorkers, nk*nd, func(t int) error {
-		i, j := t/nd, t%nd
-		r, err := ks[i].EvalCorr(trace.Fig3Designs[j])
+	batches := designBatches(cfg.SweepWorkers, nk, nd)
+	nb := len(batches)
+	cells := make([][]stats.Rate, nk*nb)
+	err = runGrid(cfg.SweepWorkers, nk*nb, func(t int) error {
+		i, b := t/nb, t%nb
+		rs, err := ks[i].EvalCorrBatch(trace.Fig3Designs[batches[b][0]:batches[b][1]])
 		if err != nil {
 			return err
 		}
-		rates[t] = r
+		cells[t] = rs
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	rates := make([]stats.Rate, nk*nd)
+	foldBatches(rates, cells, batches, nk, nd)
 	rows := make([]Fig3Row, nk)
 	var agg [3]stats.Rate
 	for i := 0; i < nk; i++ {
@@ -173,18 +223,29 @@ func approxFromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Appr
 		return nil, err
 	}
 	nk, nd := len(ks), len(designs)
-	res := make([]trace.ApproxResult, nk*nd)
-	err = runGrid(cfg.SweepWorkers, nk*nd, func(t int) error {
-		i, j := t/nd, t%nd
-		r, err := ks[i].EvalApprox(designs[j])
+	batches := designBatches(cfg.SweepWorkers, nk, nd)
+	nb := len(batches)
+	cells := make([][]trace.ApproxResult, nk*nb)
+	err = runGrid(cfg.SweepWorkers, nk*nb, func(t int) error {
+		i, b := t/nb, t%nb
+		rs, err := ks[i].EvalApproxBatch(designs[batches[b][0]:batches[b][1]])
 		if err != nil {
 			return err
 		}
-		res[t] = r
+		cells[t] = rs
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	res := make([]trace.ApproxResult, nk*nd)
+	for i := 0; i < nk; i++ {
+		for b := 0; b < nb; b++ {
+			lo := batches[b][0]
+			for x, r := range cells[i*nb+b] {
+				res[i*nd+lo+x] = r
+			}
+		}
 	}
 	// Aggregate in suite order so the floating-point sums match the old
 	// sequential loop bit for bit.
@@ -200,6 +261,47 @@ func approxFromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Appr
 			WrongResults: wrSum / float64(nk),
 			MeanRelError: reSum / float64(nk),
 		}
+	}
+	return out, nil
+}
+
+// Fig5FromDecodedPerDesign is the unbatched decode-once baseline: the
+// (kernel × design) grid with one full array walk per design, exactly
+// the pre-batching sweep shape. Kept for the benchmark harness so the
+// batched kernel's amortization is measured against it; rows are
+// bit-identical to Fig5FromDecoded.
+func Fig5FromDecodedPerDesign(cfg Config, dec *trace.Decoded, designs []string) ([]Fig5Row, error) {
+	if designs == nil {
+		designs = speculate.DesignSpace
+	}
+	if err := dec.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
+		return nil, err
+	}
+	_, ks, err := suiteKernels(dec)
+	if err != nil {
+		return nil, err
+	}
+	nk, nd := len(ks), len(designs)
+	rates := make([]stats.Rate, nk*nd)
+	err = runGrid(cfg.SweepWorkers, nk*nd, func(t int) error {
+		i, j := t/nd, t%nd
+		r, err := ks[i].EvalMiss(designs[j])
+		if err != nil {
+			return err
+		}
+		rates[t] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig5Row, nd)
+	vals := make([]float64, nk)
+	for j, d := range designs {
+		for i := 0; i < nk; i++ {
+			vals[i] = rates[i*nd+j].Value()
+		}
+		out[j] = Fig5Row{Design: d, MissRate: stats.Mean(vals)}
 	}
 	return out, nil
 }

@@ -28,7 +28,7 @@ func TestSweepBitIdenticalAcrossWorkers(t *testing.T) {
 	var fig5Rows [][]Fig5Row
 	var fig3Rows [][]Fig3Row
 	var approxRows [][]ApproxRow
-	for _, workers := range []int{1, 2, 5} {
+	for _, workers := range []int{1, 2, 5, 16} {
 		c := cfg
 		c.SweepWorkers = workers
 		f5, err := Fig5FromDecoded(c, dec, nil)
@@ -67,6 +67,20 @@ func TestSweepBitIdenticalAcrossWorkers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fig5Rows[0], perDesign) {
 		t.Errorf("decode-once rows %v differ from per-design replay rows %v", fig5Rows[0], perDesign)
+	}
+
+	// ... and with the unbatched decode-once baseline, at several worker
+	// counts: the design-batched kernel changes only the work schedule.
+	for _, workers := range []int{1, 3} {
+		c := cfg
+		c.SweepWorkers = workers
+		unbatched, err := Fig5FromDecodedPerDesign(c, dec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fig5Rows[0], unbatched) {
+			t.Errorf("batched rows differ from unbatched decode-once rows at SweepWorkers=%d", workers)
+		}
 	}
 
 	// Bad-config and bad-kernel-list rejection on the decoded form.

@@ -41,7 +41,7 @@ func atomicsKernel(t *testing.T) *isa.Program {
 
 // barrierKernel reverses each block through shared memory (two barrier
 // phases per block).
-func barrierKernel(t *testing.T) *isa.Program {
+func barrierKernel(t testing.TB) *isa.Program {
 	t.Helper()
 	b := isa.NewBuilder("xbarrier")
 	tid := b.Reg()
@@ -72,7 +72,7 @@ func barrierKernel(t *testing.T) *isa.Program {
 
 // fpKernel drives the FPU and DPU ST² paths (mantissa adds with a
 // misprediction-prone dependent chain).
-func fpKernel(t *testing.T) *isa.Program {
+func fpKernel(t testing.TB) *isa.Program {
 	t.Helper()
 	b := isa.NewBuilder("xfp")
 	gtid := b.Reg()

@@ -2,6 +2,7 @@ package gpusim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/bits"
@@ -366,8 +367,33 @@ func (r *Recording) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
-// ReadRecording deserializes a recording written by WriteTo.
+// ErrRecordingTooBig marks a recording stream whose declared payload
+// exceeds the reader's byte budget. The check fires before any
+// length-sized allocation, so a corrupt or hostile varint cannot trigger
+// a multi-GiB make.
+var ErrRecordingTooBig = errors.New("gpusim: recording exceeds byte budget")
+
+// readSegChunk bounds each incremental segment read: segment payloads
+// are consumed in chunks no larger than this, so the buffer only grows
+// as fast as real bytes arrive and a lying length prefix fails at the
+// true EOF having allocated at most one chunk beyond the data.
+const readSegChunk = 64 << 10
+
+// ReadRecording deserializes a recording written by WriteTo, holding
+// segment payloads to the DefaultRecordMaxBytes budget.
 func ReadRecording(rd io.Reader) (*Recording, error) {
+	return ReadRecordingLimit(rd, DefaultRecordMaxBytes)
+}
+
+// ReadRecordingLimit deserializes a recording written by WriteTo,
+// failing with ErrRecordingTooBig once the declared segment payloads
+// exceed maxBytes (0 means DefaultRecordMaxBytes — the same budget the
+// Recorder enforces at capture time, so any recording the simulator
+// could legally produce reads back under the default).
+func ReadRecordingLimit(rd io.Reader, maxBytes uint64) (*Recording, error) {
+	if maxBytes == 0 {
+		maxBytes = DefaultRecordMaxBytes
+	}
 	br := newByteReader(rd)
 	magic := make([]byte, len(recMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -385,18 +411,42 @@ func ReadRecording(rd io.Reader) (*Recording, error) {
 		return nil, fmt.Errorf("gpusim: recording segment count: %w", err)
 	}
 	rec := &Recording{ops: ops}
+	var total uint64
 	for i := uint64(0); i < nsegs; i++ {
 		segLen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("gpusim: segment %d length: %w", i, err)
 		}
-		seg := make([]byte, segLen)
-		if _, err := io.ReadFull(br, seg); err != nil {
+		if segLen > maxBytes-total {
+			return nil, fmt.Errorf("gpusim: segment %d declares %d bytes with %d of %d remaining: %w",
+				i, segLen, maxBytes-total, maxBytes, ErrRecordingTooBig)
+		}
+		total += segLen
+		seg, err := readSegment(br, segLen)
+		if err != nil {
 			return nil, fmt.Errorf("gpusim: segment %d payload: %w", i, err)
 		}
 		rec.segs = append(rec.segs, seg)
 	}
 	return rec, nil
+}
+
+// readSegment reads a length-prefixed payload incrementally (chunked) so
+// the allocation tracks bytes actually present in the stream.
+func readSegment(r io.Reader, segLen uint64) ([]byte, error) {
+	seg := make([]byte, 0, min(segLen, readSegChunk))
+	for uint64(len(seg)) < segLen {
+		chunk := segLen - uint64(len(seg))
+		if chunk > readSegChunk {
+			chunk = readSegChunk
+		}
+		lo := len(seg)
+		seg = append(seg, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, seg[lo:]); err != nil {
+			return nil, err
+		}
+	}
+	return seg, nil
 }
 
 // --- varint helpers ---

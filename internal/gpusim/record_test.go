@@ -13,7 +13,7 @@ import (
 
 // recordRun launches prog with a recorder installed at the given worker
 // count and returns the captured recording.
-func recordRun(t *testing.T, prog *isa.Program, workers, grid, block int, setup func(m *Memory) error) *Recording {
+func recordRun(t testing.TB, prog *isa.Program, workers, grid, block int, setup func(m *Memory) error) *Recording {
 	t.Helper()
 	d, err := New(parallelConfig(workers, BaselineAdders))
 	if err != nil {

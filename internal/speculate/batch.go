@@ -109,10 +109,23 @@ func (h *History) PredictWarp(pc, gtidBase, active, _ uint32, _, _, carries, sta
 	mask := h.cfg.Geometry.BoundaryMask()
 	switch h.cfg.Threads {
 	case ByLtid:
+		if h.dense != nil {
+			// Dense fast path: lane l's slot sits at pcPart<<5|l — 32
+			// consecutive array loads, no hashing.
+			row := h.dense[pcPart<<5 : pcPart<<5+32]
+			j := 0
+			for m := active; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				carries[j] = row[l] & mask
+				static[j] = 0
+				j++
+			}
+			return
+		}
 		j := 0
 		for m := active; m != 0; m &= m - 1 {
 			l := bits.TrailingZeros32(m)
-			carries[j] = h.table[pcPart<<5|uint64(l)] & mask
+			carries[j] = h.load(pcPart<<5|uint64(l)) & mask
 			static[j] = 0
 			j++
 		}
@@ -120,12 +133,12 @@ func (h *History) PredictWarp(pc, gtidBase, active, _ uint32, _, _, carries, sta
 		j := 0
 		for m := active; m != 0; m &= m - 1 {
 			l := bits.TrailingZeros32(m)
-			carries[j] = h.table[pcPart<<32|uint64(gtidBase+uint32(l))] & mask
+			carries[j] = h.load(h.gtidKey(pcPart, gtidBase+uint32(l))) & mask
 			static[j] = 0
 			j++
 		}
 	default: // SharedThreads: one bucket serves the whole warp
-		v := h.table[pcPart] & mask
+		v := h.load(pcPart) & mask
 		n := bits.OnesCount32(active)
 		for j := 0; j < n; j++ {
 			carries[j], static[j] = v, 0
@@ -155,11 +168,11 @@ func (h *History) UpdateWarp(pc, gtidBase uint32, active, mispred, _ uint32, _, 
 			case ByLtid:
 				key = pcPart<<5 | uint64(l)
 			case ByGtid:
-				key = pcPart<<32 | uint64(gtidBase+uint32(l))
+				key = h.gtidKey(pcPart, gtidBase+uint32(l))
 			default:
 				key = pcPart
 			}
-			h.table[key] = actual[j] & mask
+			h.store(key, actual[j]&mask)
 		}
 		j++
 	}

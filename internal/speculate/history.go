@@ -2,6 +2,7 @@ package speculate
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"st2gpu/internal/bitmath"
@@ -126,9 +127,55 @@ func (c HistoryConfig) Name() string {
 
 // History is the Prev-family predictor: a table of the boundary carry-outs
 // produced by previous operations, indexed by (folded PC, thread key).
+//
+// When the key space is bounded (every PC mode except FullPC, every
+// thread mode except ByGtid) the table is a dense flat array indexed by
+// the key directly — the batched evaluation kernel then pays one array
+// load per lookup instead of a map probe, with identical semantics: a
+// never-written slot reads as zero, exactly like a missing map entry.
+// ByGtid tables with a bounded PC space use a gtid-major flat table
+// grown on demand (gtids are dense small integers in practice), with
+// the map kept as overflow for pathological ids. Truly unbounded key
+// spaces (FullPC) keep the map alone.
 type History struct {
-	cfg   HistoryConfig
-	table map[uint64]uint64 // packed previous boundary carries
+	cfg      HistoryConfig
+	dense    []uint64 // flat table; nil when the key space is unbounded
+	written  []uint64 // dense-slot occupancy bitmap (backs Entries)
+	entries  int      // live dense/grow entries
+	growMode bool     // ByGtid with bounded PC: gtid-major grow-on-demand table
+	pcBits   uint     // grow-table PC index width (0 for NoPC)
+	table    map[uint64]uint64 // packed previous boundary carries (sparse fallback)
+}
+
+// maxDenseEntries bounds the eager flat-table allocation; bounded key
+// spaces larger than this (e.g. ModPC16+Ltid's 2M slots) fall back to
+// the map rather than pinning megabytes per predictor.
+const maxDenseEntries = 1 << 16
+
+// maxGrowGtid bounds the grow-on-demand ByGtid table: real launches
+// number their global threads densely from zero, so the table covers
+// them all; an adversarially huge gtid spills to the map instead of
+// sizing a multi-GiB allocation.
+const maxGrowGtid = 1 << 22
+
+// denseSize returns the flat-table slot count for a bounded key space,
+// or 0 when the keys are unbounded (FullPC PCs, ByGtid thread ids) or
+// the bounded space is too large to allocate eagerly.
+func (c HistoryConfig) denseSize() uint64 {
+	if c.PCMode == FullPC || c.Threads == ByGtid {
+		return 0
+	}
+	size := uint64(1) // NoPC: a single PC bucket
+	if c.PCMode == ModPC || c.PCMode == XorPC {
+		size = 1 << c.PCBits
+	}
+	if c.Threads == ByLtid {
+		size <<= 5
+	}
+	if size > maxDenseEntries {
+		return 0
+	}
+	return size
 }
 
 // NewHistory builds a Prev-family predictor.
@@ -136,7 +183,9 @@ func NewHistory(cfg HistoryConfig) (*History, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &History{cfg: cfg, table: make(map[uint64]uint64)}, nil
+	h := &History{cfg: cfg}
+	h.Reset()
+	return h, nil
 }
 
 // Config returns the design point.
@@ -147,7 +196,80 @@ func (h *History) Name() string { return h.cfg.Name() }
 
 // Entries returns the number of live table entries (used by the DSE
 // commentary on table sizes).
-func (h *History) Entries() int { return len(h.table) }
+func (h *History) Entries() int {
+	if h.growMode {
+		return h.entries + len(h.table)
+	}
+	if h.dense != nil {
+		return h.entries
+	}
+	return len(h.table)
+}
+
+// growLimit is the first key past the grow-on-demand table's reach;
+// keys at or beyond it live in the overflow map.
+func (h *History) growLimit() uint64 { return maxGrowGtid << h.pcBits }
+
+// load reads the table slot for a key; unwritten slots read as zero in
+// every representation.
+func (h *History) load(key uint64) uint64 {
+	if h.growMode {
+		if key < uint64(len(h.dense)) {
+			return h.dense[key]
+		}
+		if key >= h.growLimit() {
+			return h.table[key]
+		}
+		return 0 // within reach but never grown to: cold
+	}
+	if h.dense != nil {
+		return h.dense[key]
+	}
+	return h.table[key]
+}
+
+// store writes a table slot, tracking dense occupancy for Entries.
+func (h *History) store(key, v uint64) {
+	if h.growMode {
+		if key >= h.growLimit() {
+			h.table[key] = v
+			return
+		}
+		if key >= uint64(len(h.dense)) {
+			size := uint64(1) << bits.Len64(key)
+			if lim := h.growLimit(); size > lim {
+				size = lim
+			}
+			grown := make([]uint64, size)
+			copy(grown, h.dense)
+			h.dense = grown
+			wr := make([]uint64, (size+63)/64)
+			copy(wr, h.written)
+			h.written = wr
+		}
+	}
+	if h.dense != nil {
+		if h.written[key>>6]&(1<<(key&63)) == 0 {
+			h.written[key>>6] |= 1 << (key & 63)
+			h.entries++
+		}
+		h.dense[key] = v
+		return
+	}
+	h.table[key] = v
+}
+
+// gtidKey is the ByGtid key for a folded PC and global thread id. The
+// grow-on-demand table is gtid-major (gtids are dense small integers,
+// so the table stays proportional to the live thread count); the map
+// layouts keep the historical pcPart-major packing. Both are injective,
+// so the choice is invisible to behavior.
+func (h *History) gtidKey(pcPart uint64, gtid uint32) uint64 {
+	if h.growMode {
+		return uint64(gtid)<<h.pcBits | pcPart
+	}
+	return pcPart<<32 | uint64(gtid)
+}
 
 func (h *History) key(ctx Context) uint64 {
 	var pcPart uint64
@@ -169,7 +291,7 @@ func (h *History) key(ctx Context) uint64 {
 	case ByLtid:
 		return pcPart<<5 | uint64(ctx.Ltid&31)
 	case ByGtid:
-		return pcPart<<32 | uint64(ctx.Gtid)
+		return h.gtidKey(pcPart, ctx.Gtid)
 	default:
 		return pcPart
 	}
@@ -178,7 +300,7 @@ func (h *History) key(ctx Context) uint64 {
 // Predict implements Predictor: the previous carries stored for this
 // (PC, thread) bucket, defaulting to all-zero when cold.
 func (h *History) Predict(ctx Context) Prediction {
-	return Prediction{Carries: h.table[h.key(ctx)] & h.cfg.Geometry.BoundaryMask()}
+	return Prediction{Carries: h.load(h.key(ctx)) & h.cfg.Geometry.BoundaryMask()}
 }
 
 // Update implements Predictor. Matching the hardware, history is written
@@ -187,8 +309,27 @@ func (h *History) Update(ctx Context, actual uint64, mispredicted bool) {
 	if !mispredicted && !h.cfg.AlwaysUpdate {
 		return
 	}
-	h.table[h.key(ctx)] = actual & h.cfg.Geometry.BoundaryMask()
+	h.store(h.key(ctx), actual&h.cfg.Geometry.BoundaryMask())
 }
 
 // Reset implements Predictor.
-func (h *History) Reset() { h.table = make(map[uint64]uint64) }
+func (h *History) Reset() {
+	h.growMode, h.pcBits = false, 0
+	if size := h.cfg.denseSize(); size > 0 {
+		h.dense = make([]uint64, size)
+		h.written = make([]uint64, (size+63)/64)
+		h.entries = 0
+		h.table = nil
+		return
+	}
+	h.dense, h.written, h.entries = nil, nil, 0
+	h.table = make(map[uint64]uint64)
+	if h.cfg.Threads == ByGtid && h.cfg.PCMode != FullPC {
+		// Bounded PC space per thread: grow a gtid-major flat table on
+		// demand, keeping the map as overflow for pathological gtids.
+		h.growMode = true
+		if h.cfg.PCMode == ModPC || h.cfg.PCMode == XorPC {
+			h.pcBits = h.cfg.PCBits
+		}
+	}
+}

@@ -116,9 +116,15 @@ func (s *staticPredictor) Reset()                       {}
 // resolves to their AND), keeping the hot sweep path free of
 // data-dependent branches.
 func PeekBits(g Geometry, ea, eb uint64) (static, values uint64) {
-	nb := g.Boundaries()
 	agree := ^(ea ^ eb) // bit set where the operands' bits match
 	both := ea & eb     // bit set where they match at 1
+	if g.SliceBits == 8 {
+		// Boundary i's MSB sits at bit 8i+7 — exactly the byte MSBs,
+		// which one multiply-gather collects for all boundaries at once.
+		m := g.BoundaryMask()
+		return bitmath.GatherMSB8(agree) & m, bitmath.GatherMSB8(both) & m
+	}
+	nb := g.Boundaries()
 	for i := uint(0); i < nb; i++ {
 		msbPos := (i+1)*g.SliceBits - 1
 		static |= (agree >> msbPos & 1) << i

@@ -1,5 +1,11 @@
 package speculate
 
+import (
+	"math/bits"
+
+	"st2gpu/internal/bitmath"
+)
+
 // Related-work baselines (Section VII of the paper).
 
 // CASA models "CASA: Correlation-aware speculative adders" (Liu, Tao,
@@ -18,22 +24,20 @@ func NewCASA(g Geometry) *CASA { return &CASA{G: g} }
 // Name implements Predictor.
 func (c *CASA) Name() string { return "CASA" }
 
-// Predict implements Predictor.
+// Predict implements Predictor. Boundary i carries iff at least one of
+// the preceding slice's operand MSBs is set (certain when both are,
+// impossible when neither is, and CASA bets on propagation completing
+// when exactly one is) — which is the MSB gather of EA|EB.
 func (c *CASA) Predict(ctx Context) Prediction {
+	if c.G.SliceBits == 8 {
+		return Prediction{Carries: bitmath.GatherMSB8(ctx.EA|ctx.EB) & c.G.BoundaryMask()}
+	}
 	nb := c.G.Boundaries()
 	var carries uint64
+	or := ctx.EA | ctx.EB
 	for i := uint(0); i < nb; i++ {
 		msbPos := (i+1)*c.G.SliceBits - 1
-		a := (ctx.EA >> msbPos) & 1
-		b := (ctx.EB >> msbPos) & 1
-		if a|b == 1 && a&b == 0 {
-			// Exactly one MSB set: a coin flip in truth; CASA bets on
-			// propagation completing (carry = 1).
-			carries |= 1 << i
-		} else if a&b == 1 {
-			carries |= 1 << i // both set: carry guaranteed
-		}
-		// Neither set: carry impossible; predict 0.
+		carries |= (or >> msbPos & 1) << i
 	}
 	return Prediction{Carries: carries}
 }
@@ -43,6 +47,27 @@ func (c *CASA) Update(Context, uint64, bool) {}
 
 // Reset implements Predictor.
 func (c *CASA) Reset() {}
+
+// PredictWarp implements WarpPredictor: one gather per lane.
+func (c *CASA) PredictWarp(_, _, active, _ uint32, ea, eb, carries, static []uint64) {
+	if c.G.SliceBits == 8 {
+		mask := c.G.BoundaryMask()
+		n := bits.OnesCount32(active)
+		for j := 0; j < n; j++ {
+			carries[j] = bitmath.GatherMSB8(ea[j]|eb[j]) & mask
+			static[j] = 0
+		}
+		return
+	}
+	n := bits.OnesCount32(active)
+	for j := 0; j < n; j++ {
+		pr := c.Predict(Context{EA: ea[j], EB: eb[j]})
+		carries[j], static[j] = pr.Carries, 0
+	}
+}
+
+// UpdateWarp implements WarpPredictor (CASA is stateless).
+func (c *CASA) UpdateWarp(_, _, _, _, _ uint32, _, _, _ []uint64) {}
 
 // VLSA models "Variable latency speculative addition" (Verma, Brisk,
 // Ienne — DATE 2008): the original variable-latency adder. Its carry
@@ -68,3 +93,14 @@ func (v *VLSA) Update(Context, uint64, bool) {}
 
 // Reset implements Predictor.
 func (v *VLSA) Reset() {}
+
+// PredictWarp implements WarpPredictor: all carries speculated zero.
+func (v *VLSA) PredictWarp(_, _, active, _ uint32, _, _, carries, static []uint64) {
+	n := bits.OnesCount32(active)
+	for j := 0; j < n; j++ {
+		carries[j], static[j] = 0, 0
+	}
+}
+
+// UpdateWarp implements WarpPredictor (VLSA is stateless).
+func (v *VLSA) UpdateWarp(_, _, _, _, _ uint32, _, _, _ []uint64) {}

@@ -72,18 +72,11 @@ func dseStep(p speculate.Predictor, miss *stats.Rate, r *warpRec, s *evalScratch
 	n := len(r.ea)
 	carries, static := s.carries[:n], s.static[:n]
 	speculate.PredictWarp(p, r.pc, r.base, r.active, r.cin, r.ea, r.eb, carries, static)
-	var mispred uint32
-	var missed uint64
-	j := 0
-	for m := r.active; m != 0; m &= m - 1 {
-		l := bits.TrailingZeros32(m)
-		actual := r.carries[j] & mask
-		s.actual[j] = actual
-		wrong := nonZeroBit((carries[j] ^ actual) & mask &^ static[j])
-		mispred |= uint32(wrong) << l
-		missed += wrong
-		j++
+	actual := s.actual[:n]
+	for j := 0; j < n; j++ {
+		actual[j] = r.carries[j] & mask
 	}
+	mispred, missed := speculate.JudgeMissWarp(r.active, mask, carries, static, actual)
 	miss.Add(missed, uint64(n))
 	speculate.UpdateWarp(p, r.pc, r.base, r.active, mispred, r.cin, r.ea, r.eb, s.actual[:n])
 }
@@ -98,12 +91,11 @@ func corrStep(p speculate.Predictor, match *stats.Rate, r *warpRec, s *evalScrat
 	n := len(r.ea)
 	carries, static := s.carries[:n], s.static[:n]
 	speculate.PredictWarp(p, r.pc, r.base, r.active, r.cin, r.ea, r.eb, carries, static)
-	var matched uint64
+	actual := s.actual[:n]
 	for j := 0; j < n; j++ {
-		actual := r.carries[j] & mask
-		s.actual[j] = actual
-		matched += uint64(nb) - uint64(bits.OnesCount64((carries[j]^actual)&mask))
+		actual[j] = r.carries[j] & mask
 	}
+	matched := speculate.JudgeCorrWarp(nb, mask, carries, actual)
 	match.Add(matched, uint64(nb)*uint64(n))
 	speculate.UpdateWarp(p, r.pc, r.base, r.active, r.active, r.cin, r.ea, r.eb, s.actual[:n])
 }

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/stats"
+)
+
+// TestBatchEvalMatchesPerDesign pins the design-batched kernels'
+// guarantee: for every evaluation mode, result i of the one-pass batch
+// is bit-identical to the per-design walk of designs[i], including when
+// Peek designs (whose per-record Peek computation the batch hoists and
+// shares) sit in the same batch as non-Peek ones.
+func TestBatchEvalMatchesPerDesign(t *testing.T) {
+	set := recordPathfinder(t)
+	dec, err := DecodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := dec.Kernel("pathfinder")
+	if !ok {
+		t.Fatal("missing decoded kernel")
+	}
+
+	designs := append(append([]string(nil), speculate.DesignSpace...), "oracle")
+	batch, err := k.EvalMissBatch(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range designs {
+		want, err := k.EvalMiss(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Errorf("EvalMissBatch[%s] = %+v, per-design EvalMiss = %+v", d, batch[i], want)
+		}
+	}
+
+	corrBatch, err := k.EvalCorrBatch(Fig3Designs[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range Fig3Designs {
+		want, err := k.EvalCorr(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrBatch[i] != want {
+			t.Errorf("EvalCorrBatch[%s] = %+v, per-design EvalCorr = %+v", d, corrBatch[i], want)
+		}
+	}
+
+	approxDesigns := []string{"staticZero", speculate.FinalDesign}
+	apBatch, err := k.EvalApproxBatch(approxDesigns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range approxDesigns {
+		want, err := k.EvalApprox(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if apBatch[i] != want {
+			t.Errorf("EvalApproxBatch[%s] = %+v, per-design EvalApprox = %+v", d, apBatch[i], want)
+		}
+	}
+}
+
+// TestBatchEvalBatchCompositionIrrelevant pins the sweep engine's
+// scheduling freedom: a design's counters don't depend on which batch it
+// lands in (per-design predictor state is independent), so any
+// partition folds to the same grid.
+func TestBatchEvalBatchCompositionIrrelevant(t *testing.T) {
+	set := recordPathfinder(t)
+	dec, err := DecodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := dec.Kernel("pathfinder")
+	designs := speculate.DesignSpace
+	whole, err := k.EvalMissBatch(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range []int{1, 3, len(designs) - 1} {
+		lo, err := k.EvalMissBatch(designs[:split])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := k.EvalMissBatch(designs[split:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range designs {
+			var got stats.Rate
+			if i < split {
+				got = lo[i]
+			} else {
+				got = hi[i-split]
+			}
+			if got != whole[i] {
+				t.Errorf("split %d: design %s differs across batch compositions", split, designs[i])
+			}
+		}
+	}
+}
+
+// TestBatchEvalBadDesign checks the batch constructors surface unknown
+// design names instead of walking anything.
+func TestBatchEvalBadDesign(t *testing.T) {
+	set := recordPathfinder(t)
+	dec, err := DecodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := dec.Kernel("pathfinder")
+	if _, err := k.EvalMissBatch([]string{"no-such-design"}); err == nil {
+		t.Fatal("EvalMissBatch accepted an unknown design")
+	}
+}
+
+// TestDecodeSetMissingKernelDoesNotLeak is the regression test for the
+// DecodeSet early-return leak: a set whose name list references a
+// kernel with no recording must fail after spawning NO decode work —
+// the buggy version returned mid-spawn without wg.Wait, leaving decode
+// goroutines writing into the result slices past the call.
+func TestDecodeSetMissingKernelDoesNotLeak(t *testing.T) {
+	set := recordPathfinder(t)
+	rec, ok := set.Get("pathfinder")
+	if !ok {
+		t.Fatal("missing recording")
+	}
+	doctored := NewSet(set.Scale, set.NumSMs, set.Seed)
+	for i := 0; i < 8; i++ {
+		doctored.Add(fmt.Sprintf("k%d", i), rec)
+	}
+	// Doctor the name list directly: a name with no recording, listed
+	// last so the buggy code had already spawned decoders for the real
+	// kernels by the time it saw it.
+	doctored.names = append(doctored.names, "ghost")
+
+	before := runtime.NumGoroutine()
+	_, err := DecodeSet(doctored)
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("DecodeSet error = %v, want missing-kernel error naming %q", err, "ghost")
+	}
+	// Sampled immediately — leaked decoders would still be running.
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("DecodeSet returned with %d goroutines, started with %d: in-flight decoders leaked", after, before)
+	}
+}

@@ -184,16 +184,23 @@ func DecodeSet(s *Set) (*Decoded, error) {
 		names:   names,
 		kernels: make(map[string]*DecodedKernel, len(names)),
 	}
-	decoded := make([]*DecodedKernel, len(names))
-	errs := make([]error, len(names))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
+	// Resolve every kernel before spawning any decode work: an early
+	// return after goroutines are in flight would leak them (still
+	// writing into decoded/errs past this function's lifetime).
+	recs := make([]*gpusim.Recording, len(names))
 	for i, name := range names {
 		rec, ok := s.Get(name)
 		if !ok {
 			return nil, fmt.Errorf("trace: recording set is missing kernel %q", name)
 		}
-		i, name, rec := i, name, rec
+		recs[i] = rec
+	}
+	decoded := make([]*DecodedKernel, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		i, name, rec := i, name, recs[i]
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {

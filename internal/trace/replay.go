@@ -157,8 +157,21 @@ func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
-// ReadSet deserializes a set written by WriteTo.
+// maxSetNameLen caps a set entry's declared name length; kernel names
+// are short identifiers, so anything larger marks a corrupt stream and
+// must not size an allocation.
+const maxSetNameLen = 4096
+
+// ReadSet deserializes a set written by WriteTo, holding each
+// recording to the gpusim.DefaultRecordMaxBytes budget.
 func ReadSet(r io.Reader) (*Set, error) {
+	return ReadSetLimit(r, 0)
+}
+
+// ReadSetLimit deserializes a set written by WriteTo, failing with
+// gpusim.ErrRecordingTooBig when any single recording's declared
+// payload exceeds maxRecordBytes (0 means gpusim.DefaultRecordMaxBytes).
+func ReadSetLimit(r io.Reader, maxRecordBytes uint64) (*Set, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(setMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -189,11 +202,14 @@ func ReadSet(r io.Reader) (*Set, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: entry %d name length: %w", i, err)
 		}
+		if nameLen > maxSetNameLen {
+			return nil, fmt.Errorf("trace: entry %d declares a %d-byte name (max %d)", i, nameLen, maxSetNameLen)
+		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, name); err != nil {
 			return nil, fmt.Errorf("trace: entry %d name: %w", i, err)
 		}
-		rec, err := gpusim.ReadRecording(br)
+		rec, err := gpusim.ReadRecordingLimit(br, maxRecordBytes)
 		if err != nil {
 			return nil, fmt.Errorf("trace: entry %d (%s): %w", i, name, err)
 		}
@@ -230,6 +246,17 @@ func ReadSetFile(path string) (*Set, error) {
 	}
 	defer f.Close()
 	return ReadSet(f)
+}
+
+// ReadSetFileLimit loads a set saved by WriteFile with a per-recording
+// byte budget (see ReadSetLimit).
+func ReadSetFileLimit(path string, maxRecordBytes uint64) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSetLimit(f, maxRecordBytes)
 }
 
 // SortedNames returns the kernel names in lexical order (handy for

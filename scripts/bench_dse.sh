@@ -1,12 +1,14 @@
 #!/bin/sh
-# DSE benchmark: time the decode-once parallel Figure 5 sweep (one SoA
-# decode + (kernel × design) grid) against the per-design replay baseline
-# (each design varint-decodes the recorded stream from scratch) over the
-# full 12-design space, and verify the rows are bit-identical at several
-# worker counts. st2dse -bench exits non-zero itself on a row mismatch;
-# this script additionally sanity-checks the JSON payload and fails
-# loudly if identity or the speedup floor is lost. Writes BENCH_dse.json
-# at the repo root.
+# DSE benchmark: time the design-batched bit-parallel Figure 5 sweep
+# (one SoA decode + (kernel × design-batch) grid, all designs advanced
+# in one pass per record) against decode-once per-design evaluation and
+# against the per-design replay baseline (each design varint-decodes the
+# recorded stream from scratch) over the full 12-design space, and
+# verify the rows are bit-identical at several worker counts. st2dse
+# -bench exits non-zero itself on a row mismatch; this script
+# additionally sanity-checks the JSON payload and fails loudly if
+# identity or a throughput floor is lost. Appends to the BENCH_dse.json
+# array at the repo root; all checks read the newest (last) entry.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,31 +21,54 @@ fail() {
     exit 1
 }
 
+# last <sed-pattern>: extract the field value from the newest entry of
+# the append-only JSON array (each entry carries each key once, so the
+# last match is the run we just appended).
+last() {
+    sed -n "s/.*\"$1\": \([^,}]*\).*/\1/p" "$OUT" | tail -1
+}
+
 [ -s "$OUT" ] || fail "$OUT is missing or empty"
 
-grep -q '"identical": true' "$OUT" || fail "decode-once rows not bit-identical to per-design replay"
-grep -q '"designs": 12' "$OUT" || fail "sweep did not cover the 12-design space"
-grep -q '"sweep_workers":' "$OUT" || fail "sweep_workers missing from $OUT"
+[ "$(last identical)" = "true" ] || fail "sweep rows not bit-identical across batched / decode-once / per-design"
+[ "$(last designs)" = "12" ] || fail "sweep did not cover the 12-design space"
+[ -n "$(last sweep_workers)" ] || fail "sweep_workers missing from $OUT"
 
-if grep -q '"recorded_ops": 0[,}]' "$OUT"; then
-    fail "recording captured zero warp-add records"
-fi
+recops=$(last recorded_ops)
+[ -n "$recops" ] || fail "recorded_ops missing from $OUT"
+[ "$recops" -gt 0 ] 2>/dev/null || fail "recording captured zero warp-add records"
 
 # Decode throughput must be present and nonzero — it is the denominator
 # of the whole decode-once trade.
-decops=$(sed -n 's/.*"decode_ops_per_sec": \([0-9.]*\).*/\1/p' "$OUT")
+decops=$(last decode_ops_per_sec)
 [ -n "$decops" ] || fail "decode_ops_per_sec missing from $OUT"
 awk "BEGIN { exit !($decops > 0) }" || fail "decode throughput is zero"
+
+hostpar=$(last host_parallelism)
+[ -n "$hostpar" ] || fail "host_parallelism missing from $OUT"
 
 # The decode-once sweep must never lose to per-design replay: on a
 # single-core box it still saves 11 of 12 varint decodes (floor 1.0);
 # with real host parallelism the grid should win by at least 2x.
-speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' "$OUT")
+speedup=$(last speedup)
 [ -n "$speedup" ] || fail "speedup missing from $OUT"
-hostpar=$(sed -n 's/.*"host_parallelism": \([0-9]*\).*/\1/p' "$OUT")
-[ -n "$hostpar" ] || fail "host_parallelism missing from $OUT"
 floor=1.0
 [ "$hostpar" -gt 1 ] && floor=2.0
 awk "BEGIN { exit !($speedup >= $floor) }" || fail "speedup $speedup < ${floor}x (host_parallelism=$hostpar)"
 
-echo "bench-dse: OK (speedup ${speedup}x over per-design replay, decode ${decops} ops/s, identical rows, $OUT)"
+# Batched-throughput floor: the design-batched kernel measures ~13x over
+# per-design replay even on a single core (flat-table predictor state,
+# one decode pass, hoisted Peek); require 5x there so a regression that
+# reintroduces per-design decode or map traffic fails the gate, and 10x
+# once the host has real parallelism (the ISSUE's acceptance bar).
+bspeedup=$(last batched_speedup)
+[ -n "$bspeedup" ] || fail "batched_speedup missing from $OUT"
+bfloor=5.0
+[ "$hostpar" -gt 1 ] && bfloor=10.0
+awk "BEGIN { exit !($bspeedup >= $bfloor) }" || fail "batched_speedup $bspeedup < ${bfloor}x (host_parallelism=$hostpar)"
+
+bevalrate=$(last batched_eval_ops_per_sec)
+[ -n "$bevalrate" ] || fail "batched_eval_ops_per_sec missing from $OUT"
+awk "BEGIN { exit !($bevalrate > 0) }" || fail "batched eval throughput is zero"
+
+echo "bench-dse: OK (batched ${bspeedup}x / decode-once ${speedup}x over per-design replay, batched ${bevalrate} eval-ops/s, decode ${decops} ops/s, identical rows, $OUT)"

@@ -20,3 +20,7 @@ go test -race ./...
 # -sweep-workers count (the full -race sweep above also covers it, but a
 # failure here names the broken invariant directly).
 go test -race -count=1 -run TestSweepBitIdenticalAcrossWorkers ./internal/experiments
+
+# Short fuzz pass over the recording decoder: seeds plus a few seconds
+# of mutation must never panic, over-allocate, or round-trip unstably.
+go test -run='^$' -fuzz=FuzzReadRecording -fuzztime=5s ./internal/gpusim
