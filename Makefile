@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race fuzz-smoke check bench bench-smoke bench-dse
+.PHONY: build test vet lint race fuzz-smoke check bench bench-smoke bench-dse trend-gate
 
 build:
 	$(GO) build ./...
@@ -29,17 +29,24 @@ fuzz-smoke:
 
 # The gate CI runs: static analysis (vet + st2lint), the full test suite
 # under the race detector, a short decoder fuzz pass, a suite smoke pass
-# with the run manifest sanity-checked, and the record-vs-replay DSE
-# benchmark with bit-identity verified.
-check: vet lint race fuzz-smoke bench-smoke bench-dse
+# with the run manifest sanity-checked, the record-vs-replay DSE
+# benchmark with bit-identity verified, and the st2trend regression gate
+# over both trend arrays.
+check: vet lint race fuzz-smoke bench-smoke bench-dse trend-gate
 
 bench:
 	$(GO) test -bench=. -benchmem
 
 # Scale-1 suite pass with the JSONL manifest enabled; fails on NaN or
-# zero-instruction regressions. Writes BENCH_smoke.json.
+# zero-instruction regressions. Appends to the BENCH_smoke.json trend
+# array.
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# st2trend regression gate: the newest BENCH_dse.json / BENCH_smoke.json
+# entries must not regress against the best prior entries.
+trend-gate:
+	./scripts/trend_gate.sh
 
 # Record-once/replay-many Figure 5 sweep vs the simulate-per-design
 # baseline; fails unless rates are bit-identical and replay is faster.

@@ -24,8 +24,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +33,7 @@ import (
 
 	"st2gpu/internal/experiments"
 	"st2gpu/internal/metrics"
+	"st2gpu/internal/obs"
 	"st2gpu/internal/report"
 	"st2gpu/internal/speculate"
 	"st2gpu/internal/trace"
@@ -53,15 +52,29 @@ func main() {
 		bench    = flag.String("bench", "", "time the decode-once parallel sweep vs per-design replay, check bit-identity, write JSON here")
 		recCap   = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
 		workers  = flag.Int("sweep-workers", 0, "worker pool for the (kernel × design) sweep grid (0 = GOMAXPROCS, 1 = sequential; results identical at any count)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	)
 	flag.Parse()
 
+	// One process-wide registry: the debug endpoint and the experiment
+	// pipeline share it, so /metrics sees sweep-cell histograms accumulate.
+	reg := metrics.New()
 	if *pprof != "" {
-		addr, err := metrics.ServeDebug(*pprof, metrics.New())
+		srv, err := metrics.ServeDebug(*pprof, reg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "st2dse: serving /debug/pprof and /debug/vars on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "st2dse: serving /debug/pprof, /debug/vars, and /metrics on http://%s\n", srv.Addr())
+	}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.New()
+		defer func() {
+			if err := tr.WriteChromeTraceFile(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "st2dse: wrote %d spans to %s\n", tr.Len(), *traceOut)
+		}()
 	}
 
 	if *widths {
@@ -89,6 +102,8 @@ func main() {
 	cfg.NumSMs = *sms
 	cfg.RecordMaxBytes = *recCap
 	cfg.SweepWorkers = *workers
+	cfg.Metrics = reg
+	cfg.Obs = tr
 	if *progress {
 		cfg.Progress = func(done, total int, name string) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, name)
@@ -176,43 +191,6 @@ type benchResult struct {
 	HostParallel      int     `json:"host_parallelism"`
 }
 
-// appendBenchResult appends res to the JSON array at outPath, wrapping a
-// legacy single-object file into an array first.
-func appendBenchResult(outPath string, res benchResult) error {
-	var entries []json.RawMessage
-	if buf, err := os.ReadFile(outPath); err == nil {
-		trimmed := bytes.TrimSpace(buf)
-		switch {
-		case len(trimmed) == 0:
-		case trimmed[0] == '[':
-			if err := json.Unmarshal(trimmed, &entries); err != nil {
-				return fmt.Errorf("st2dse: existing %s: %w", outPath, err)
-			}
-		default: // legacy single-object file
-			entries = append(entries, json.RawMessage(trimmed))
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	buf, err := json.MarshalIndent(res, "  ", "  ")
-	if err != nil {
-		return err
-	}
-	entries = append(entries, json.RawMessage(buf))
-	var out bytes.Buffer
-	out.WriteString("[\n")
-	for i, e := range entries {
-		out.WriteString("  ")
-		out.Write(e)
-		if i < len(entries)-1 {
-			out.WriteString(",")
-		}
-		out.WriteString("\n")
-	}
-	out.WriteString("]\n")
-	return os.WriteFile(outPath, out.Bytes(), 0o644)
-}
-
 func runBench(cfg experiments.Config, outPath string) error {
 	designs := speculate.DesignSpace
 
@@ -226,7 +204,7 @@ func runBench(cfg experiments.Config, outPath string) error {
 	// The shared up-front cost of both decode-once strategies: one SoA
 	// decode pass.
 	tDecode := time.Now()
-	dec, err := trace.DecodeSet(set)
+	dec, err := trace.DecodeSetTraced(set, cfg.Obs)
 	if err != nil {
 		return err
 	}
@@ -306,7 +284,7 @@ func runBench(cfg experiments.Config, outPath string) error {
 	if decodeSecs+onceSecs > 0 {
 		res.Speedup = perSecs / (decodeSecs + onceSecs)
 	}
-	if err := appendBenchResult(outPath, res); err != nil {
+	if err := obs.AppendTrend(outPath, res); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "st2dse: bench: batched %.3fs (%.0f eval-ops/s, %.1fx) vs decode-once %.2fs vs per-design replay %.2fs (decode %.3fs, %.0f ops/s), workers=%d, identical=%v → %s\n",

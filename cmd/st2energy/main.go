@@ -15,6 +15,7 @@ import (
 
 	"st2gpu/internal/experiments"
 	"st2gpu/internal/metrics"
+	"st2gpu/internal/obs"
 	"st2gpu/internal/power"
 	"st2gpu/internal/report"
 )
@@ -27,15 +28,29 @@ func main() {
 		format    = flag.String("format", "", "emit the breakdown as csv, markdown, or json instead of the text report")
 		progress  = flag.Bool("progress", false, "print [i/n] kernel progress lines to stderr")
 		pprof     = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	)
 	flag.Parse()
 
+	// One process-wide registry shared between the debug endpoint and the
+	// experiment pipeline, so /metrics reflects the actual run.
+	reg := metrics.New()
 	if *pprof != "" {
-		addr, err := metrics.ServeDebug(*pprof, metrics.New())
+		srv, err := metrics.ServeDebug(*pprof, reg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "st2energy: serving /debug/pprof and /debug/vars on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "st2energy: serving /debug/pprof, /debug/vars, and /metrics on http://%s\n", srv.Addr())
+	}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.New()
+		defer func() {
+			if err := tr.WriteChromeTraceFile(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "st2energy: wrote %d spans to %s\n", tr.Len(), *traceOut)
+		}()
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -62,6 +77,8 @@ func main() {
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.NumSMs = *sms
+	cfg.Metrics = reg
+	cfg.Obs = tr
 	if *progress {
 		cfg.Progress = func(done, total int, name string) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, name)

@@ -15,22 +15,47 @@ import (
 	"text/tabwriter"
 
 	"st2gpu/internal/experiments"
+	"st2gpu/internal/metrics"
+	"st2gpu/internal/obs"
 	"st2gpu/internal/power"
 )
 
 func main() {
 	var (
-		noise = flag.Float64("noise", 0.06, "relative measurement noise of the synthetic silicon")
-		seed  = flag.Int64("seed", 1, "silicon + simulation seed")
-		scale = flag.Int("scale", 1, "workload scale factor")
-		sms   = flag.Int("sms", 2, "simulated SM count")
+		noise    = flag.Float64("noise", 0.06, "relative measurement noise of the synthetic silicon")
+		seed     = flag.Int64("seed", 1, "silicon + simulation seed")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		sms      = flag.Int("sms", 2, "simulated SM count")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	)
 	flag.Parse()
+
+	reg := metrics.New()
+	if *pprof != "" {
+		srv, err := metrics.ServeDebug(*pprof, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "st2power: serving /debug/pprof, /debug/vars, and /metrics on http://%s\n", srv.Addr())
+	}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.New()
+		defer func() {
+			if err := tr.WriteChromeTraceFile(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "st2power: wrote %d spans to %s\n", tr.Len(), *traceOut)
+		}()
+	}
 
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.NumSMs = *sms
 	cfg.Seed = *seed
+	cfg.Metrics = reg
+	cfg.Obs = tr
 
 	rep, model, err := experiments.PowerValidation(cfg, *noise)
 	if err != nil {

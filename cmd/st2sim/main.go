@@ -5,13 +5,14 @@
 // Usage:
 //
 //	st2sim [-kernel name|all] [-mode st2|baseline] [-scale N] [-sms N] [-report mix|mispred|cycles|full]
-//	       [-json out.jsonl] [-progress] [-pprof addr]
+//	       [-json out.jsonl] [-trace-out run.trace.json] [-bench BENCH_smoke.json] [-progress] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"st2gpu/internal/kernels"
 	"st2gpu/internal/metrics"
 	"st2gpu/internal/metrics/runlog"
+	"st2gpu/internal/obs"
 )
 
 func main() {
@@ -33,6 +35,8 @@ func main() {
 		list     = flag.Bool("list", false, "list available kernels and exit")
 		app      = flag.String("app", "", "run a multi-kernel application (mergesort, fwt, bitonic, backprop)")
 		jsonPath = flag.String("json", "", "append one JSONL run-manifest event per launch to this file")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file (load in chrome://tracing or Perfetto)")
+		benchOut = flag.String("bench", "", "append a smoke-benchmark summary entry to this JSON trend array (read by st2trend)")
 		progress = flag.Bool("progress", false, "print [i/n] kernel progress lines to stderr")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
@@ -62,11 +66,23 @@ func main() {
 	// after each launch.
 	reg := metrics.New()
 	if *pprof != "" {
-		addr, err := metrics.ServeDebug(*pprof, reg)
+		srv, err := metrics.ServeDebug(*pprof, reg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "st2sim: serving /debug/pprof and /debug/vars on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "st2sim: serving /debug/pprof, /debug/vars, and /metrics on http://%s\n", srv.Addr())
+	}
+	// The span tracer feeds the -trace-out timeline and the runlog v2
+	// span events only; it never touches RunStats.
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.New()
+		defer func() {
+			if err := tr.WriteChromeTraceFile(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "st2sim: wrote %d spans to %s\n", tr.Len(), *traceOut)
+		}()
 	}
 	var lg *runlog.Logger
 	if *jsonPath != "" {
@@ -124,6 +140,12 @@ func main() {
 		fmt.Fprintln(tw, "kernel\tmode\tcycles\tthread instrs\tadd frac\tmispred\tL1 hit\tDRAM tx")
 	}
 
+	var smoke smokeResult
+	smoke.Scale = *scale
+	smoke.NumSMs = *sms
+	smoke.HostParallel = runtime.GOMAXPROCS(0)
+	tSuite := time.Now()
+	var mispredOps, mispredMis uint64
 	for i, w := range suite {
 		spec, err := w.Build(*scale)
 		if err != nil {
@@ -137,6 +159,7 @@ func main() {
 			fatal(err)
 		}
 		d.SetMetrics(reg)
+		d.SetObs(tr)
 		if spec.Setup != nil {
 			if err := spec.Setup(d.Memory()); err != nil {
 				fatal(err)
@@ -152,8 +175,8 @@ func main() {
 				fatal(fmt.Errorf("%s: output verification failed: %w", w.Name, err))
 			}
 		}
+		ph := d.LaunchTimings()
 		if lg != nil {
-			ph := d.LaunchTimings()
 			if ph.Verify = time.Since(tVerify); ph.Verify <= 0 {
 				ph.Verify = time.Nanosecond
 			}
@@ -161,11 +184,52 @@ func main() {
 				fatal(fmt.Errorf("%s: manifest: %w", w.Name, err))
 			}
 		}
+		smoke.Kernels++
+		smoke.SimulateSeconds += ph.Simulate.Seconds()
+		smoke.TotalThreadInstrs += rs.TotalThreadInstrs()
+		smoke.TotalCycles += rs.Cycles
+		// Canonical kind order keeps the aggregate fold deterministic.
+		for _, kind := range core.UnitKinds {
+			mispredOps += rs.Units[kind].ThreadOps
+			mispredMis += rs.Units[kind].ThreadMispredicts
+		}
 		if *progress {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", i+1, len(suite), w.Name)
 		}
 		printRow(tw, *report, w.Name, rs)
 	}
+	if lg != nil && tr != nil {
+		if err := lg.LogSpans("st2sim", tr); err != nil {
+			fatal(fmt.Errorf("manifest spans: %w", err))
+		}
+	}
+	if *benchOut != "" {
+		smoke.TotalSeconds = time.Since(tSuite).Seconds()
+		if mispredOps > 0 {
+			smoke.MispredRate = float64(mispredMis) / float64(mispredOps)
+		}
+		if err := obs.AppendTrend(*benchOut, smoke); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "st2sim: bench: %d kernels in %.2fs (simulate %.2fs, %d thread instrs, mispred %.2f%%) → %s\n",
+			smoke.Kernels, smoke.TotalSeconds, smoke.SimulateSeconds,
+			smoke.TotalThreadInstrs, 100*smoke.MispredRate, *benchOut)
+	}
+}
+
+// smokeResult is one BENCH_smoke.json entry: a whole-suite timing and
+// sanity summary. BENCH_smoke.json is an append-only JSON trend array of
+// these, newest last (st2trend gates regressions on it).
+type smokeResult struct {
+	Scale             int     `json:"scale"`
+	NumSMs            int     `json:"num_sms"`
+	Kernels           int     `json:"kernels"`
+	TotalSeconds      float64 `json:"total_seconds"`
+	SimulateSeconds   float64 `json:"simulate_seconds"`
+	TotalThreadInstrs uint64  `json:"total_thread_instrs"`
+	TotalCycles       uint64  `json:"total_cycles"`
+	MispredRate       float64 `json:"mispred_rate"`
+	HostParallel      int     `json:"host_parallelism"`
 }
 
 func printRow(tw *tabwriter.Writer, report, name string, rs *gpusim.RunStats) {

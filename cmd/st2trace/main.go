@@ -22,20 +22,22 @@ import (
 	"text/tabwriter"
 
 	"st2gpu/internal/experiments"
+	"st2gpu/internal/obs"
 	"st2gpu/internal/trace"
 )
 
 func main() {
 	var (
-		report  = flag.String("report", "fig3", "report: fig2 (value evolution) or fig3 (carry correlation)")
-		gtid    = flag.Uint("gtid", 37, "thread to trace for fig2")
-		points  = flag.Int("points", 30, "points per PC for fig2")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		sms     = flag.Int("sms", 2, "simulated SM count")
-		record  = flag.String("record", "", "simulate the suite once and save its recording set to this file (no report)")
-		replay  = flag.String("replay", "", "answer the report from a recording set saved by -record (no simulation)")
-		recCap  = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
-		workers = flag.Int("sweep-workers", 0, "worker pool for the fig3 (kernel × scheme) grid (0 = GOMAXPROCS, 1 = sequential; results identical at any count)")
+		report   = flag.String("report", "fig3", "report: fig2 (value evolution) or fig3 (carry correlation)")
+		gtid     = flag.Uint("gtid", 37, "thread to trace for fig2")
+		points   = flag.Int("points", 30, "points per PC for fig2")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		sms      = flag.Int("sms", 2, "simulated SM count")
+		record   = flag.String("record", "", "simulate the suite once and save its recording set to this file (no report)")
+		replay   = flag.String("replay", "", "answer the report from a recording set saved by -record (no simulation)")
+		recCap   = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
+		workers  = flag.Int("sweep-workers", 0, "worker pool for the fig3 (kernel × scheme) grid (0 = GOMAXPROCS, 1 = sequential; results identical at any count)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	)
 	flag.Parse()
 
@@ -44,6 +46,15 @@ func main() {
 	cfg.NumSMs = *sms
 	cfg.RecordMaxBytes = *recCap
 	cfg.SweepWorkers = *workers
+	if *traceOut != "" {
+		cfg.Obs = obs.New()
+		defer func() {
+			if err := cfg.Obs.WriteChromeTraceFile(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "st2trace: wrote %d spans to %s\n", cfg.Obs.Len(), *traceOut)
+		}()
+	}
 
 	if *record != "" {
 		set, err := experiments.RecordSuite(cfg)

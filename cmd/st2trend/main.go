@@ -1,0 +1,91 @@
+// Command st2trend reads the repo's append-only benchmark trend arrays
+// (BENCH_dse.json, BENCH_smoke.json) and runlog JSONL manifests, prints
+// per-metric trend tables, and enforces regression gates: with -gate
+// specs the newest trend entry is compared against the best prior entry
+// and the process exits nonzero on a regression. scripts/trend_gate.sh
+// wires it into `make check`.
+//
+// Usage:
+//
+//	st2trend [-gate field:higher:RATIO]... FILE...
+//
+// Gate forms:
+//
+//	field:higher:R  newest must be ≥ R × best (max) prior entry
+//	field:lower:R   newest must be ≤ R × best (min) prior entry
+//	field:true      newest must be true
+//	field:false     newest must be false
+//
+// Single-entry histories pass ratio gates (nothing to regress from); a
+// gate naming a field present in no file is an error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// gateFlags collects repeated -gate options.
+type gateFlags []string
+
+func (g *gateFlags) String() string { return fmt.Sprint(*g) }
+func (g *gateFlags) Set(v string) error {
+	*g = append(*g, v)
+	return nil
+}
+
+func main() {
+	var specs gateFlags
+	flag.Var(&specs, "gate", "regression gate spec (repeatable): field:higher:RATIO, field:lower:RATIO, field:true, field:false")
+	quiet := flag.Bool("q", false, "suppress trend tables; print gate results only")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "st2trend: no input files (expected BENCH_*.json trend arrays or runlog manifests)")
+		os.Exit(2)
+	}
+
+	gates := make([]gate, 0, len(specs))
+	for _, spec := range specs {
+		g, err := parseGate(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		gates = append(gates, g)
+	}
+
+	files := make([]*trendFile, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		tf, err := loadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		files = append(files, tf)
+	}
+
+	if !*quiet {
+		for _, tf := range files {
+			if tf.entries != nil {
+				tf.printTrendTable(os.Stdout)
+			} else {
+				tf.printRunlogTable(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+
+	failed := false
+	for _, g := range gates {
+		if err := checkGate(g, files); err != nil {
+			fmt.Fprintln(os.Stderr, "st2trend:", err)
+			failed = true
+		} else {
+			fmt.Printf("gate %s ok\n", g.field)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

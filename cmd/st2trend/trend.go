@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"st2gpu/internal/metrics/runlog"
+	"st2gpu/internal/obs"
+)
+
+// gate is one parsed -gate specification.
+type gate struct {
+	field string
+	// mode is "higher" (last must stay ≥ ratio × best prior), "lower"
+	// (last must stay ≤ ratio × best prior), or "bool" (last must equal
+	// want).
+	mode  string
+	ratio float64
+	want  bool
+}
+
+// parseGate parses "field:higher:0.25", "field:lower:5.0",
+// "field:true", or "field:false".
+func parseGate(spec string) (gate, error) {
+	parts := strings.Split(spec, ":")
+	switch {
+	case len(parts) == 2 && (parts[1] == "true" || parts[1] == "false"):
+		return gate{field: parts[0], mode: "bool", want: parts[1] == "true"}, nil
+	case len(parts) == 3 && (parts[1] == "higher" || parts[1] == "lower"):
+		ratio, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || ratio <= 0 {
+			return gate{}, fmt.Errorf("st2trend: gate %q: ratio must be a positive number", spec)
+		}
+		return gate{field: parts[0], mode: parts[1], ratio: ratio}, nil
+	default:
+		return gate{}, fmt.Errorf("st2trend: bad gate %q (want field:higher:RATIO, field:lower:RATIO, field:true, or field:false)", spec)
+	}
+}
+
+// trendFile is one parsed input: either a BENCH trend array or a runlog
+// JSONL manifest.
+type trendFile struct {
+	path    string
+	entries []map[string]any // trend mode: decoded array entries
+	runs    []runlog.Event   // runlog mode: run events
+	spans   int              // runlog mode: span-line count
+}
+
+// loadFile sniffs the format (leading '[' → trend array, else runlog
+// JSONL) and parses.
+func loadFile(path string) (*trendFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tf := &trendFile{path: path}
+	trimmed := strings.TrimSpace(string(buf))
+	if trimmed == "" {
+		return nil, fmt.Errorf("st2trend: %s is empty", path)
+	}
+	if !strings.HasPrefix(trimmed, "[") && !strings.HasPrefix(trimmed, "{") {
+		return nil, fmt.Errorf("st2trend: %s is neither a trend array nor a JSONL manifest", path)
+	}
+	if strings.HasPrefix(trimmed, "[") {
+		raws, err := obs.ReadTrend(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, raw := range raws {
+			var entry map[string]any
+			if err := json.Unmarshal(raw, &entry); err != nil {
+				return nil, fmt.Errorf("st2trend: %s entry %d: %w", path, i, err)
+			}
+			tf.entries = append(tf.entries, entry)
+		}
+		if len(tf.entries) == 0 {
+			return nil, fmt.Errorf("st2trend: %s has no entries", path)
+		}
+		return tf, nil
+	}
+	for i, line := range strings.Split(trimmed, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var head struct {
+			Schema string `json:"schema"`
+			Type   string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &head); err != nil {
+			return nil, fmt.Errorf("st2trend: %s line %d: %w", path, i+1, err)
+		}
+		if head.Schema != runlog.Schema && head.Schema != runlog.SchemaV1 {
+			return nil, fmt.Errorf("st2trend: %s line %d: unknown schema %q", path, i+1, head.Schema)
+		}
+		// v1 lines have no "type"; treat them as run events.
+		if head.Type == runlog.TypeSpans {
+			tf.spans++
+			continue
+		}
+		var ev runlog.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("st2trend: %s line %d: %w", path, i+1, err)
+		}
+		tf.runs = append(tf.runs, ev)
+	}
+	if len(tf.runs) == 0 && tf.spans == 0 {
+		return nil, fmt.Errorf("st2trend: %s has no manifest events", path)
+	}
+	return tf, nil
+}
+
+// numericFields returns the sorted field names of the newest entry that
+// hold numbers or bools.
+func (tf *trendFile) numericFields() []string {
+	last := tf.entries[len(tf.entries)-1]
+	var names []string
+	for k, v := range last { //st2:det-ok key collection only; names are sorted before use and never touch simulated results
+		switch v.(type) {
+		case float64, bool:
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// series extracts one field's numeric history (bools as 0/1); entries
+// missing the field are skipped.
+func (tf *trendFile) series(field string) []float64 {
+	var out []float64
+	for _, e := range tf.entries {
+		switch v := e[field].(type) {
+		case float64:
+			out = append(out, v)
+		case bool:
+			if v {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	return out
+}
+
+// printTrendTable prints one trend file's per-metric history summary.
+func (tf *trendFile) printTrendTable(w io.Writer) {
+	fmt.Fprintf(w, "%s (%d entries)\n", tf.path, len(tf.entries))
+	fmt.Fprintf(w, "  %-32s %14s %14s %14s %14s\n", "metric", "first", "min", "max", "last")
+	for _, field := range tf.numericFields() {
+		s := tf.series(field)
+		if len(s) == 0 {
+			continue
+		}
+		min, max := s[0], s[0]
+		for _, v := range s[1:] {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		fmt.Fprintf(w, "  %-32s %14s %14s %14s %14s\n",
+			field, fnum(s[0]), fnum(min), fnum(max), fnum(s[len(s)-1]))
+	}
+}
+
+// printRunlogTable prints one manifest's per-event summary.
+func (tf *trendFile) printRunlogTable(w io.Writer) {
+	fmt.Fprintf(w, "%s (%d run events, %d span events)\n", tf.path, len(tf.runs), tf.spans)
+	fmt.Fprintf(w, "  %4s %-16s %12s %16s %12s %11s %11s\n",
+		"seq", "kernel", "cycles", "thread_instrs", "mispred", "simulate_s", "total_s")
+	for _, ev := range tf.runs {
+		fmt.Fprintf(w, "  %4d %-16s %12d %16d %12.6f %11.6f %11.6f\n",
+			ev.Seq, ev.Kernel, ev.Stats.Cycles, ev.Stats.TotalThreadInstrs,
+			ev.Stats.MispredRate, ev.Phases.SimulateS, ev.Phases.TotalS)
+	}
+}
+
+func fnum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// checkGate evaluates one gate against every file carrying its field.
+// The newest entry must not regress against the best prior entry; a
+// single-entry history passes (nothing to regress from). Returns an
+// error describing the regression, or an error if no file has the field.
+func checkGate(g gate, files []*trendFile) error {
+	matched := false
+	for _, tf := range files {
+		if tf.entries == nil {
+			continue
+		}
+		s := tf.series(g.field)
+		if len(s) == 0 {
+			continue
+		}
+		matched = true
+		last := s[len(s)-1]
+		switch g.mode {
+		case "bool":
+			want := 0.0
+			if g.want {
+				want = 1.0
+			}
+			if last != want {
+				return fmt.Errorf("gate %s:%v FAILED in %s: newest entry is %v",
+					g.field, g.want, tf.path, last == 1)
+			}
+		case "higher":
+			if len(s) < 2 {
+				continue
+			}
+			best := s[0]
+			for _, v := range s[1 : len(s)-1] {
+				best = math.Max(best, v)
+			}
+			if last < g.ratio*best {
+				return fmt.Errorf("gate %s:higher:%g FAILED in %s: newest %s < %g × best prior %s",
+					g.field, g.ratio, tf.path, fnum(last), g.ratio, fnum(best))
+			}
+		case "lower":
+			if len(s) < 2 {
+				continue
+			}
+			best := s[0]
+			for _, v := range s[1 : len(s)-1] {
+				best = math.Min(best, v)
+			}
+			if last > g.ratio*best {
+				return fmt.Errorf("gate %s:lower:%g FAILED in %s: newest %s > %g × best prior %s",
+					g.field, g.ratio, tf.path, fnum(last), g.ratio, fnum(best))
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("gate field %q not found in any trend file", g.field)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"st2gpu/internal/obs"
+)
+
+func writeTrend(t *testing.T, entries ...any) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	for _, e := range entries {
+		if err := obs.AppendTrend(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+type benchEntry struct {
+	Rate      float64 `json:"batched_eval_ops_per_sec"`
+	Seconds   float64 `json:"total_seconds"`
+	Identical bool    `json:"identical"`
+}
+
+func TestParseGate(t *testing.T) {
+	for _, bad := range []string{"", "x", "x:up:1", "x:higher:0", "x:higher:-1", "x:higher:abc", "x:maybe"} {
+		if _, err := parseGate(bad); err == nil {
+			t.Errorf("parseGate(%q) accepted", bad)
+		}
+	}
+	g, err := parseGate("rate:higher:0.25")
+	if err != nil || g.field != "rate" || g.mode != "higher" || g.ratio != 0.25 {
+		t.Errorf("parseGate = %+v, %v", g, err)
+	}
+	g, err = parseGate("identical:true")
+	if err != nil || g.mode != "bool" || !g.want {
+		t.Errorf("parseGate bool = %+v, %v", g, err)
+	}
+}
+
+// TestGateFailsOnSyntheticRegression is the acceptance fixture: a trend
+// history whose newest entry drops below the threshold must fail the
+// gate, and a healthy history must pass.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	regressed := writeTrend(t,
+		benchEntry{Rate: 100e6, Seconds: 1.0, Identical: true},
+		benchEntry{Rate: 120e6, Seconds: 1.1, Identical: true},
+		benchEntry{Rate: 10e6, Seconds: 1.0, Identical: true}, // 12× throughput drop
+	)
+	tf, err := loadFile(regressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*trendFile{tf}
+
+	g, _ := parseGate("batched_eval_ops_per_sec:higher:0.25")
+	if err := checkGate(g, files); err == nil {
+		t.Error("12× throughput regression passed the higher:0.25 gate")
+	} else if !strings.Contains(err.Error(), "FAILED") {
+		t.Errorf("unhelpful gate error: %v", err)
+	}
+
+	// Time regression via the lower gate.
+	slow := writeTrend(t,
+		benchEntry{Rate: 1, Seconds: 1.0, Identical: true},
+		benchEntry{Rate: 1, Seconds: 30.0, Identical: true},
+	)
+	stf, err := loadFile(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = parseGate("total_seconds:lower:5.0")
+	if err := checkGate(g, []*trendFile{stf}); err == nil {
+		t.Error("30× time regression passed the lower:5.0 gate")
+	}
+
+	// Bool regression.
+	broken := writeTrend(t,
+		benchEntry{Rate: 1, Seconds: 1, Identical: true},
+		benchEntry{Rate: 1, Seconds: 1, Identical: false},
+	)
+	btf, err := loadFile(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = parseGate("identical:true")
+	if err := checkGate(g, []*trendFile{btf}); err == nil {
+		t.Error("identical=false passed the identical:true gate")
+	}
+}
+
+func TestGatePassesHealthyHistory(t *testing.T) {
+	healthy := writeTrend(t,
+		benchEntry{Rate: 100e6, Seconds: 1.2, Identical: true},
+		benchEntry{Rate: 95e6, Seconds: 1.3, Identical: true},
+		benchEntry{Rate: 110e6, Seconds: 1.1, Identical: true},
+	)
+	tf, err := loadFile(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*trendFile{tf}
+	for _, spec := range []string{
+		"batched_eval_ops_per_sec:higher:0.25",
+		"total_seconds:lower:5.0",
+		"identical:true",
+	} {
+		g, err := parseGate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := checkGate(g, files); err != nil {
+			t.Errorf("healthy history failed %s: %v", spec, err)
+		}
+	}
+
+	// Single-entry histories pass ratio gates but still enforce bools.
+	single := writeTrend(t, benchEntry{Rate: 1, Seconds: 1, Identical: false})
+	stf, err := loadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := parseGate("batched_eval_ops_per_sec:higher:0.25")
+	if err := checkGate(g, []*trendFile{stf}); err != nil {
+		t.Errorf("single-entry history failed a ratio gate: %v", err)
+	}
+	g, _ = parseGate("identical:true")
+	if err := checkGate(g, []*trendFile{stf}); err == nil {
+		t.Error("single-entry identical=false passed the bool gate")
+	}
+
+	// A gate whose field exists nowhere is an error, not a silent pass.
+	g, _ = parseGate("no_such_field:higher:0.5")
+	if err := checkGate(g, files); err == nil {
+		t.Error("gate on a missing field passed silently")
+	}
+}
+
+func TestLoadRunlogManifest(t *testing.T) {
+	// Two run lines (one v1-style without type) and one span line.
+	manifest := `{"schema":"st2gpu.runlog/v1","seq":0,"kernel":"k1","mode":"st2","config":{},"host":{},"version":"x","phases":{"simulate_s":0.5,"total_s":0.6},"stats":{"cycles":100,"total_thread_instrs":640,"mispred_rate":0.1,"crf":{},"l1":{},"l2":{}}}
+{"schema":"st2gpu.runlog/v2","type":"run","seq":1,"kernel":"k2","mode":"st2","config":{},"host":{},"version":"x","phases":{"simulate_s":0.4,"total_s":0.5},"stats":{"cycles":90,"total_thread_instrs":600,"mispred_rate":0.05,"crf":{},"l1":{},"l2":{}}}
+{"schema":"st2gpu.runlog/v2","type":"spans","seq":2,"label":"launch/k2","host":{},"version":"x","spans":[{"id":1,"name":"gpusim.launch","start_us":0,"dur_us":10}]}
+`
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := loadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.runs) != 2 || tf.spans != 1 {
+		t.Fatalf("parsed %d runs, %d span lines; want 2, 1", len(tf.runs), tf.spans)
+	}
+	if tf.runs[0].Kernel != "k1" || tf.runs[1].Stats.Cycles != 90 {
+		t.Errorf("run events parsed wrong: %+v", tf.runs)
+	}
+	var sb strings.Builder
+	tf.printRunlogTable(&sb)
+	if !strings.Contains(sb.String(), "k1") || !strings.Contains(sb.String(), "k2") {
+		t.Errorf("runlog table missing kernels:\n%s", sb.String())
+	}
+
+	// Unknown schema rejected.
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"schema":"st2gpu.runlog/v99"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFile(bad); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}

@@ -43,6 +43,10 @@ var DetClock = &Analyzer{
 			"st2gpu/internal/adder",
 			"st2gpu/internal/bitmath",
 			"st2gpu/internal/power",
+			// The span tracer is checked too: its single clock capture in
+			// obs.New carries the one reasoned //st2:det-ok exemption, and
+			// every other obs entry point must stay clock-free.
+			"st2gpu/internal/obs",
 		)(pkgPath)
 	},
 	Run: runDetClock,

@@ -17,6 +17,7 @@ import (
 	"st2gpu/internal/kernels"
 	"st2gpu/internal/metrics"
 	"st2gpu/internal/metrics/runlog"
+	"st2gpu/internal/obs"
 	"st2gpu/internal/power"
 	"st2gpu/internal/speculate"
 	"st2gpu/internal/stats"
@@ -46,6 +47,16 @@ type Config struct {
 	// just completed. Calls are serialized; done is monotonic even when
 	// kernels run concurrently.
 	Progress func(done, total int, name string)
+	// Metrics, when non-nil, receives experiment activity: every device
+	// the experiment creates publishes its launch counters here, and the
+	// sweep engine adds per-cell duration/throughput and worker-occupancy
+	// histograms. Observability only — results are bit-identical with or
+	// without a registry.
+	Metrics *metrics.Registry
+	// Obs, when non-nil, receives hierarchical spans (record → decode →
+	// sweep cells, plus each launch's setup/simulate/fold) for the Chrome
+	// trace and runlog v2 sinks. Observability only, like Metrics.
+	Obs *obs.Tracer
 }
 
 // Default returns the configuration used by the benchmark harness.
@@ -61,9 +72,25 @@ func (c Config) deviceConfig(mode gpusim.AdderMode) gpusim.Config {
 	return dc
 }
 
+// newDevice builds a device for one experiment run with the configured
+// observability (metrics registry, span tracer) installed. Many devices
+// may share one registry: launch counters are atomic sums, so the folded
+// totals are schedule-independent.
+func (c Config) newDevice(mode gpusim.AdderMode) (*gpusim.Device, error) {
+	d, err := gpusim.New(c.deviceConfig(mode))
+	if err != nil {
+		return nil, err
+	}
+	if c.Metrics != nil {
+		d.SetMetrics(c.Metrics)
+	}
+	d.SetObs(c.Obs)
+	return d, nil
+}
+
 // runSpec executes one workload spec on a fresh device.
 func (c Config) runSpec(spec *kernels.Spec, mode gpusim.AdderMode, tracer gpusim.AddTracer) (*gpusim.RunStats, *gpusim.Device, error) {
-	d, err := gpusim.New(c.deviceConfig(mode))
+	d, err := c.newDevice(mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -91,7 +118,7 @@ func (c Config) runSpec(spec *kernels.Spec, mode gpusim.AdderMode, tracer gpusim
 // installed (the parallel launch path stays enabled — recording shards
 // are per-SM) and returns the captured adder-op stream.
 func (c Config) recordSpec(spec *kernels.Spec, mode gpusim.AdderMode) (*gpusim.Recording, error) {
-	d, err := gpusim.New(c.deviceConfig(mode))
+	d, err := c.newDevice(mode)
 	if err != nil {
 		return nil, err
 	}
@@ -131,14 +158,23 @@ func (c Config) recordWorkload(w kernels.Workload, mode gpusim.AdderMode) (*gpus
 func RecordSuite(cfg Config) (*trace.Set, error) {
 	ws := kernels.Suite()
 	recs := make([]*gpusim.Recording, len(ws))
+	suiteSpan := cfg.Obs.Begin("experiments.record_suite",
+		obs.Int("kernels", int64(len(ws))))
 	err := cfg.forEachKernel(func(i int, w kernels.Workload) error {
+		kernSpan := suiteSpan.Child("record." + w.Name)
 		rec, err := cfg.recordWorkload(w, gpusim.BaselineAdders)
 		if err != nil {
+			kernSpan.End()
 			return err
 		}
+		kernSpan.Add(
+			obs.Int("records", int64(rec.NumOps())),
+			obs.Int("bytes", int64(rec.Bytes())))
+		kernSpan.End()
 		recs[i] = rec
 		return nil
 	})
+	suiteSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -197,11 +233,13 @@ func (c Config) runWorkload(w kernels.Workload, mode gpusim.AdderMode, tracer gp
 
 // RunSuite runs the full evaluation suite sequentially under one adder
 // mode and returns the per-kernel RunStats in suite order. When lg is
-// non-nil it emits one runlog manifest event per launch; each launch
-// gets a fresh metrics registry so every event's snapshot is
-// self-contained. The verify phase is timed around the workload's
-// output check (clamped to ≥1ns so manifests never report zero).
-// cfg.Progress, if set, fires after each kernel.
+// non-nil it emits one runlog manifest event per launch; with
+// cfg.Metrics unset each launch gets a fresh metrics registry so every
+// event's snapshot is self-contained, while a caller-provided registry
+// is shared across launches (snapshots cumulative, and live exporters
+// like /metrics see the whole suite). The verify phase is timed around
+// the workload's output check (clamped to ≥1ns so manifests never
+// report zero). cfg.Progress, if set, fires after each kernel.
 func RunSuite(cfg Config, mode gpusim.AdderMode, lg *runlog.Logger) ([]*gpusim.RunStats, error) {
 	ws := kernels.Suite()
 	out := make([]*gpusim.RunStats, 0, len(ws))
@@ -215,8 +253,12 @@ func RunSuite(cfg Config, mode gpusim.AdderMode, lg *runlog.Logger) ([]*gpusim.R
 		if err != nil {
 			return nil, err
 		}
-		reg := metrics.New()
+		reg := cfg.Metrics
+		if reg == nil {
+			reg = metrics.New()
+		}
 		d.SetMetrics(reg)
+		d.SetObs(cfg.Obs)
 		if spec.Setup != nil {
 			if err := spec.Setup(d.Memory()); err != nil {
 				return nil, fmt.Errorf("experiments: %s setup: %w", spec.Name, err)

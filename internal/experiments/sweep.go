@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"st2gpu/internal/kernels"
+	"st2gpu/internal/metrics"
+	"st2gpu/internal/obs"
 	"st2gpu/internal/speculate"
 	"st2gpu/internal/stats"
 	"st2gpu/internal/trace"
@@ -25,12 +29,15 @@ import (
 // it landed in (per-design predictor state is independent), so rows are
 // bit-identical at any SweepWorkers count.
 
-// runGrid runs n independent tasks over a bounded worker pool
-// (workers ≤ 0 means GOMAXPROCS). fn receives the task index and must
-// write its result into caller-owned, task-indexed storage; runGrid
-// itself shares nothing between tasks, which is what makes the schedule
-// irrelevant to the outcome.
-func runGrid(workers, n int, fn func(t int) error) error {
+// runGrid runs n independent tasks over a fixed pool of `workers`
+// goroutines (workers ≤ 0 means GOMAXPROCS) claiming task indices from
+// a shared atomic counter — the same claim scheme as the simulator's SM
+// pool, which gives each task a real worker id for the observability
+// layer. fn receives (worker, task) and must write its result into
+// caller-owned, task-indexed storage; runGrid itself shares nothing
+// between tasks, which is what makes the schedule irrelevant to the
+// outcome.
+func runGrid(workers, n int, fn func(worker, t int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -39,23 +46,27 @@ func runGrid(workers, n int, fn func(t int) error) error {
 	}
 	if workers <= 1 {
 		for t := 0; t < n; t++ {
-			if err := fn(t); err != nil {
+			if err := fn(0, t); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	errs := make([]error, n)
-	sem := make(chan struct{}, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for t := 0; t < n; t++ {
-		t := t
+	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			errs[t] = fn(t)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= n {
+					return
+				}
+				errs[t] = fn(w, t)
+			}
 		}()
 	}
 	wg.Wait()
@@ -65,6 +76,91 @@ func runGrid(workers, n int, fn func(t int) error) error {
 		}
 	}
 	return nil
+}
+
+// cellMeter is the sweep grids' observability tap: per-cell spans under
+// one grid root span (cfg.Obs) and per-cell duration/throughput plus
+// worker-occupancy histograms (cfg.Metrics). Everything it records is
+// derived from wall-clock and scheduling, so none of it may — and none
+// of it does — flow back into sweep results; a nil meter (observability
+// disabled) makes every method a no-op.
+type cellMeter struct {
+	tr    *obs.Tracer // clock source; also the span sink when spans is set
+	spans bool
+	root  *obs.ActiveSpan
+	busy  atomic.Int64
+
+	cells    *metrics.Counter
+	evalOps  *metrics.Counter
+	durHist  *metrics.Histogram // log2(cell µs), open-ended at 2^40
+	rateHist *metrics.Histogram // log2(cell eval-ops/s)
+	occHist  *metrics.Histogram // busy workers sampled at cell start
+}
+
+// newCellMeter opens the grid's root span and registers the sweep
+// metrics. Returns nil when both sinks are disabled.
+func (c Config) newCellMeter(grid string, cells int) *cellMeter {
+	if c.Metrics == nil && c.Obs == nil {
+		return nil
+	}
+	m := &cellMeter{tr: c.Obs, spans: c.Obs.Enabled()}
+	if m.tr == nil {
+		// Metrics without spans still needs a clock for the duration
+		// histograms; a private tracer provides one (no spans recorded).
+		m.tr = obs.New()
+	}
+	if m.spans {
+		m.root = c.Obs.Begin("sweep."+grid, obs.Int("cells", int64(cells)))
+	}
+	if c.Metrics != nil {
+		m.cells = c.Metrics.Counter("sweep.cells")
+		m.evalOps = c.Metrics.Counter("sweep.cell_eval_ops")
+		m.durHist = c.Metrics.Histogram("sweep.cell_log2_us", 40)
+		m.rateHist = c.Metrics.Histogram("sweep.cell_log2_eval_ops_per_sec", 48)
+		m.occHist = c.Metrics.Histogram("sweep.busy_workers", 64)
+	}
+	return m
+}
+
+// cell marks one grid cell's start and returns its completion func.
+// evalOps is the cell's design-evaluation volume (lanes × designs).
+func (m *cellMeter) cell(worker int, kernel string, designs int, evalOps uint64) func() {
+	if m == nil {
+		return func() {}
+	}
+	start := m.tr.Elapsed()
+	busy := m.busy.Add(1)
+	var sp *obs.ActiveSpan
+	if m.spans {
+		sp = m.root.Child("cell",
+			obs.Str("kernel", kernel),
+			obs.Int("worker", int64(worker)),
+			obs.Int("designs", int64(designs)),
+			obs.Int("eval_ops", int64(evalOps)),
+			obs.Int("queue_wait_us", (start-m.root.Start()).Microseconds()))
+	}
+	return func() {
+		dur := m.tr.Elapsed() - start
+		m.busy.Add(-1)
+		sp.End()
+		if m.cells == nil {
+			return
+		}
+		m.cells.Add(1)
+		m.evalOps.Add(evalOps)
+		m.occHist.Observe(int(busy))
+		m.durHist.Observe(bits.Len64(uint64(dur.Microseconds())))
+		if secs := dur.Seconds(); secs > 0 {
+			m.rateHist.Observe(bits.Len64(uint64(float64(evalOps) / secs)))
+		}
+	}
+}
+
+// close ends the grid's root span.
+func (m *cellMeter) close() {
+	if m != nil && m.spans {
+		m.root.End()
+	}
 }
 
 // designBatches splits nd designs into contiguous [lo, hi) batches sized
@@ -130,7 +226,7 @@ func Fig5FromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Fig5Ro
 	if err := dec.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
 		return nil, err
 	}
-	_, ks, err := suiteKernels(dec)
+	ws, ks, err := suiteKernels(dec)
 	if err != nil {
 		return nil, err
 	}
@@ -138,15 +234,20 @@ func Fig5FromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Fig5Ro
 	batches := designBatches(cfg.SweepWorkers, nk, nd)
 	nb := len(batches)
 	cells := make([][]stats.Rate, nk*nb)
-	err = runGrid(cfg.SweepWorkers, nk*nb, func(t int) error {
+	meter := cfg.newCellMeter("fig5", nk*nb)
+	err = runGrid(cfg.SweepWorkers, nk*nb, func(w, t int) error {
 		i, b := t/nb, t%nb
-		rs, err := ks[i].EvalMissBatch(designs[batches[b][0]:batches[b][1]])
+		batch := designs[batches[b][0]:batches[b][1]]
+		done := meter.cell(w, ws[i].Name, len(batch), uint64(ks[i].NumLanes())*uint64(len(batch)))
+		rs, err := ks[i].EvalMissBatch(batch)
+		done()
 		if err != nil {
 			return err
 		}
 		cells[t] = rs
 		return nil
 	})
+	meter.close()
 	if err != nil {
 		return nil, err
 	}
@@ -178,15 +279,20 @@ func Fig3FromDecoded(cfg Config, dec *trace.Decoded) ([]Fig3Row, error) {
 	batches := designBatches(cfg.SweepWorkers, nk, nd)
 	nb := len(batches)
 	cells := make([][]stats.Rate, nk*nb)
-	err = runGrid(cfg.SweepWorkers, nk*nb, func(t int) error {
+	meter := cfg.newCellMeter("fig3", nk*nb)
+	err = runGrid(cfg.SweepWorkers, nk*nb, func(w, t int) error {
 		i, b := t/nb, t%nb
-		rs, err := ks[i].EvalCorrBatch(trace.Fig3Designs[batches[b][0]:batches[b][1]])
+		batch := trace.Fig3Designs[batches[b][0]:batches[b][1]]
+		done := meter.cell(w, ws[i].Name, len(batch), uint64(ks[i].NumLanes())*uint64(len(batch)))
+		rs, err := ks[i].EvalCorrBatch(batch)
+		done()
 		if err != nil {
 			return err
 		}
 		cells[t] = rs
 		return nil
 	})
+	meter.close()
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +324,7 @@ func approxFromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Appr
 	if err := dec.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
 		return nil, err
 	}
-	_, ks, err := suiteKernels(dec)
+	ws, ks, err := suiteKernels(dec)
 	if err != nil {
 		return nil, err
 	}
@@ -226,15 +332,20 @@ func approxFromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Appr
 	batches := designBatches(cfg.SweepWorkers, nk, nd)
 	nb := len(batches)
 	cells := make([][]trace.ApproxResult, nk*nb)
-	err = runGrid(cfg.SweepWorkers, nk*nb, func(t int) error {
+	meter := cfg.newCellMeter("approx", nk*nb)
+	err = runGrid(cfg.SweepWorkers, nk*nb, func(w, t int) error {
 		i, b := t/nb, t%nb
-		rs, err := ks[i].EvalApproxBatch(designs[batches[b][0]:batches[b][1]])
+		batch := designs[batches[b][0]:batches[b][1]]
+		done := meter.cell(w, ws[i].Name, len(batch), uint64(ks[i].NumLanes())*uint64(len(batch)))
+		rs, err := ks[i].EvalApproxBatch(batch)
+		done()
 		if err != nil {
 			return err
 		}
 		cells[t] = rs
 		return nil
 	})
+	meter.close()
 	if err != nil {
 		return nil, err
 	}
@@ -277,21 +388,25 @@ func Fig5FromDecodedPerDesign(cfg Config, dec *trace.Decoded, designs []string) 
 	if err := dec.Matches(cfg.Scale, cfg.NumSMs, cfg.Seed); err != nil {
 		return nil, err
 	}
-	_, ks, err := suiteKernels(dec)
+	ws, ks, err := suiteKernels(dec)
 	if err != nil {
 		return nil, err
 	}
 	nk, nd := len(ks), len(designs)
 	rates := make([]stats.Rate, nk*nd)
-	err = runGrid(cfg.SweepWorkers, nk*nd, func(t int) error {
+	meter := cfg.newCellMeter("fig5_per_design", nk*nd)
+	err = runGrid(cfg.SweepWorkers, nk*nd, func(w, t int) error {
 		i, j := t/nd, t%nd
+		done := meter.cell(w, ws[i].Name, 1, uint64(ks[i].NumLanes()))
 		r, err := ks[i].EvalMiss(designs[j])
+		done()
 		if err != nil {
 			return err
 		}
 		rates[t] = r
 		return nil
 	})
+	meter.close()
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"st2gpu/internal/core"
 	"st2gpu/internal/isa"
 	"st2gpu/internal/metrics"
+	"st2gpu/internal/obs"
 	"st2gpu/internal/speculate"
 	"st2gpu/internal/stats"
 )
@@ -113,7 +114,18 @@ type Device struct {
 	// phase breakdown; both are launch-serial like the rest of Device.
 	met     *deviceMetrics
 	timings PhaseTimings
+
+	// obs receives setup/simulate/fold spans per launch (nil: disabled).
+	// Like timings, spans are observability-only: nothing they carry
+	// feeds back into RunStats.
+	obs *obs.Tracer
 }
+
+// SetObs installs (or clears, with nil) the span tracer. Every Launch
+// then emits a gpusim.launch span with setup/simulate/fold children;
+// span data never influences simulation results, so tracing composes
+// with the parallel launch path and any worker count.
+func (d *Device) SetObs(tr *obs.Tracer) { d.obs = tr }
 
 // LaunchTimings returns the wall-clock phase breakdown of the most
 // recent Launch (Verify left zero for the caller to fill). Launches are
@@ -324,6 +336,11 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
+	launchSpan := d.obs.Begin("gpusim.launch",
+		obs.Str("kernel", k.Program.Name),
+		obs.Int("grid", int64(k.GridDim)),
+		obs.Int("block", int64(k.BlockDim)))
+	setupSpan := launchSpan.Child("setup")
 	tSetup := time.Now() //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
 	run := &RunStats{
 		Kernel:           k.Program.Name,
@@ -362,12 +379,16 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 		sms[smID] = sm
 	}
 	d.timings = PhaseTimings{Setup: clampPhase(time.Since(tSetup))} //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
+	setupSpan.End()
 
-	tSim := time.Now() //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
 	workers := d.cfg.smWorkers(numSMs)
 	if d.tracer != nil {
 		workers = 1
 	}
+	simSpan := launchSpan.Child("simulate",
+		obs.Int("sms", int64(numSMs)),
+		obs.Int("workers", int64(workers)))
+	tSim := time.Now() //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
 	if workers == 1 {
 		for _, sm := range sms {
 			if err := sm.run(); err != nil {
@@ -400,12 +421,15 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 	}
 
 	d.timings.Simulate = clampPhase(time.Since(tSim)) //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
+	simSpan.End()
 
+	foldSpan := launchSpan.Child("fold")
 	tFold := time.Now() //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
 	for _, sm := range sms {
 		d.foldSM(run, sm)
 	}
 	if d.rec != nil {
+		recSpan := foldSpan.Child("record.fold")
 		shards := make([]*recShard, len(sms))
 		for i, sm := range sms {
 			shards[i] = sm.rec
@@ -416,9 +440,14 @@ func (d *Device) Launch(k *Kernel) (*RunStats, error) {
 			// registry snapshot — and the runlog golden files — unchanged.
 			d.met.reg.Gauge("sim.record_bytes").Set(float64(recBytes))
 		}
+		recSpan.Add(obs.Int("bytes", int64(recBytes)))
+		recSpan.End()
 	}
 	d.foldMetrics(run, sms)
 	d.timings.Fold = clampPhase(time.Since(tFold)) //st2:det-ok wall-clock phase timing; feeds runlog timings only, never simulation results
+	foldSpan.End()
+	launchSpan.Add(obs.Int("cycles", int64(run.Cycles)))
+	launchSpan.End()
 	return run, nil
 }
 

@@ -1,0 +1,81 @@
+package gpusim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"st2gpu/internal/metrics"
+	"st2gpu/internal/obs"
+)
+
+// TestTracingDoesNotPerturbLaunch pins the span tracer's core contract:
+// running the identical launch with the tracer (and a metrics registry
+// and recorder) installed produces bit-identical RunStats and a
+// byte-identical recording at every worker count, and identical to the
+// tracer-free run. Spans observe; they never steer.
+func TestTracingDoesNotPerturbLaunch(t *testing.T) {
+	in := make([]float32, 32*128)
+	for i := range in {
+		in[i] = float32(i%257) * 0.375
+	}
+	run := func(workers int, tr *obs.Tracer) (*RunStats, []byte) {
+		d, err := New(parallelConfig(workers, ST2Adders))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetObs(tr)
+		d.SetMetrics(metrics.New())
+		rec := NewRecorder(0)
+		d.SetRecorder(rec)
+		if err := d.Memory().WriteF32s(0x1000, in); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := d.Launch(&Kernel{Program: fpKernel(t), GridDim: 32, BlockDim: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := rec.Recording().WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rs, buf.Bytes()
+	}
+
+	baseRS, baseRec := run(1, nil)
+	for _, workers := range []int{1, 2, 8} {
+		tr := obs.New()
+		rs, recBytes := run(workers, tr)
+		if !reflect.DeepEqual(baseRS, rs) {
+			t.Errorf("workers=%d: RunStats with tracer differ from untraced baseline", workers)
+		}
+		if !bytes.Equal(baseRec, recBytes) {
+			t.Errorf("workers=%d: recording bytes with tracer differ from untraced baseline", workers)
+		}
+
+		// The spans themselves must be structurally sane: one launch root
+		// with setup/simulate/fold (plus record.fold) children.
+		spans := tr.Spans()
+		byName := map[string]obs.Span{}
+		for _, s := range spans {
+			byName[s.Name] = s
+		}
+		root, ok := byName["gpusim.launch"]
+		if !ok {
+			t.Fatalf("workers=%d: no gpusim.launch span in %d spans", workers, len(spans))
+		}
+		for _, child := range []string{"setup", "simulate", "fold", "record.fold"} {
+			s, ok := byName[child]
+			if !ok {
+				t.Errorf("workers=%d: missing %s span", workers, child)
+				continue
+			}
+			if s.Parent == 0 {
+				t.Errorf("workers=%d: %s span has no parent", workers, child)
+			}
+		}
+		if byName["simulate"].Parent != root.ID {
+			t.Errorf("workers=%d: simulate span not under the launch root", workers)
+		}
+	}
+}

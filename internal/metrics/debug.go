@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
@@ -14,23 +15,85 @@ const ExpvarName = "st2.metrics"
 
 var publishOnce sync.Once
 
-// ServeDebug starts an HTTP listener on addr serving net/http/pprof
-// (/debug/pprof/) and expvar (/debug/vars) with the registry snapshot
-// published under ExpvarName. It returns the bound address (useful with
-// ":0") and never blocks; the listener runs until the process exits.
-// Only the first registry passed across the process lifetime is exported
-// — expvar's namespace is global.
-func ServeDebug(addr string, reg *Registry) (string, error) {
+// DebugServer is a running debug/observability listener started by
+// ServeDebug. Close shuts the listener down and releases the port; the
+// serving goroutine exits once the listener closes.
+type DebugServer struct {
+	ln  net.Listener
+	reg *Registry
+}
+
+// Addr returns the bound address (useful when ServeDebug was given ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. In-flight requests are not drained — this is
+// a debug endpoint, not a serving path.
+func (s *DebugServer) Close() error { return s.ln.Close() }
+
+// ServeDebug starts an HTTP listener on addr serving:
+//
+//	/healthz      — liveness probe, 200 "ok"
+//	/metrics      — Prometheus text exposition of reg
+//	/debug/vars   — expvar JSON with reg's snapshot under ExpvarName
+//	/debug/pprof/ — net/http/pprof profiles
+//
+// It never blocks; the listener runs until Close. /metrics and
+// /debug/vars always reflect the registry passed to THIS call — each
+// server gets its own mux — but the process-global expvar table can
+// carry only one publication of ExpvarName, so only the first registry
+// ever passed to ServeDebug is visible to other expvar consumers
+// (expvar.Get, third-party /debug/vars handlers). Single-publish is a
+// limitation of expvar's global namespace, not of this package: prefer
+// one long-lived registry per process.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	publishOnce.Do(func() {
 		expvar.Publish(ExpvarName, expvar.Func(func() any { return reg.Snapshot() }))
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
+	srv := &DebugServer{ln: ln, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/debug/vars", srv.serveVars)
+	// pprof registers only on the default mux; delegate its subtree.
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
 	go func() {
-		// The default mux carries the pprof and expvar handlers.
-		_ = http.Serve(ln, nil)
+		_ = http.Serve(ln, mux)
 	}()
-	return ln.Addr().String(), nil
+	return srv, nil
+}
+
+// serveVars mirrors expvar's handler but substitutes THIS server's
+// registry snapshot for ExpvarName, so a second ServeDebug call still
+// exposes its own registry even though the global expvar table only
+// carries the first.
+func (s *DebugServer) serveVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	writeVar := func(key, val string) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", key, val)
+	}
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == ExpvarName {
+			return // replaced below with this server's registry
+		}
+		writeVar(kv.Key, kv.Value.String())
+	})
+	snap := expvar.Func(func() any { return s.reg.Snapshot() })
+	writeVar(ExpvarName, snap.String())
+	fmt.Fprintf(w, "\n}\n")
 }

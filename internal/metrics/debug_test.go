@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	reg := New()
+	reg.Counter("sweep.cells").Add(7)
+	reg.Gauge("sim.record_bytes").Set(1024)
+	h := reg.Histogram("sweep.cell_log2_us", 4)
+	h.Observe(0)
+	h.Observe(2)
+	h.Observe(99) // clamps into the open-ended bucket
+
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// /healthz
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	// /debug/vars carries the registry snapshot under ExpvarName.
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(vars[ExpvarName], &snap); err != nil {
+		t.Fatalf("%s is not a snapshot: %v", ExpvarName, err)
+	}
+	if snap["sweep.cells"] != float64(7) {
+		t.Errorf("snapshot sweep.cells = %v, want 7", snap["sweep.cells"])
+	}
+	if snap["sim.record_bytes"] != float64(1024) {
+		t.Errorf("snapshot sim.record_bytes = %v, want 1024", snap["sim.record_bytes"])
+	}
+
+	// /metrics parses as Prometheus text exposition.
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	parsed := parsePromText(t, body)
+	if parsed["st2_sweep_cells_total"] != 7 {
+		t.Errorf("st2_sweep_cells_total = %v, want 7", parsed["st2_sweep_cells_total"])
+	}
+	if parsed["st2_sim_record_bytes"] != 1024 {
+		t.Errorf("st2_sim_record_bytes = %v, want 1024", parsed["st2_sim_record_bytes"])
+	}
+	if parsed[`st2_sweep_cell_log2_us_bucket{le="+Inf"}`] != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", parsed[`st2_sweep_cell_log2_us_bucket{le="+Inf"}`])
+	}
+	if parsed["st2_sweep_cell_log2_us_count"] != 3 {
+		t.Errorf("histogram count = %v, want 3", parsed["st2_sweep_cell_log2_us_count"])
+	}
+}
+
+// parsePromText is a strict-enough parser for the text exposition
+// format: every non-comment line must be `name[{labels}] value`, every
+// series must be preceded by a # TYPE comment, and histogram bucket
+// counts must be cumulative.
+func parsePromText(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	typed := make(map[string]string)
+	seriesName := func(series string) string {
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+	lastCum := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		series, valStr := line[:i], line[i+1:]
+		var val float64
+		if _, err := fmt.Sscanf(valStr, "%g", &val); err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		name := seriesName(series)
+		if typed[name] == "" {
+			t.Fatalf("series %q has no preceding # TYPE", series)
+		}
+		if typed[name] == "histogram" && strings.Contains(series, "_bucket{") {
+			if val < lastCum[name] {
+				t.Fatalf("histogram %s buckets not cumulative at %q", name, series)
+			}
+			lastCum[name] = val
+		}
+		out[series] = val
+	}
+	return out
+}
+
+func TestWritePrometheusHistogramShape(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("x.lat", 3) // buckets for 0,1,2 + clamp at 3
+	h.ObserveN(0, 2)
+	h.Observe(2)
+	h.ObserveN(50, 4) // clamp
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "# TYPE st2_x_lat histogram\n" +
+		"st2_x_lat_bucket{le=\"0\"} 2\n" +
+		"st2_x_lat_bucket{le=\"1\"} 2\n" +
+		"st2_x_lat_bucket{le=\"2\"} 3\n" +
+		"st2_x_lat_bucket{le=\"+Inf\"} 7\n" +
+		"st2_x_lat_sum 14\n" + // 0*2 + 2*1 + 3*4 (clamped priced at threshold)
+		"st2_x_lat_count 7\n"
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestServeDebugSecondServerSeesOwnRegistry(t *testing.T) {
+	// The global expvar table only carries the first registry
+	// (publishOnce), but each server's /debug/vars and /metrics must
+	// reflect its own.
+	regA := New()
+	regA.Counter("only.in.a").Add(1)
+	regB := New()
+	regB.Counter("only.in.b").Add(2)
+
+	srvA, err := ServeDebug("127.0.0.1:0", regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, err := ServeDebug("127.0.0.1:0", regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, bodyB := get(t, "http://"+srvB.Addr()+"/metrics")
+	if !strings.Contains(bodyB, "st2_only_in_b_total 2") {
+		t.Errorf("server B /metrics missing its own registry:\n%s", bodyB)
+	}
+	if strings.Contains(bodyB, "only_in_a") {
+		t.Errorf("server B /metrics leaked server A's registry:\n%s", bodyB)
+	}
+	_, varsB := get(t, "http://"+srvB.Addr()+"/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(varsB), &vars); err != nil {
+		t.Fatalf("server B /debug/vars is not JSON: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(vars[ExpvarName], &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["only.in.b"] != float64(2) {
+		t.Errorf("server B snapshot = %v, want its own registry", snap)
+	}
+
+	// Close releases the port: a fresh server can bind the same addr.
+	addr := srvB.Addr()
+	if err := srvB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srvC, err := ServeDebug(addr, New())
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v", addr, err)
+	}
+	srvC.Close()
+}

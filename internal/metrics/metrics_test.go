@@ -159,10 +159,12 @@ func TestConcurrentShards(t *testing.T) {
 func TestServeDebug(t *testing.T) {
 	r := New()
 	r.Counter("dbg.ops").Add(11)
-	addr, err := ServeDebug("127.0.0.1:0", r)
+	srv, err := ServeDebug("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4), the stable wire shape scrapers and dashboards speak.
+// Metric names gain an "st2_" prefix and have every character outside
+// [a-zA-Z0-9_] rewritten to '_' (dots in registry names become
+// underscores); counters additionally get the conventional "_total"
+// suffix. Output is sorted by exposition name so successive scrapes of
+// an idle registry are byte-identical.
+
+// promName sanitizes a registry metric name into a Prometheus name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("st2_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes every metric in r to w in the Prometheus text
+// exposition format. Registry histograms are value-indexed (bucket i
+// counts observations of value i, last bucket open-ended), so they
+// translate directly to cumulative le-buckets: le="i" for each closed
+// bucket, with the clamp bucket folded into le="+Inf". The _sum prices
+// clamped observations at the clamp threshold, so it is a lower bound
+// when clamping occurred.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	r.mu.Lock()
+	slots := make([]metricSlot, len(r.metrics))
+	copy(slots, r.metrics)
+	r.mu.Unlock()
+
+	sort.Slice(slots, func(i, j int) bool {
+		return promName(slots[i].name) < promName(slots[j].name)
+	})
+
+	for _, m := range slots {
+		switch m.kind {
+		case KindCounter:
+			name := promName(m.name) + "_total"
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.c.Value()); err != nil {
+				return err
+			}
+		case KindGauge:
+			name := promName(m.name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, m.g.Value()); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if err := writePromHistogram(w, promName(m.name), m.h.Counts()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, counts []uint64) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum, sum uint64
+	clampAt := len(counts) - 1
+	for v := 0; v < clampAt; v++ {
+		cum += counts[v]
+		sum += uint64(v) * counts[v]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, v, cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[clampAt]
+	sum += uint64(clampAt) * counts[clampAt]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, sum, name, cum); err != nil {
+		return err
+	}
+	return nil
+}

@@ -22,13 +22,27 @@ import (
 )
 
 // Schema is the manifest line format identifier; bump on incompatible
-// changes to Event.
-const Schema = "st2gpu.runlog/v1"
+// changes to Event. v2 is additive over v1: run events gain a "type"
+// discriminator ("run") and the manifest may interleave "spans" lines
+// (SpanEvent) — v1 readers that decode run events by field name still
+// parse every v2 run line, and skip span lines by checking "type".
+const Schema = "st2gpu.runlog/v2"
+
+// SchemaV1 is the previous manifest schema, kept for readers that
+// accept both versions (cmd/st2trend does).
+const SchemaV1 = "st2gpu.runlog/v1"
+
+// TypeRun and TypeSpans discriminate manifest line shapes in v2.
+const (
+	TypeRun   = "run"
+	TypeSpans = "spans"
+)
 
 // Event is one manifest line: everything needed to reproduce and to
 // diff a single kernel launch.
 type Event struct {
 	Schema  string     `json:"schema"`
+	Type    string     `json:"type"`
 	Seq     int        `json:"seq"`
 	UnixMS  int64      `json:"unix_ms"`
 	Kernel  string     `json:"kernel"`
@@ -224,6 +238,7 @@ func (l *Logger) Log(ev *Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	ev.Schema = Schema
+	ev.Type = TypeRun
 	ev.Seq = l.seq
 	ev.Host = l.Host
 	ev.Version = l.Version

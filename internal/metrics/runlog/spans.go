@@ -1,0 +1,93 @@
+package runlog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"st2gpu/internal/obs"
+)
+
+// This file is the runlog sink for internal/obs span traces: a v2
+// manifest may interleave "spans" lines between run events, carrying a
+// whole tracer's completed spans. Span lines are observability-only —
+// wall-clock offsets and durations, never simulation results — and v1
+// readers skip them by the "type" discriminator.
+
+// SpanSnap is one completed span on a manifest line. Times are
+// microsecond offsets from the tracer's epoch, matching the Chrome
+// trace-event sink, so the two sinks cross-reference by span id.
+type SpanSnap struct {
+	ID      int64          `json:"id"`
+	Parent  int64          `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanEvent is one "spans" manifest line. It shares the schema, seq,
+// host, version, and clock stamps with run events but omits the
+// launch-specific payload.
+type SpanEvent struct {
+	Schema  string     `json:"schema"`
+	Type    string     `json:"type"`
+	Seq     int        `json:"seq"`
+	UnixMS  int64      `json:"unix_ms"`
+	Label   string     `json:"label"`
+	Host    Host       `json:"host"`
+	Version string     `json:"version"`
+	Spans   []SpanSnap `json:"spans"`
+}
+
+// SnapSpans converts completed spans to their manifest shape.
+func SnapSpans(spans []obs.Span) []SpanSnap {
+	out := make([]SpanSnap, 0, len(spans))
+	for _, s := range spans {
+		snap := SpanSnap{
+			ID:      int64(s.ID),
+			Parent:  int64(s.Parent),
+			Name:    s.Name,
+			StartUS: s.Start.Microseconds(),
+			DurUS:   s.Dur.Microseconds(),
+		}
+		if len(s.Attrs) > 0 {
+			snap.Attrs = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				snap.Attrs[a.Key] = a.Value
+			}
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// LogSpans writes tr's completed spans as one "spans" manifest line
+// under label. A nil or empty tracer logs nothing and returns nil, so
+// callers can pass their maybe-disabled tracer unconditionally.
+func (l *Logger) LogSpans(label string, tr *obs.Tracer) error {
+	if tr.Len() == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev := SpanEvent{
+		Schema:  Schema,
+		Type:    TypeSpans,
+		Seq:     l.seq,
+		UnixMS:  l.Now().UnixMilli(),
+		Label:   label,
+		Host:    l.Host,
+		Version: l.Version,
+		Spans:   SnapSpans(tr.Spans()),
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("runlog: encoding span event %q: %w", label, err)
+	}
+	line = append(line, '\n')
+	if _, err := l.w.Write(line); err != nil {
+		return fmt.Errorf("runlog: writing span event: %w", err)
+	}
+	l.seq++
+	return nil
+}

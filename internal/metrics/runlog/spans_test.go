@@ -1,0 +1,130 @@
+package runlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"st2gpu/internal/gpusim"
+	"st2gpu/internal/obs"
+)
+
+// stepTracer builds a tracer whose injected clock ticks 1ms per read,
+// so span offsets are byte-stable for golden comparison.
+func stepTracer() *obs.Tracer {
+	t := time.UnixMilli(0)
+	return obs.NewWithClock(func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	})
+}
+
+func goldenTracer() *obs.Tracer {
+	tr := stepTracer()
+	root := tr.Begin("gpusim.launch", obs.Str("kernel", "synthetic"))
+	sim := root.Child("simulate", obs.Int("workers", 2))
+	sim.Add(obs.Int("cycles", 1000))
+	sim.End()
+	root.End()
+	return tr
+}
+
+func TestGoldenSpanEvent(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf)
+	if err := l.LogSpans("launch/synthetic", goldenTracer()); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "golden_spans.jsonl")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("span event drifted from golden file:\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestSpanEventShape checks the v2 manifest contract: span lines carry
+// the discriminator v1 readers skip on, share the logger's sequence
+// space with run events, and an empty tracer logs nothing.
+func TestSpanEventShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf)
+
+	if err := l.LogSpans("empty", obs.NewWithClock(func() time.Time { return time.UnixMilli(0) })); err != nil {
+		t.Fatal(err)
+	}
+	var nilTracer *obs.Tracer
+	if err := l.LogSpans("nil", nilTracer); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty/nil tracers must log nothing, got %q", buf.String())
+	}
+
+	if err := l.LogRun(1, gpusim.DefaultConfig(), goldenRun(), gpusim.PhaseTimings{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogSpans("launch/synthetic", goldenTracer()); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want run + spans", len(lines))
+	}
+
+	// A version-agnostic reader dispatches on the type discriminator.
+	var head struct {
+		Schema string `json:"schema"`
+		Type   string `json:"type"`
+		Seq    int    `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Schema != Schema || head.Type != TypeRun || head.Seq != 0 {
+		t.Errorf("run line header = %+v", head)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Schema != Schema || head.Type != TypeSpans || head.Seq != 1 {
+		t.Errorf("span line header = %+v", head)
+	}
+
+	var sev SpanEvent
+	if err := json.Unmarshal([]byte(lines[1]), &sev); err != nil {
+		t.Fatal(err)
+	}
+	if sev.Label != "launch/synthetic" || len(sev.Spans) != 2 {
+		t.Fatalf("span event = %+v", sev)
+	}
+	root, child := sev.Spans[0], sev.Spans[1]
+	if root.Name != "gpusim.launch" || root.Parent != 0 {
+		t.Errorf("root span = %+v", root)
+	}
+	if child.Parent != root.ID {
+		t.Errorf("child span does not reference root: %+v", child)
+	}
+	if child.DurUS <= 0 || child.StartUS < root.StartUS {
+		t.Errorf("child span timing inconsistent: %+v vs root %+v", child, root)
+	}
+	if child.Attrs["workers"] != float64(2) || child.Attrs["cycles"] != float64(1000) {
+		t.Errorf("child attrs = %v", child.Attrs)
+	}
+	if sev.Host.Hostname != "ci" || sev.Version != "deadbeef" {
+		t.Errorf("span event missing host/version stamps: %+v", sev)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ChromeEvent is one Chrome trace-event object ("ph":"X" complete
+// events), the shape chrome://tracing and Perfetto load directly.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`  // µs since tracer epoch
+	Dur  int64          `json:"dur"` // µs
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object trace container format.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID picks the event's thread lane: a "worker" attribute (the
+// sweep grid and SM pool stamp one) maps to its own row so Perfetto
+// shows per-worker occupancy; everything else shares lane 0.
+func chromeTID(attrs []Attr) int64 {
+	for _, a := range attrs {
+		if a.Key != "worker" {
+			continue
+		}
+		switch v := a.Value.(type) {
+		case int64:
+			return v + 1 // lane 0 is the un-annotated lane
+		case int:
+			return int64(v) + 1
+		}
+	}
+	return 0
+}
+
+// ChromeTraceOf renders the tracer's completed spans as a Chrome trace.
+func ChromeTraceOf(t *Tracer) ChromeTrace {
+	spans := t.Spans()
+	evs := make([]ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := ChromeEvent{
+			Name: s.Name,
+			Cat:  "st2",
+			Ph:   "X",
+			TS:   s.Start.Microseconds(),
+			Dur:  s.Dur.Microseconds(),
+			PID:  1,
+			TID:  chromeTID(s.Attrs),
+		}
+		if len(s.Attrs) > 0 || s.Parent != 0 {
+			ev.Args = make(map[string]any, len(s.Attrs)+2)
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+			ev.Args["span_id"] = int64(s.ID)
+			if s.Parent != 0 {
+				ev.Args["parent_id"] = int64(s.Parent)
+			}
+		}
+		evs = append(evs, ev)
+	}
+	return ChromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"}
+}
+
+// WriteChromeTrace writes the tracer's spans as Chrome trace-event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(ChromeTraceOf(t)); err != nil {
+		return fmt.Errorf("obs: encoding chrome trace: %w", err)
+	}
+	return nil
+}
+
+// WriteChromeTraceFile writes the trace to path (the -trace-out flag's
+// backing helper).
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,193 @@
+// Package obs is the simulator stack's span tracer: a deterministic-safe
+// hierarchical begin/end tracer for the sim → decode → sweep pipeline.
+//
+// Spans carry wall-clock durations and free-form attributes (eval-ops,
+// bytes decoded, worker id, queue-wait) into observability sinks ONLY —
+// the Chrome trace-event JSON writer (chrome.go), the runlog v2 span
+// events (internal/metrics/runlog), and ad-hoc inspection. Nothing a
+// span records ever feeds back into RunStats, sweep rates, or any other
+// simulated result: the tracer mirrors gpusim.PhaseTimings, which keeps
+// wall-clock out of the bit-identity invariant by construction. st2lint's
+// detclock analyzer scopes this package and the clock capture below
+// carries the one reasoned exemption, exactly like the runlog phase
+// timers.
+//
+// Every method is safe for concurrent use (worker goroutines begin and
+// end cell spans while other workers run), and every method is a no-op
+// on a nil *Tracer or nil *ActiveSpan, so instrumented code needs no
+// "is tracing on" branches.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanID identifies a span within one Tracer; 0 is "no parent".
+type SpanID int64
+
+// Attr is one key/value annotation on a span. Values should be strings,
+// integers, or floats so every sink can serialize them.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Span is one completed span: a named interval with its parent link and
+// attributes. Start and Dur are offsets from the tracer's epoch — spans
+// never carry absolute wall-clock, which keeps golden tests trivial and
+// sinks free to stamp their own epoch.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Tracer collects spans. Create with New (live clock) or NewWithClock
+// (tests). The zero Tracer is not usable; a nil *Tracer is a valid
+// "tracing disabled" tracer on which every method no-ops.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() time.Time
+	epoch  time.Time
+	nextID SpanID
+	spans  []Span
+}
+
+// New returns a tracer reading the live wall clock.
+func New() *Tracer {
+	return NewWithClock(time.Now) //st2:det-ok span wall-clock; spans feed observability sinks (chrome trace, runlog v2) only, never RunStats or sweep rates
+}
+
+// NewWithClock returns a tracer with an injected clock, for
+// deterministic tests and golden files.
+func NewWithClock(clock func() time.Time) *Tracer {
+	return &Tracer{clock: clock, epoch: clock()}
+}
+
+// Enabled reports whether spans are being collected (t is non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Elapsed returns the time since the tracer's epoch (0 on a nil tracer).
+func (t *Tracer) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock().Sub(t.epoch)
+}
+
+// ActiveSpan is a span that has begun and not yet ended. It is owned by
+// the goroutine that began it until End; Child may be called from any
+// goroutine (the tracer serializes).
+type ActiveSpan struct {
+	t      *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Duration
+	attrs  []Attr
+}
+
+func (t *Tracer) begin(parent SpanID, name string, attrs []Attr) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	now := t.clock().Sub(t.epoch)
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &ActiveSpan{t: t, id: id, parent: parent, name: name, start: now, attrs: attrs}
+}
+
+// Begin starts a root span.
+func (t *Tracer) Begin(name string, attrs ...Attr) *ActiveSpan {
+	return t.begin(0, name, attrs)
+}
+
+// Child starts a span nested under s. On a nil s it returns nil, so
+// instrumentation composes without nil checks.
+func (s *ActiveSpan) Child(name string, attrs ...Attr) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	return s.t.begin(s.id, name, attrs)
+}
+
+// Add appends attributes to the span (typically results known only at
+// the end, like bytes produced).
+func (s *ActiveSpan) Add(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// Start returns the span's start offset from the tracer epoch (0 on nil).
+func (s *ActiveSpan) Start() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
+// End completes the span and records it on the tracer. Ending twice
+// records twice; don't.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.clock().Sub(s.t.epoch)
+	dur := end - s.start
+	if dur < 0 {
+		dur = 0
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, Span{
+		ID: s.id, Parent: s.parent, Name: s.name,
+		Start: s.start, Dur: dur, Attrs: s.attrs,
+	})
+	s.t.mu.Unlock()
+}
+
+// Spans returns the completed spans ordered by (start, id) — a stable
+// order independent of which worker goroutine ended a span first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of completed spans (0 on a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

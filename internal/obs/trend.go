@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file owns the append-only trend-array format shared by
+// BENCH_dse.json and BENCH_smoke.json: a JSON array of flat entry
+// objects, newest last, diffable with line-oriented tools and gated by
+// cmd/st2trend. A legacy single-object file (the pre-trend format) is
+// wrapped into a one-entry array on first append.
+
+// ReadTrend returns the entries of the trend array at path, oldest
+// first. A legacy single-object file reads as a one-entry array; a
+// missing or empty file reads as an empty array with no error.
+func ReadTrend(path string) ([]json.RawMessage, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(buf)
+	if len(trimmed) == 0 {
+		return nil, nil
+	}
+	if trimmed[0] != '[' {
+		return []json.RawMessage{json.RawMessage(trimmed)}, nil
+	}
+	var entries []json.RawMessage
+	if err := json.Unmarshal(trimmed, &entries); err != nil {
+		return nil, fmt.Errorf("obs: trend array %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// AppendTrend appends entry to the trend array at path, creating the
+// file (or wrapping a legacy single-object file) as needed.
+func AppendTrend(path string, entry any) error {
+	entries, err := ReadTrend(path)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(entry, "  ", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding trend entry: %w", err)
+	}
+	entries = append(entries, json.RawMessage(buf))
+	var out bytes.Buffer
+	out.WriteString("[\n")
+	for i, e := range entries {
+		out.WriteString("  ")
+		out.Write(e)
+		if i < len(entries)-1 {
+			out.WriteString(",")
+		}
+		out.WriteString("\n")
+	}
+	out.WriteString("]\n")
+	return os.WriteFile(path, out.Bytes(), 0o644)
+}

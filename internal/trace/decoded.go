@@ -9,6 +9,7 @@ import (
 	"st2gpu/internal/bitmath"
 	"st2gpu/internal/core"
 	"st2gpu/internal/gpusim"
+	"st2gpu/internal/obs"
 	"st2gpu/internal/speculate"
 	"st2gpu/internal/stats"
 )
@@ -178,6 +179,16 @@ type Decoded struct {
 // decoded concurrently, bounded by GOMAXPROCS; the result does not
 // depend on the worker count).
 func DecodeSet(s *Set) (*Decoded, error) {
+	return DecodeSetTraced(s, nil)
+}
+
+// DecodeSetTraced is DecodeSet with span tracing: a trace.decode_set
+// root span with one child per kernel, annotated with its record, lane,
+// and encoded-byte counts. Spans are observability-only — decoding with
+// a nil tracer produces the identical Decoded.
+func DecodeSetTraced(s *Set, tr *obs.Tracer) (*Decoded, error) {
+	decodeSpan := tr.Begin("trace.decode_set",
+		obs.Int("kernels", int64(len(s.Names()))))
 	names := s.Names()
 	d := &Decoded{
 		Scale: s.Scale, NumSMs: s.NumSMs, Seed: s.Seed,
@@ -206,15 +217,23 @@ func DecodeSet(s *Set) (*Decoded, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			kernSpan := decodeSpan.Child("decode."+name,
+				obs.Int("bytes", int64(rec.Bytes())))
 			k, err := decodeKernel(rec)
 			if err != nil {
 				errs[i] = fmt.Errorf("trace: decode kernel %q: %w", name, err)
+				kernSpan.End()
 				return
 			}
+			kernSpan.Add(
+				obs.Int("records", int64(k.NumRecords())),
+				obs.Int("lanes", int64(k.NumLanes())))
+			kernSpan.End()
 			decoded[i] = k
 		}()
 	}
 	wg.Wait()
+	decodeSpan.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -3,34 +3,55 @@
 # JSONL run manifest enabled and sanity-check the output. Catches the
 # regressions a unit test can miss — NaN statistics leaking into the
 # manifest, kernels silently executing zero instructions, or the
-# manifest losing events. Writes BENCH_smoke.json at the repo root.
+# manifest losing events. The manifest itself goes to a temp file; the
+# suite summary is appended to the BENCH_smoke.json trend array at the
+# repo root (newest entry last), which scripts/trend_gate.sh gates.
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=BENCH_smoke.json
+RUNLOG=$(mktemp -t st2smoke.XXXXXX.jsonl)
+trap 'rm -f "$RUNLOG"' EXIT
 
-go run ./cmd/st2sim -kernel all -scale 1 -sms 2 -json "$OUT" -progress >/dev/null
+go run ./cmd/st2sim -kernel all -scale 1 -sms 2 -json "$RUNLOG" -bench "$OUT" -progress >/dev/null
 
 fail() {
     echo "bench-smoke: FAIL: $1" >&2
     exit 1
 }
 
-[ -s "$OUT" ] || fail "$OUT is missing or empty"
+# last <key>: extract the field value from the newest entry of the
+# append-only JSON trend array (each entry carries each key once, so the
+# last match is the run we just appended).
+last() {
+    sed -n "s/.*\"$1\": \{0,1\}\([^,}]*\).*/\1/p" "$OUT" | tail -1
+}
+
+[ -s "$RUNLOG" ] || fail "run manifest is missing or empty"
 
 # Every suite kernel must have produced exactly one manifest event.
-lines=$(wc -l < "$OUT")
+lines=$(wc -l < "$RUNLOG")
 [ "$lines" -ge 23 ] || fail "expected >= 23 manifest events, got $lines"
 
 # NaN never survives json.Marshal, so its presence means someone started
 # sanitizing instead of fixing the source statistic.
-if grep -q 'NaN' "$OUT"; then
-    fail "NaN found in $OUT"
+if grep -q 'NaN' "$RUNLOG"; then
+    fail "NaN found in the run manifest"
 fi
 
 # A kernel that executed zero thread instructions is a broken workload.
-if grep -q '"total_thread_instrs":0[,}]' "$OUT"; then
-    fail "kernel with zero thread instructions in $OUT"
+if grep -q '"total_thread_instrs":0[,}]' "$RUNLOG"; then
+    fail "kernel with zero thread instructions in the run manifest"
 fi
 
-echo "bench-smoke: OK ($lines events in $OUT)"
+# The newest trend entry must reflect the run we just made.
+[ -s "$OUT" ] || fail "$OUT is missing or empty"
+[ "$(last kernels)" = "23" ] || fail "newest $OUT entry covers $(last kernels) kernels, want 23"
+instrs=$(last total_thread_instrs)
+[ -n "$instrs" ] || fail "total_thread_instrs missing from $OUT"
+[ "$instrs" -gt 0 ] 2>/dev/null || fail "newest $OUT entry recorded zero thread instructions"
+secs=$(last total_seconds)
+[ -n "$secs" ] || fail "total_seconds missing from $OUT"
+awk "BEGIN { exit !($secs > 0) }" || fail "newest $OUT entry has non-positive total_seconds"
+
+echo "bench-smoke: OK ($lines manifest events; suite ${secs}s appended to $OUT)"
