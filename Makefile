@@ -21,11 +21,14 @@ lint:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the recording decoder: the seed corpus (valid,
-# truncated, and oversized-declaration inputs) plus a few seconds of
-# mutation must never panic, over-allocate, or round-trip unstably.
+# Short fuzz pass over the binary readers (one -fuzz pattern per `go
+# test` invocation): the recording decoder and the columnar decoded-store
+# reader. Seed corpora (valid, truncated, and oversized-declaration
+# inputs) plus a few seconds of mutation must never panic, over-allocate,
+# or round-trip unstably.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadRecording -fuzztime=5s ./internal/gpusim
+	$(GO) test -run='^$$' -fuzz=FuzzReadDecoded -fuzztime=5s ./internal/trace
 
 # The gate CI runs: static analysis (vet + st2lint), the full test suite
 # under the race detector, a short decoder fuzz pass, a suite smoke pass

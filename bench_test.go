@@ -10,6 +10,7 @@
 package st2gpu
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -142,6 +143,7 @@ func BenchmarkReplayDecodeOnce(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs() // lane arrays are preallocated from the recording's counters
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dec, err := trace.DecodeSet(set)
@@ -149,6 +151,49 @@ func BenchmarkReplayDecodeOnce(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := experiments.Fig5FromDecoded(cfg, dec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(set.NumOps())*float64(b.N)/b.Elapsed().Seconds(), "decoded-ops/s")
+}
+
+// BenchmarkStoreLoad times loading the columnar decoded store against
+// BenchmarkStoreDecode, the varint decode it replaces: the store load is
+// the steady-state cost of every st2dse -store sweep after the first.
+// bench_dse.sh gates the same ratio (store_load_speedup ≥ 3x) end to end.
+func BenchmarkStoreLoad(b *testing.B) {
+	set, err := experiments.RecordSuite(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := trace.DecodeSet(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteDecoded(&buf, dec, trace.StoreOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadDecoded(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(set.NumOps())*float64(b.N)/b.Elapsed().Seconds(), "loaded-ops/s")
+}
+
+func BenchmarkStoreDecode(b *testing.B) {
+	set, err := experiments.RecordSuite(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.DecodeSet(set); err != nil {
 			b.Fatal(err)
 		}
 	}

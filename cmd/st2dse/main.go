@@ -9,21 +9,27 @@
 // per record (-sweep-workers bounds the pool; results are bit-identical
 // at any count). -reuse-trace extends that across processes: the first
 // run simulates the suite once and saves the recording set; later runs
-// decode straight from the file with zero simulation. -bench times the
-// design-batched sweep against the unbatched decode-once grid and the
-// per-design replay baseline (each design varint-decoding the stream
-// from scratch), verifies all strategies stay bit-identical at several
-// worker counts, and appends the comparison to a JSON array.
+// decode straight from the file with zero simulation. -store goes one
+// step further: the first run saves the decoded form itself as a
+// columnar st2gpu.decoded store, and later runs load the flat arrays
+// with no varint decoding at all — the decode is paid once, ever.
+// -bench times the design-batched sweep against the unbatched
+// decode-once grid and the per-design replay baseline (each design
+// varint-decoding the stream from scratch), times the store load
+// against the decode pass, verifies all strategies stay bit-identical
+// at several worker counts, and appends the comparison to a JSON array.
 //
 // Usage:
 //
 //	st2dse [-scale N] [-sms N] [-sweep-workers N]  # Figure 5 sweep
 //	st2dse -reuse-trace suite.st2rec       # record once, decode thereafter
+//	st2dse -store suite.decoded            # decode once, load thereafter
 //	st2dse -widths                         # slice-width characterization
-//	st2dse -bench BENCH_dse.json           # batched vs decode-once vs per-design
+//	st2dse -bench BENCH_dse.json           # batched vs decode-once vs per-design vs store
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +55,7 @@ func main() {
 		progress = flag.Bool("progress", false, "print [i/n] kernel progress lines to stderr")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 		reuse    = flag.String("reuse-trace", "", "recording-set file: replay the sweep from it if it exists, else simulate once and save it first")
+		store    = flag.String("store", "", "columnar decoded-store file: load the sweep's flat arrays from it if it exists (no simulation, no varint decode), else build it — from -reuse-trace when given, or a fresh simulation — and save it first")
 		bench    = flag.String("bench", "", "time the decode-once parallel sweep vs per-design replay, check bit-identity, write JSON here")
 		recCap   = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
 		workers  = flag.Int("sweep-workers", 0, "worker pool for the (kernel × design) sweep grid (0 = GOMAXPROCS, 1 = sequential; results identical at any count)")
@@ -119,9 +126,12 @@ func main() {
 
 	var rows []experiments.Fig5Row
 	var err error
-	if *reuse != "" {
+	switch {
+	case *store != "":
+		rows, err = sweepUsingStore(cfg, *store, *reuse)
+	case *reuse != "":
 		rows, err = sweepReusingTrace(cfg, *reuse)
-	} else {
+	default:
 		rows, err = experiments.Fig5(cfg, nil)
 	}
 	if err != nil {
@@ -138,10 +148,9 @@ func main() {
 	printTable(tbl, *format)
 }
 
-// sweepReusingTrace replays the sweep from path when the recording set
-// already exists; otherwise it simulates the suite once, saves the set,
-// and replays from the fresh capture.
-func sweepReusingTrace(cfg experiments.Config, path string) ([]experiments.Fig5Row, error) {
+// reuseSet loads the recording set from path when it exists; otherwise
+// it simulates the suite once and saves the capture there.
+func reuseSet(cfg experiments.Config, path string) (*trace.Set, error) {
 	set, err := trace.ReadSetFileLimit(path, cfg.RecordMaxBytes)
 	switch {
 	case err == nil:
@@ -159,7 +168,53 @@ func sweepReusingTrace(cfg experiments.Config, path string) ([]experiments.Fig5R
 	default:
 		return nil, err
 	}
+	return set, nil
+}
+
+// sweepReusingTrace replays the sweep from path when the recording set
+// already exists; otherwise it simulates the suite once, saves the set,
+// and replays from the fresh capture.
+func sweepReusingTrace(cfg experiments.Config, path string) ([]experiments.Fig5Row, error) {
+	set, err := reuseSet(cfg, path)
+	if err != nil {
+		return nil, err
+	}
 	return experiments.Fig5FromSet(cfg, set, nil)
+}
+
+// sweepUsingStore runs the sweep from the columnar decoded store at
+// storePath when it exists — no simulation and no varint decode, just a
+// sequential column load. Otherwise it obtains a recording set (from
+// reusePath when given, else a fresh simulation), decodes it once, saves
+// the decoded form, and sweeps from that.
+func sweepUsingStore(cfg experiments.Config, storePath, reusePath string) ([]experiments.Fig5Row, error) {
+	dec, err := trace.ReadStoreFileTraced(storePath, cfg.RecordMaxBytes, cfg.SweepWorkers, cfg.Obs)
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "st2dse: loaded %d decoded kernels (%d records, %d lanes) from %s — no simulation, no varint decode\n",
+			len(dec.Names()), dec.NumOps(), dec.NumLanes(), storePath)
+	case os.IsNotExist(err):
+		var set *trace.Set
+		if reusePath != "" {
+			set, err = reuseSet(cfg, reusePath)
+		} else {
+			set, err = experiments.RecordSuite(cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if dec, err = trace.DecodeSetTraced(set, cfg.Obs); err != nil {
+			return nil, err
+		}
+		if err := dec.WriteStoreFileTraced(storePath, trace.StoreOptions{}, cfg.Obs); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "st2dse: decoded the suite once and stored it to %s; future runs load the flat arrays directly\n",
+			storePath)
+	default:
+		return nil, err
+	}
+	return experiments.Fig5FromDecoded(cfg, dec, nil)
 }
 
 // benchResult is one BENCH_dse.json entry: wall-clock for the three
@@ -188,6 +243,11 @@ type benchResult struct {
 	Identical         bool    `json:"identical"`       // all strategies agree at every tested worker count
 	RecordedBytes     uint64  `json:"recorded_bytes"`  // encoded stream size for the suite
 	RecordedOps       uint64  `json:"recorded_ops"`    // warp-add records captured
+	StoreBytes        uint64  `json:"store_bytes"`     // columnar decoded-store size
+	StoreEncodeSecs   float64 `json:"store_encode_seconds"`
+	StoreLoadSecs     float64 `json:"store_load_seconds"`     // load the flat arrays back (no varint decode)
+	StoreLoadRate     float64 `json:"store_load_ops_per_sec"` // recorded_ops / store_load_seconds
+	StoreSpeedup      float64 `json:"store_load_speedup"`     // decode_seconds / store_load_seconds
 	HostParallel      int     `json:"host_parallelism"`
 }
 
@@ -237,9 +297,31 @@ func runBench(cfg experiments.Config, outPath string) error {
 	}
 	perSecs := time.Since(tPer).Seconds()
 
-	// Bit-identity: the timed runs, a sequential run, and an
-	// oversubscribed run must all deep-equal the per-design baseline.
-	identical := reflect.DeepEqual(batchedRows, perRows) && reflect.DeepEqual(onceRows, perRows)
+	// The store path: serialize the decoded form once, then time loading
+	// it back — the steady-state cost every future sweep pays instead of
+	// the varint decode.
+	var storeBuf bytes.Buffer
+	tEncode := time.Now()
+	if _, err := trace.WriteDecodedTraced(&storeBuf, dec, trace.StoreOptions{}, cfg.Obs); err != nil {
+		return err
+	}
+	encodeSecs := time.Since(tEncode).Seconds()
+	tLoad := time.Now()
+	loaded, err := trace.ReadDecodedTraced(bytes.NewReader(storeBuf.Bytes()), 0, 0, cfg.Obs)
+	if err != nil {
+		return err
+	}
+	loadSecs := time.Since(tLoad).Seconds()
+	storeRows, err := experiments.Fig5FromDecoded(cfg, loaded, designs)
+	if err != nil {
+		return err
+	}
+
+	// Bit-identity: the timed runs, a sequential run, an oversubscribed
+	// run, and the store round-trip must all deep-equal the per-design
+	// baseline.
+	identical := reflect.DeepEqual(batchedRows, perRows) && reflect.DeepEqual(onceRows, perRows) &&
+		reflect.DeepEqual(dec, loaded) && reflect.DeepEqual(storeRows, perRows)
 	for _, w := range []int{1, 2 * runtime.GOMAXPROCS(0)} {
 		c := cfg
 		c.SweepWorkers = w
@@ -269,10 +351,17 @@ func runBench(cfg experiments.Config, outPath string) error {
 		Identical:         identical,
 		RecordedBytes:     set.Bytes(),
 		RecordedOps:       set.NumOps(),
+		StoreBytes:        uint64(storeBuf.Len()),
+		StoreEncodeSecs:   encodeSecs,
+		StoreLoadSecs:     loadSecs,
 		HostParallel:      runtime.GOMAXPROCS(0),
 	}
 	if decodeSecs > 0 {
 		res.DecodeOpsPerSec = float64(set.NumOps()) / decodeSecs
+	}
+	if loadSecs > 0 {
+		res.StoreLoadRate = float64(set.NumOps()) / loadSecs
+		res.StoreSpeedup = decodeSecs / loadSecs
 	}
 	if batchedSecs > 0 {
 		res.BatchedEvalRate = float64(evalOps) / batchedSecs
@@ -287,8 +376,9 @@ func runBench(cfg experiments.Config, outPath string) error {
 	if err := obs.AppendTrend(outPath, res); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "st2dse: bench: batched %.3fs (%.0f eval-ops/s, %.1fx) vs decode-once %.2fs vs per-design replay %.2fs (decode %.3fs, %.0f ops/s), workers=%d, identical=%v → %s\n",
-		batchedSecs, res.BatchedEvalRate, res.BatchedSpeedup, onceSecs, perSecs, decodeSecs, res.DecodeOpsPerSec, sweepWorkers, identical, outPath)
+	fmt.Fprintf(os.Stderr, "st2dse: bench: batched %.3fs (%.0f eval-ops/s, %.1fx) vs decode-once %.2fs vs per-design replay %.2fs (decode %.3fs, %.0f ops/s), store load %.4fs (%.0f ops/s, %.1fx over decode, %d bytes), workers=%d, identical=%v → %s\n",
+		batchedSecs, res.BatchedEvalRate, res.BatchedSpeedup, onceSecs, perSecs, decodeSecs, res.DecodeOpsPerSec,
+		loadSecs, res.StoreLoadRate, res.StoreSpeedup, storeBuf.Len(), sweepWorkers, identical, outPath)
 	if !identical {
 		return fmt.Errorf("st2dse: sweep rows are NOT bit-identical across strategies")
 	}

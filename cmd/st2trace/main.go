@@ -7,12 +7,18 @@
 // SMs, parallel kernels) and saves the compact recording set; -replay
 // answers any report from such a file without re-simulating.
 //
+// The decode work itself can also be paid once: -store-out decodes the
+// suite (recorded fresh, or loaded via -replay) and saves the columnar
+// st2gpu.decoded store, which st2dse -store then loads without any
+// varint decoding at all.
+//
 // Usage:
 //
 //	st2trace -report fig2 [-gtid N] [-points N]
 //	st2trace -report fig3 [-scale N]
 //	st2trace -record suite.st2rec [-scale N] [-sms N]
 //	st2trace -report fig3 -replay suite.st2rec
+//	st2trace -replay suite.st2rec -store-out suite.decoded
 package main
 
 import (
@@ -36,6 +42,8 @@ func main() {
 		record   = flag.String("record", "", "simulate the suite once and save its recording set to this file (no report)")
 		replay   = flag.String("replay", "", "answer the report from a recording set saved by -record (no simulation)")
 		recCap   = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
+		storeOut = flag.String("store-out", "", "decode the suite once and save the columnar st2gpu.decoded store to this file (no report)")
+		storeRaw = flag.Bool("store-compact", false, "omit the derived Sum/Carries columns from -store-out (smaller file, slower loads)")
 		workers  = flag.Int("sweep-workers", 0, "worker pool for the fig3 (kernel × scheme) grid (0 = GOMAXPROCS, 1 = sequential; results identical at any count)")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	)
@@ -56,25 +64,44 @@ func main() {
 		}()
 	}
 
-	if *record != "" {
-		set, err := experiments.RecordSuite(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if err := set.WriteFile(*record); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("st2trace: recorded %d kernels (%d warp-add records, %d bytes) to %s\n",
-			len(set.Names()), set.NumOps(), set.Bytes(), *record)
-		return
-	}
-
 	var set *trace.Set
 	if *replay != "" {
 		var err error
-		if set, err = trace.ReadSetFile(*replay); err != nil {
+		if set, err = trace.ReadSetFileLimit(*replay, cfg.RecordMaxBytes); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *record != "" || *storeOut != "" {
+		if set == nil {
+			var err error
+			if set, err = experiments.RecordSuite(cfg); err != nil {
+				fatal(err)
+			}
+		}
+		if *record != "" {
+			if err := set.WriteFile(*record); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("st2trace: recorded %d kernels (%d warp-add records, %d bytes) to %s\n",
+				len(set.Names()), set.NumOps(), set.Bytes(), *record)
+		}
+		if *storeOut != "" {
+			dec, err := trace.DecodeSetTraced(set, cfg.Obs)
+			if err != nil {
+				fatal(err)
+			}
+			if err := dec.WriteStoreFileTraced(*storeOut, trace.StoreOptions{OmitDerived: *storeRaw}, cfg.Obs); err != nil {
+				fatal(err)
+			}
+			st, err := os.Stat(*storeOut)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("st2trace: stored %d decoded kernels (%d records, %d lanes, %d bytes) to %s\n",
+				len(dec.Names()), dec.NumOps(), dec.NumLanes(), st.Size(), *storeOut)
+		}
+		return
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -80,6 +81,35 @@ func TestSweepBitIdenticalAcrossWorkers(t *testing.T) {
 		}
 		if !reflect.DeepEqual(fig5Rows[0], unbatched) {
 			t.Errorf("batched rows differ from unbatched decode-once rows at SweepWorkers=%d", workers)
+		}
+	}
+
+	// The store round-trip must be invisible to the sweep: a Decoded
+	// loaded back from its columnar store form produces the same Fig5
+	// rows, at several load and sweep worker counts.
+	for _, opts := range []trace.StoreOptions{{}, {OmitDerived: true}} {
+		var buf bytes.Buffer
+		if _, err := trace.WriteDecoded(&buf, dec, opts); err != nil {
+			t.Fatal(err)
+		}
+		for _, loadWorkers := range []int{1, 2, 8} {
+			loaded, err := trace.ReadDecodedLimit(bytes.NewReader(buf.Bytes()), 0, loadWorkers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(dec, loaded) {
+				t.Fatalf("store-loaded Decoded (omit=%v, %d load workers) is not bit-identical", opts.OmitDerived, loadWorkers)
+			}
+			c := cfg
+			c.SweepWorkers = loadWorkers
+			f5, err := Fig5FromDecoded(c, loaded, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fig5Rows[0], f5) {
+				t.Errorf("Fig5 rows from the store-loaded Decoded (omit=%v, %d workers) differ from the decode path",
+					opts.OmitDerived, loadWorkers)
+			}
 		}
 	}
 

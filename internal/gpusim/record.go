@@ -72,6 +72,7 @@ func (r *Recorder) fold(shards []*recShard) uint64 {
 		}
 		r.rec.segs = append(r.rec.segs, s.buf)
 		r.rec.ops += s.ops
+		r.rec.lanes += s.lanes
 		n += uint64(len(s.buf))
 	}
 	return n
@@ -84,12 +85,20 @@ func (r *Recorder) fold(shards []*recShard) uint64 {
 // time (Sum = EA + EB + Cin0 over the unit width), so they are never
 // stored.
 type Recording struct {
-	segs [][]byte
-	ops  uint64
+	segs  [][]byte
+	ops   uint64
+	lanes uint64
 }
 
 // NumOps returns the number of recorded warp-add records.
 func (r *Recording) NumOps() uint64 { return r.ops }
+
+// NumLanes returns the total number of active thread-ops across all
+// records — the exact length of the flat per-lane arrays a decoder
+// materializes, so decode passes can size them up front instead of
+// growing by repeated append. Recordings deserialized from the legacy v1
+// wire format report 0 (unknown).
+func (r *Recording) NumLanes() uint64 { return r.lanes }
 
 // Bytes returns the encoded stream size.
 func (r *Recording) Bytes() uint64 {
@@ -108,6 +117,7 @@ type recShard struct {
 	owner    *Recorder
 	buf      []byte
 	ops      uint64
+	lanes    uint64 // active thread-ops recorded (Σ popcount(active))
 	prevPC   uint32
 	prevBase uint32
 	charged  uint64 // bytes already charged against owner's budget
@@ -171,6 +181,7 @@ func (s *recShard) append(kind core.UnitKind, pc, gtidBase uint32, ops *[32]Warp
 		s.buf = binary.AppendUvarint(s.buf, ops[l].EB)
 	}
 	s.ops++
+	s.lanes += uint64(bits.OnesCount32(active))
 
 	// Charge growth against the shared budget in coarse chunks so the
 	// shared atomic stays off the per-operation path.
@@ -335,15 +346,19 @@ func (r *Recording) Replay(t AddTracer) error {
 // --- serialization ---
 
 // recMagic versions the on-disk encoding; bump it on any wire change.
-var recMagic = []byte("st2rec\x01")
+// v2 added the lane count after the op count; v1 streams (recMagicV1)
+// still read back, reporting NumLanes()==0.
+var recMagic = []byte("st2rec\x02")
+var recMagicV1 = []byte("st2rec\x01")
 
-// WriteTo serializes the recording (magic, op count, segment count, then
-// length-prefixed segments). The encoding is deterministic: equal
-// recordings produce byte-equal output.
+// WriteTo serializes the recording (magic, op count, lane count, segment
+// count, then length-prefixed segments). The encoding is deterministic:
+// equal recordings produce byte-equal output.
 func (r *Recording) WriteTo(w io.Writer) (int64, error) {
 	var hdr []byte
 	hdr = append(hdr, recMagic...)
 	hdr = binary.AppendUvarint(hdr, r.ops)
+	hdr = binary.AppendUvarint(hdr, r.lanes)
 	hdr = binary.AppendUvarint(hdr, uint64(len(r.segs)))
 	n, err := w.Write(hdr)
 	total := int64(n)
@@ -399,18 +414,25 @@ func ReadRecordingLimit(rd io.Reader, maxBytes uint64) (*Recording, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("gpusim: recording header: %w", err)
 	}
-	if string(magic) != string(recMagic) {
+	v1 := string(magic) == string(recMagicV1)
+	if !v1 && string(magic) != string(recMagic) {
 		return nil, fmt.Errorf("gpusim: not an st2 recording (bad magic %q)", magic)
 	}
 	ops, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("gpusim: recording op count: %w", err)
 	}
+	var lanes uint64
+	if !v1 {
+		if lanes, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("gpusim: recording lane count: %w", err)
+		}
+	}
 	nsegs, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("gpusim: recording segment count: %w", err)
 	}
-	rec := &Recording{ops: ops}
+	rec := &Recording{ops: ops, lanes: lanes}
 	var total uint64
 	for i := uint64(0); i < nsegs; i++ {
 		segLen, err := binary.ReadUvarint(br)
@@ -427,6 +449,13 @@ func ReadRecordingLimit(rd io.Reader, maxBytes uint64) (*Recording, error) {
 			return nil, fmt.Errorf("gpusim: segment %d payload: %w", i, err)
 		}
 		rec.segs = append(rec.segs, seg)
+	}
+	// The declared counts size decoder preallocations, so a lying header
+	// must not survive the read: every record costs at least one header
+	// byte and every lane at least two operand bytes, so neither count
+	// can exceed the payload actually present.
+	if rec.ops > total || rec.lanes > total {
+		return nil, fmt.Errorf("gpusim: recording declares %d records / %d lanes in %d payload bytes", rec.ops, rec.lanes, total)
 	}
 	return rec, nil
 }

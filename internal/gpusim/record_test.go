@@ -2,6 +2,7 @@ package gpusim
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"strings"
 	"testing"
@@ -157,6 +158,74 @@ func TestRecordingCapFailsLoudly(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "cap") {
 		t.Errorf("cap error %q does not mention the cap", err)
+	}
+}
+
+// TestRecordingLaneCount pins the lane counter decode passes size their
+// flat arrays from: it must equal the decoded stream's active-lane total,
+// survive serialization, and read as 0 (unknown) from a legacy v1 stream.
+func TestRecordingLaneCount(t *testing.T) {
+	rec := recordRun(t, fpKernel(t), 0, 32, 128, fpSetup)
+	var want uint64
+	if err := rec.Decode(func(r *DecodedRecord) error {
+		want += uint64(len(r.EA))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 || rec.NumLanes() != want {
+		t.Fatalf("NumLanes() = %d, decoded stream holds %d active thread-ops", rec.NumLanes(), want)
+	}
+
+	raw := serializeRecording(t, rec)
+	back, err := ReadRecording(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumLanes() != want {
+		t.Errorf("roundtrip changed NumLanes: %d → %d", want, back.NumLanes())
+	}
+
+	// A v1 stream (no lane count in the header) reads back with lanes
+	// unknown but the payload intact.
+	v1 := append([]byte(nil), recMagicV1...)
+	var ops bytes.Buffer
+	if _, err := rec.WriteTo(&ops); err != nil {
+		t.Fatal(err)
+	}
+	body := ops.Bytes()[len(recMagic):]
+	// Strip the v2 lane-count varint that sits between the op count and
+	// the segment count.
+	r := bytes.NewReader(body)
+	opsCount, err := binary.ReadUvarint(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := binary.ReadUvarint(r); err != nil { // lanes
+		t.Fatal(err)
+	}
+	v1 = binary.AppendUvarint(v1, opsCount)
+	rest := body[len(body)-r.Len():]
+	v1 = append(v1, rest...)
+	legacy, err := ReadRecording(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	if legacy.NumLanes() != 0 {
+		t.Errorf("v1 stream NumLanes = %d, want 0 (unknown)", legacy.NumLanes())
+	}
+	if legacy.NumOps() != rec.NumOps() {
+		t.Errorf("v1 stream NumOps = %d, want %d", legacy.NumOps(), rec.NumOps())
+	}
+	a, b := &captureTracer{}, &captureTracer{}
+	if err := rec.Replay(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Replay(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.evs, b.evs) {
+		t.Error("v1-read recording replays a different stream")
 	}
 }
 

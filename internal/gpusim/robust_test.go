@@ -9,10 +9,11 @@ import (
 
 // corruptRecording builds a wire-format recording stream by hand so each
 // corruption case controls the exact bytes under test.
-func corruptHeader(ops, nsegs uint64) []byte {
+func corruptHeader(ops, lanes, nsegs uint64) []byte {
 	var b []byte
 	b = append(b, recMagic...)
 	b = binary.AppendUvarint(b, ops)
+	b = binary.AppendUvarint(b, lanes)
 	b = binary.AppendUvarint(b, nsegs)
 	return b
 }
@@ -24,15 +25,24 @@ func corruptHeader(ops, nsegs uint64) []byte {
 func TestReadRecordingCorruptInputs(t *testing.T) {
 	valid := serializeRecording(t, recordRun(t, barrierKernel(t), 0, 8, 64, nil))
 
-	oversized := corruptHeader(1, 1)
+	oversized := corruptHeader(1, 1, 1)
 	oversized = binary.AppendUvarint(oversized, 1<<62) // segLen far past any budget
 
-	declared := corruptHeader(1, 1)
+	declared := corruptHeader(1, 1, 1)
 	declared = binary.AppendUvarint(declared, 1<<20) // 1 MiB declared, no payload
 
-	truncatedSeg := corruptHeader(1, 1)
+	truncatedSeg := corruptHeader(1, 1, 1)
 	truncatedSeg = binary.AppendUvarint(truncatedSeg, 64)
 	truncatedSeg = append(truncatedSeg, make([]byte, 16)...) // only 16 of 64 bytes
+
+	// Counts that cannot fit the payload actually present: a lying op or
+	// lane count must not survive to size a decoder preallocation.
+	lyingOps := corruptHeader(1<<40, 8, 1)
+	lyingOps = binary.AppendUvarint(lyingOps, 8)
+	lyingOps = append(lyingOps, make([]byte, 8)...)
+	lyingLanes := corruptHeader(1, 1<<40, 1)
+	lyingLanes = binary.AppendUvarint(lyingLanes, 8)
+	lyingLanes = append(lyingLanes, make([]byte, 8)...)
 
 	cases := []struct {
 		name    string
@@ -48,6 +58,8 @@ func TestReadRecordingCorruptInputs(t *testing.T) {
 		{name: "oversized segLen", data: oversized, wantBig: true},
 		{name: "declared beyond budget", data: declared, max: 1 << 10, wantBig: true},
 		{name: "truncated segment payload", data: truncatedSeg},
+		{name: "op count beyond payload", data: lyingOps},
+		{name: "lane count beyond payload", data: lyingLanes},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -106,7 +118,7 @@ func TestReadRecordingLimitRoundTrip(t *testing.T) {
 func FuzzReadRecording(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a recording stream"))
-	f.Add(corruptHeader(3, 2))
+	f.Add(corruptHeader(3, 4, 2))
 	// Seed from a valid round-trip so the fuzzer starts inside the
 	// format instead of rediscovering the magic.
 	seedRec := recordRun(f, barrierKernel(f), 0, 8, 64, nil)

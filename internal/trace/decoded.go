@@ -40,9 +40,14 @@ func (k *DecodedKernel) NumRecords() int { return len(k.Kind) }
 func (k *DecodedKernel) NumLanes() int { return len(k.EA) }
 
 // decodeKernel runs the single varint-decode pass over one recording and
-// materializes the flat arrays.
+// materializes the flat arrays. Both the record-count and the lane-count
+// columns are sized up front from the recording's own counters, so the
+// pass appends into preallocated storage instead of re-growing the lane
+// arrays from zero capacity (legacy v1 recordings report zero lanes and
+// fall back to append-growth).
 func decodeKernel(rec *gpusim.Recording) (*DecodedKernel, error) {
 	nrec := int(rec.NumOps())
+	nlanes := int(rec.NumLanes())
 	k := &DecodedKernel{
 		Kind:     make([]core.UnitKind, 0, nrec),
 		PC:       make([]uint32, 0, nrec),
@@ -50,6 +55,10 @@ func decodeKernel(rec *gpusim.Recording) (*DecodedKernel, error) {
 		Active:   make([]uint32, 0, nrec),
 		Cin:      make([]uint32, 0, nrec),
 		Off:      make([]uint32, 1, nrec+1),
+		EA:       make([]uint64, 0, nlanes),
+		EB:       make([]uint64, 0, nlanes),
+		Sum:      make([]uint64, 0, nlanes),
+		Carries:  make([]uint64, 0, nlanes),
 	}
 	err := rec.Decode(func(r *gpusim.DecodedRecord) error {
 		k.Kind = append(k.Kind, r.Kind)
@@ -276,4 +285,18 @@ func (d *Decoded) NumLanes() uint64 {
 // workload configuration, field by field (see Set.Matches).
 func (d *Decoded) Matches(scale, numSMs int, seed int64) error {
 	return matchesConfig("decoded recording set", d.Scale, d.NumSMs, d.Seed, scale, numSMs, seed)
+}
+
+// MatchesKernels reports whether the decoded set holds every named
+// kernel, naming the first missing one and what the set does hold —
+// the Decoded counterpart of Set.MatchesKernels, so a sweep loading a
+// store fails the same way a sweep reusing a trace does.
+func (d *Decoded) MatchesKernels(names []string) error {
+	for _, name := range names {
+		if _, ok := d.kernels[name]; !ok {
+			return fmt.Errorf("trace: decoded set kernel-list mismatch: missing kernel %q (set holds %d kernels: %v)",
+				name, len(d.names), d.names)
+		}
+	}
+	return nil
 }

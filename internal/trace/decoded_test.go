@@ -12,7 +12,7 @@ import (
 )
 
 // recordPathfinder captures a real pathfinder run into a one-kernel Set.
-func recordPathfinder(t *testing.T) *Set {
+func recordPathfinder(t testing.TB) *Set {
 	t.Helper()
 	spec, err := kernels.Pathfinder(1)
 	if err != nil {

@@ -218,15 +218,18 @@ func ReadSetLimit(r io.Reader, maxRecordBytes uint64) (*Set, error) {
 	return s, nil
 }
 
-// WriteFile saves the set to path (atomically via a sibling temp file,
-// so a crashed writer never leaves a truncated set behind).
-func (s *Set) WriteFile(path string) error {
+// writeFileAtomic writes a file via a sibling temp file renamed into
+// place, so readers never observe a partial write. On any failure —
+// write, close, or the rename itself — the temp file is removed and the
+// first error is returned; a crashed or failed writer leaves nothing
+// behind.
+func writeFileAtomic(path string, write func(w io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if _, err := s.WriteTo(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -235,7 +238,20 @@ func (s *Set) WriteFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// WriteFile saves the set to path (atomically via a sibling temp file,
+// so a crashed writer never leaves a truncated set behind).
+func (s *Set) WriteFile(path string) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		_, err := s.WriteTo(w)
+		return err
+	})
 }
 
 // ReadSetFile loads a set saved by WriteFile.

@@ -71,4 +71,19 @@ bevalrate=$(last batched_eval_ops_per_sec)
 [ -n "$bevalrate" ] || fail "batched_eval_ops_per_sec missing from $OUT"
 awk "BEGIN { exit !($bevalrate > 0) }" || fail "batched eval throughput is zero"
 
-echo "bench-dse: OK (batched ${bspeedup}x / decode-once ${speedup}x over per-design replay, batched ${bevalrate} eval-ops/s, decode ${decops} ops/s, identical rows, $OUT)"
+# Columnar-store floor: loading the decoded store must beat re-running
+# the varint decode by at least 3x even on a single core — the store is
+# a sequential column read with no varint parsing, no sum reconstruction,
+# and no carry recomputation, so losing this means the load path has
+# regressed into decode-shaped work.
+sbytes=$(last store_bytes)
+[ -n "$sbytes" ] || fail "store_bytes missing from $OUT"
+[ "$sbytes" -gt 0 ] 2>/dev/null || fail "store serialized to zero bytes"
+sload=$(last store_load_ops_per_sec)
+[ -n "$sload" ] || fail "store_load_ops_per_sec missing from $OUT"
+awk "BEGIN { exit !($sload > 0) }" || fail "store load throughput is zero"
+sspeedup=$(last store_load_speedup)
+[ -n "$sspeedup" ] || fail "store_load_speedup missing from $OUT"
+awk "BEGIN { exit !($sspeedup >= 3.0) }" || fail "store load speedup $sspeedup < 3.0x over varint decode"
+
+echo "bench-dse: OK (batched ${bspeedup}x / decode-once ${speedup}x over per-design replay, batched ${bevalrate} eval-ops/s, decode ${decops} ops/s, store load ${sspeedup}x over decode, identical rows, $OUT)"
