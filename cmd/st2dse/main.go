@@ -19,13 +19,21 @@
 // against the decode pass, verifies all strategies stay bit-identical
 // at several worker counts, and appends the comparison to a JSON array.
 //
+// -shards distributes the sweep: the coordinator spawns N worker
+// subprocesses (this same binary with -shard-worker), each of which
+// opens the -store file and partially loads ONLY the kernel sections
+// its cells name, and folds their integer cell counters in the fixed
+// suite × design order — rows stay bit-identical to the in-process
+// sweep at any (shards × sweep-workers) combination.
+//
 // Usage:
 //
 //	st2dse [-scale N] [-sms N] [-sweep-workers N]  # Figure 5 sweep
 //	st2dse -reuse-trace suite.st2rec       # record once, decode thereafter
 //	st2dse -store suite.decoded            # decode once, load thereafter
+//	st2dse -store suite.decoded -shards 4  # distribute over 4 worker processes
 //	st2dse -widths                         # slice-width characterization
-//	st2dse -bench BENCH_dse.json           # batched vs decode-once vs per-design vs store
+//	st2dse -bench BENCH_dse.json           # batched vs decode-once vs per-design vs store vs sharded
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"reflect"
 	"runtime"
 	"time"
@@ -60,8 +69,17 @@ func main() {
 		recCap   = flag.Uint64("record-max-bytes", 0, "per-kernel recording byte cap (0 = default 1 GiB)")
 		workers  = flag.Int("sweep-workers", 0, "worker pool for the (kernel × design) sweep grid (0 = GOMAXPROCS, 1 = sequential; results identical at any count)")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run to this file")
+		shards   = flag.Int("shards", 0, "distribute the sweep over this many worker subprocesses (requires -store; results identical to in-process)")
+		shardW   = flag.Bool("shard-worker", false, "serve as a sweep shard worker on stdin/stdout (spawned by -shards; not for interactive use)")
 	)
 	flag.Parse()
+
+	if *shardW {
+		if err := experiments.ServeShardWorker(os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// One process-wide registry: the debug endpoint and the experiment
 	// pipeline share it, so /metrics sees sweep-cell histograms accumulate.
@@ -127,6 +145,11 @@ func main() {
 	var rows []experiments.Fig5Row
 	var err error
 	switch {
+	case *shards > 0:
+		if *store == "" {
+			fatal(fmt.Errorf("-shards needs -store: shard workers load their kernel sections from the store file"))
+		}
+		rows, err = sweepSharded(cfg, *store, *reuse, *shards)
 	case *store != "":
 		rows, err = sweepUsingStore(cfg, *store, *reuse)
 	case *reuse != "":
@@ -217,6 +240,60 @@ func sweepUsingStore(cfg experiments.Config, storePath, reusePath string) ([]exp
 	return experiments.Fig5FromDecoded(cfg, dec, nil)
 }
 
+// ensureStore makes sure the decoded store exists at storePath,
+// building it (from reusePath's recording set when given, else a fresh
+// simulation) when missing.
+func ensureStore(cfg experiments.Config, storePath, reusePath string) error {
+	_, err := os.Stat(storePath)
+	if err == nil {
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return err
+	}
+	var set *trace.Set
+	if reusePath != "" {
+		set, err = reuseSet(cfg, reusePath)
+	} else {
+		set, err = experiments.RecordSuite(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	dec, err := trace.DecodeSetTraced(set, cfg.Obs)
+	if err != nil {
+		return err
+	}
+	if err := dec.WriteStoreFileTraced(storePath, trace.StoreOptions{}, cfg.Obs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "st2dse: decoded the suite once and stored it to %s; future runs load kernel sections directly\n",
+		storePath)
+	return nil
+}
+
+// sweepSharded distributes the Figure 5 sweep over shard worker
+// subprocesses (this same binary re-run with -shard-worker), each
+// loading only its assigned kernels' sections from the store. Rows are
+// bit-identical to the in-process sweep.
+func sweepSharded(cfg experiments.Config, storePath, reusePath string, shards int) ([]experiments.Fig5Row, error) {
+	if err := ensureStore(cfg, storePath, reusePath); err != nil {
+		return nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	conns, err := experiments.SpawnWorkers(shards, func() *exec.Cmd {
+		return exec.Command(exe, "-shard-worker")
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "st2dse: sweeping over %d shard workers from %s\n", shards, storePath)
+	return experiments.Fig5Sharded(cfg, storePath, nil, conns, experiments.ShardOptions{})
+}
+
 // benchResult is one BENCH_dse.json entry: wall-clock for the three
 // sweep strategies — design-batched (one array walk per kernel scores a
 // whole design batch), unbatched decode-once (one walk per design), and
@@ -248,6 +325,13 @@ type benchResult struct {
 	StoreLoadSecs     float64 `json:"store_load_seconds"`     // load the flat arrays back (no varint decode)
 	StoreLoadRate     float64 `json:"store_load_ops_per_sec"` // recorded_ops / store_load_seconds
 	StoreSpeedup      float64 `json:"store_load_speedup"`     // decode_seconds / store_load_seconds
+	Shards            int     `json:"shards"`                 // worker subprocesses the sharded sweep used
+	ShardedSecs       float64 `json:"sharded_seconds"`        // distributed sweep wall-clock (incl. worker spawn + partial loads)
+	ShardedEvalRate   float64 `json:"sharded_eval_ops_per_sec"`
+	ShardedVsBatched  float64 `json:"sharded_vs_batched"`               // batched_seconds / sharded_seconds (<1 on one box: IPC tax)
+	PartialLoadSecs   float64 `json:"store_partial_load_seconds"`       // OpenStore + LoadKernels of one kernel
+	PartialLoadRate   float64 `json:"store_partial_load_ops_per_sec"`   // that kernel's records / partial_load_seconds
+	PartialSpeedup    float64 `json:"store_partial_load_speedup"`       // store_load_seconds / partial_load_seconds
 	HostParallel      int     `json:"host_parallelism"`
 }
 
@@ -317,11 +401,61 @@ func runBench(cfg experiments.Config, outPath string) error {
 		return err
 	}
 
+	// The distributed path needs the store on disk: persist the encoded
+	// bytes once and time (a) a selective single-kernel load against the
+	// full load above, and (b) the sharded sweep over two real worker
+	// subprocesses against the in-process batched sweep.
+	storeFile, err := os.CreateTemp("", "st2dse-bench-*.st2dec")
+	if err != nil {
+		return err
+	}
+	storePath := storeFile.Name()
+	defer os.Remove(storePath)
+	if _, err := storeFile.Write(storeBuf.Bytes()); err != nil {
+		return err
+	}
+	if err := storeFile.Close(); err != nil {
+		return err
+	}
+
+	firstKernel := dec.Names()[0]
+	tPartial := time.Now()
+	handle, err := trace.OpenStoreTraced(storePath, 0, cfg.Obs)
+	if err != nil {
+		return err
+	}
+	partial, err := handle.LoadKernelsTraced([]string{firstKernel}, 0, cfg.Obs)
+	if err != nil {
+		return err
+	}
+	partialSecs := time.Since(tPartial).Seconds()
+	partialKernel, _ := partial.Kernel(firstKernel)
+	fullKernel, _ := dec.Kernel(firstKernel)
+
+	const benchShards = 2
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	tSharded := time.Now()
+	conns, err := experiments.SpawnWorkers(benchShards, func() *exec.Cmd {
+		return exec.Command(exe, "-shard-worker")
+	})
+	if err != nil {
+		return err
+	}
+	shardedRows, err := experiments.Fig5Sharded(cfg, storePath, designs, conns, experiments.ShardOptions{})
+	if err != nil {
+		return err
+	}
+	shardedSecs := time.Since(tSharded).Seconds()
+
 	// Bit-identity: the timed runs, a sequential run, an oversubscribed
-	// run, and the store round-trip must all deep-equal the per-design
-	// baseline.
+	// run, the store round-trip, the selective load, and the distributed
+	// sweep must all deep-equal the per-design baseline.
 	identical := reflect.DeepEqual(batchedRows, perRows) && reflect.DeepEqual(onceRows, perRows) &&
-		reflect.DeepEqual(dec, loaded) && reflect.DeepEqual(storeRows, perRows)
+		reflect.DeepEqual(dec, loaded) && reflect.DeepEqual(storeRows, perRows) &&
+		reflect.DeepEqual(partialKernel, fullKernel) && reflect.DeepEqual(shardedRows, perRows)
 	for _, w := range []int{1, 2 * runtime.GOMAXPROCS(0)} {
 		c := cfg
 		c.SweepWorkers = w
@@ -354,6 +488,9 @@ func runBench(cfg experiments.Config, outPath string) error {
 		StoreBytes:        uint64(storeBuf.Len()),
 		StoreEncodeSecs:   encodeSecs,
 		StoreLoadSecs:     loadSecs,
+		Shards:            benchShards,
+		ShardedSecs:       shardedSecs,
+		PartialLoadSecs:   partialSecs,
 		HostParallel:      runtime.GOMAXPROCS(0),
 	}
 	if decodeSecs > 0 {
@@ -373,12 +510,21 @@ func runBench(cfg experiments.Config, outPath string) error {
 	if decodeSecs+onceSecs > 0 {
 		res.Speedup = perSecs / (decodeSecs + onceSecs)
 	}
+	if shardedSecs > 0 {
+		res.ShardedEvalRate = float64(evalOps) / shardedSecs
+		res.ShardedVsBatched = batchedSecs / shardedSecs
+	}
+	if partialSecs > 0 {
+		res.PartialLoadRate = float64(partialKernel.NumRecords()) / partialSecs
+		res.PartialSpeedup = loadSecs / partialSecs
+	}
 	if err := obs.AppendTrend(outPath, res); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "st2dse: bench: batched %.3fs (%.0f eval-ops/s, %.1fx) vs decode-once %.2fs vs per-design replay %.2fs (decode %.3fs, %.0f ops/s), store load %.4fs (%.0f ops/s, %.1fx over decode, %d bytes), workers=%d, identical=%v → %s\n",
+	fmt.Fprintf(os.Stderr, "st2dse: bench: batched %.3fs (%.0f eval-ops/s, %.1fx) vs decode-once %.2fs vs per-design replay %.2fs (decode %.3fs, %.0f ops/s), store load %.4fs (%.0f ops/s, %.1fx over decode, %d bytes), partial load %.5fs (%.1fx over full), sharded×%d %.3fs (%.0f eval-ops/s), workers=%d, identical=%v → %s\n",
 		batchedSecs, res.BatchedEvalRate, res.BatchedSpeedup, onceSecs, perSecs, decodeSecs, res.DecodeOpsPerSec,
-		loadSecs, res.StoreLoadRate, res.StoreSpeedup, storeBuf.Len(), sweepWorkers, identical, outPath)
+		loadSecs, res.StoreLoadRate, res.StoreSpeedup, storeBuf.Len(), partialSecs, res.PartialSpeedup,
+		benchShards, shardedSecs, res.ShardedEvalRate, sweepWorkers, identical, outPath)
 	if !identical {
 		return fmt.Errorf("st2dse: sweep rows are NOT bit-identical across strategies")
 	}

@@ -1,0 +1,637 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"st2gpu/internal/kernels"
+	"st2gpu/internal/metrics"
+	"st2gpu/internal/obs"
+	"st2gpu/internal/speculate"
+	"st2gpu/internal/stats"
+	"st2gpu/internal/trace"
+)
+
+// This file is the distributed half of the sweep engine: a coordinator
+// partitions the (kernel × design-batch) grid into cells and hands them
+// to worker processes over a line-delimited JSON protocol. Workers open
+// the decoded store with trace.OpenStore and load ONLY the kernels
+// their cells name (LoadKernels), so a worker's memory and load time
+// are proportional to its assignment, not the suite. Cell results are
+// integer stats.Rate counters — they JSON-round-trip exactly — and the
+// coordinator scatters them into the same flat kernel-major rate grid
+// the in-process sweep builds, then folds through the identical
+// foldFig5Rows/foldFig3Rows helpers. The batch partition and the
+// cell→worker schedule therefore cannot affect the rows: distributed
+// output is bit-identical to Fig5FromDecoded/Fig3FromDecoded at any
+// (shards × sweep-workers) combination, including after a killed
+// worker's cells are requeued elsewhere.
+
+// Protocol: one JSON object per line, both directions.
+//
+//	coordinator → worker:  open{store,scale,sms,seed,workers}
+//	                       cell{id,op,kernel,designs}   op ∈ {miss, corr}
+//	                       done{}
+//	worker → coordinator:  ready{kernels}               after open
+//	                       result{id,rates}
+//	                       error{id,msg}                id<0: fatal, not cell-scoped
+type shardMsg struct {
+	Type string `json:"type"`
+
+	// open
+	Store   string `json:"store,omitempty"`
+	Scale   int    `json:"scale,omitempty"`
+	NumSMs  int    `json:"sms,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+
+	// cell / result / error
+	ID      int          `json:"id"`
+	Op      string       `json:"op,omitempty"`
+	Kernel  string       `json:"kernel,omitempty"`
+	Designs []string     `json:"designs,omitempty"`
+	Rates   []stats.Rate `json:"rates,omitempty"`
+
+	// ready
+	Kernels []string `json:"kernels,omitempty"`
+
+	// error
+	Msg string `json:"msg,omitempty"`
+}
+
+const (
+	shardOpMiss = "miss"
+	shardOpCorr = "corr"
+)
+
+// ShardConn is one coordinator↔worker connection: a line-delimited JSON
+// stream plus a closer that tears the transport down (killing the
+// subprocess for spawned workers, closing the socket for TCP ones).
+type ShardConn struct {
+	Name string // used in errors, spans, and metrics
+	R    io.Reader
+	W    io.Writer
+	C    io.Closer // may be nil
+}
+
+// Close tears down the connection's transport.
+func (c *ShardConn) Close() error {
+	if c.C == nil {
+		return nil
+	}
+	return c.C.Close()
+}
+
+// spawnedWorker adapts a worker subprocess to io.Closer: closing kills
+// the process and reaps it, which is what the coordinator's lease
+// watchdog calls on a hung worker.
+type spawnedWorker struct {
+	cmd   *exec.Cmd
+	stdin io.Closer
+}
+
+func (s *spawnedWorker) Close() error {
+	s.stdin.Close()
+	if s.cmd.Process != nil {
+		s.cmd.Process.Kill()
+	}
+	s.cmd.Wait()
+	return nil
+}
+
+// SpawnWorkers launches n worker subprocesses from the command factory
+// and wires each as a ShardConn over its stdin/stdout (stderr passes
+// through). The spawned command must run ServeShardWorker on its own
+// stdin/stdout — `st2dse -shard-worker` and `st2shard -worker` do. On
+// any launch failure the already-spawned workers are closed.
+func SpawnWorkers(n int, newCmd func() *exec.Cmd) ([]*ShardConn, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: SpawnWorkers needs n ≥ 1, got %d", n)
+	}
+	conns := make([]*ShardConn, 0, n)
+	fail := func(err error) ([]*ShardConn, error) {
+		CloseShardConns(conns)
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cmd := newCmd()
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(fmt.Errorf("experiments: shard worker %d stdin: %w", i, err))
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(fmt.Errorf("experiments: shard worker %d stdout: %w", i, err))
+		}
+		if cmd.Stderr == nil {
+			cmd.Stderr = os.Stderr
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("experiments: shard worker %d: %w", i, err))
+		}
+		conns = append(conns, &ShardConn{
+			Name: fmt.Sprintf("worker-%d", i),
+			R:    stdout,
+			W:    stdin,
+			C:    &spawnedWorker{cmd: cmd, stdin: stdin},
+		})
+	}
+	return conns, nil
+}
+
+// CloseShardConns closes every connection, ignoring errors — the
+// coordinator calls it after a sweep, when workers have either exited
+// on "done" or deserve a kill.
+func CloseShardConns(conns []*ShardConn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// ServeShardWorker serves one coordinator connection on r/w: it opens
+// the store named by the open message, loads each cell's kernel section
+// on first use (partial loads — never the whole store), and evaluates
+// cells on an internal pool of the coordinator-requested size, so a
+// worker keeps its cores busy while replies stay serialized. Returns
+// nil on a clean "done" or EOF.
+func ServeShardWorker(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var mu sync.Mutex // serializes reply lines from eval goroutines
+	send := func(m shardMsg) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	fatal := func(err error) error {
+		send(shardMsg{Type: "error", ID: -1, Msg: err.Error()})
+		return err
+	}
+
+	var h *trace.StoreHandle
+	cache := map[string]*trace.DecodedKernel{} // touched only by this loop
+	var sem chan struct{}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var m shardMsg
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case "open":
+			var err error
+			h, err = trace.OpenStore(m.Store, 0)
+			if err != nil {
+				return fatal(err)
+			}
+			if err := h.Matches(m.Scale, m.NumSMs, m.Seed); err != nil {
+				return fatal(err)
+			}
+			workers := m.Workers
+			if workers < 1 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			sem = make(chan struct{}, workers)
+			if err := send(shardMsg{Type: "ready", ID: -1, Kernels: h.Names()}); err != nil {
+				return err
+			}
+		case "cell":
+			if h == nil {
+				return fatal(fmt.Errorf("experiments: shard cell %d before open", m.ID))
+			}
+			// The kernel section loads in the read loop (the cache is
+			// loop-owned); only the pure array-walk eval fans out.
+			k, ok := cache[m.Kernel]
+			if !ok {
+				d, err := h.LoadKernels([]string{m.Kernel}, 0)
+				if err != nil {
+					if sendErr := send(shardMsg{Type: "error", ID: m.ID, Msg: err.Error()}); sendErr != nil {
+						return sendErr
+					}
+					continue
+				}
+				k, _ = d.Kernel(m.Kernel)
+				cache[m.Kernel] = k
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(m shardMsg, k *trace.DecodedKernel) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				var rates []stats.Rate
+				var err error
+				switch m.Op {
+				case shardOpMiss:
+					rates, err = k.EvalMissBatch(m.Designs)
+				case shardOpCorr:
+					rates, err = k.EvalCorrBatch(m.Designs)
+				default:
+					err = fmt.Errorf("experiments: shard cell %d has unknown op %q", m.ID, m.Op)
+				}
+				if err != nil {
+					send(shardMsg{Type: "error", ID: m.ID, Msg: err.Error()})
+					return
+				}
+				send(shardMsg{Type: "result", ID: m.ID, Rates: rates})
+			}(m, k)
+		case "done":
+			return nil
+		default:
+			return fatal(fmt.Errorf("experiments: shard worker got unknown message type %q", m.Type))
+		}
+	}
+}
+
+// ShardOptions tunes the coordinator's robustness machinery.
+type ShardOptions struct {
+	// Lease bounds how long a connection with outstanding cells may go
+	// without delivering any result before it is declared hung, closed,
+	// and its cells requeued. 0 means 2 minutes.
+	Lease time.Duration
+	// MaxAttempts caps how many times one cell may be dispatched
+	// (first try included) before the sweep fails loudly. 0 means 3.
+	MaxAttempts int
+}
+
+func (o ShardOptions) lease() time.Duration {
+	if o.Lease <= 0 {
+		return 2 * time.Minute
+	}
+	return o.Lease
+}
+
+func (o ShardOptions) maxAttempts() int {
+	if o.MaxAttempts < 1 {
+		return 3
+	}
+	return o.MaxAttempts
+}
+
+// Fig5Sharded runs the Figure 5 design-space sweep distributed over the
+// given worker connections, each loading only its assigned kernels from
+// the store at storePath. Rows are bit-identical to Fig5FromDecoded on
+// the same store at any (connections × SweepWorkers) combination.
+func Fig5Sharded(cfg Config, storePath string, designs []string, conns []*ShardConn, opts ShardOptions) ([]Fig5Row, error) {
+	if designs == nil {
+		designs = speculate.DesignSpace
+	}
+	rates, _, err := runSharded(cfg, storePath, shardOpMiss, designs, conns, opts)
+	if err != nil {
+		return nil, err
+	}
+	return foldFig5Rows(designs, rates, len(kernels.Suite())), nil
+}
+
+// Fig3Sharded runs the Figure 3 correlation analysis distributed over
+// the given worker connections. Rows are bit-identical to
+// Fig3FromDecoded on the same store.
+func Fig3Sharded(cfg Config, storePath string, conns []*ShardConn, opts ShardOptions) ([]Fig3Row, error) {
+	rates, names, err := runSharded(cfg, storePath, shardOpCorr, trace.Fig3Designs, conns, opts)
+	if err != nil {
+		return nil, err
+	}
+	return foldFig3Rows(names, rates), nil
+}
+
+// shardCell is one dispatchable unit: a kernel and a contiguous design
+// batch. The id doubles as the slot its rates land in.
+type shardCell struct {
+	id     int
+	kernel string
+	lo, hi int // design range [lo, hi)
+}
+
+// shardEvent is what connection readers feed the coordinator loop: a
+// decoded message, or a terminal read error (conn died).
+type shardEvent struct {
+	conn int
+	msg  shardMsg
+	err  error
+}
+
+// runSharded drives the grid over the connections and returns the flat
+// kernel-major rate grid plus the suite kernel names. All mutable
+// scheduling state (queue, attempts, inflight, results) is owned by
+// this goroutine; per-connection reader/writer goroutines only move
+// messages, so the engine passes the shardown ownership rules by
+// construction.
+func runSharded(cfg Config, storePath, op string, designs []string, conns []*ShardConn, opts ShardOptions) ([]stats.Rate, []string, error) {
+	if len(conns) == 0 {
+		return nil, nil, fmt.Errorf("experiments: sharded sweep needs at least one worker connection")
+	}
+	ws := kernels.Suite()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	nk, nd := len(names), len(designs)
+	perConn := cfg.SweepWorkers
+	if perConn < 1 {
+		perConn = runtime.GOMAXPROCS(0)
+	}
+	batches := designBatches(len(conns)*perConn, nk, nd)
+	nb := len(batches)
+	cells := make([]shardCell, nk*nb)
+	for t := range cells {
+		i, b := t/nb, t%nb
+		cells[t] = shardCell{id: t, kernel: names[i], lo: batches[b][0], hi: batches[b][1]}
+	}
+
+	var cellsDispatched, cellsRetried *metrics.Counter
+	var occHist *metrics.Histogram
+	if cfg.Metrics != nil {
+		cellsDispatched = cfg.Metrics.Counter("shard.cells_dispatched")
+		cellsRetried = cfg.Metrics.Counter("shard.cells_retried")
+		occHist = cfg.Metrics.Histogram("shard.occupancy", 64)
+	}
+	root := cfg.Obs.Begin("shard.assign",
+		obs.Str("op", op),
+		obs.Int("cells", int64(len(cells))),
+		obs.Int("shards", int64(len(conns))),
+		obs.Int("per_conn", int64(perConn)))
+	defer root.End()
+
+	// Per-connection plumbing: a shared event channel fed by one reader
+	// goroutine per conn, and one writer goroutine per conn draining a
+	// buffered send queue (so a hung transport never blocks this loop).
+	events := make(chan shardEvent, len(conns)*(perConn+2))
+	quit := make(chan struct{}) // closed on return so readers never block
+	sendChs := make([]chan shardMsg, len(conns))
+	var wg sync.WaitGroup
+	for c, conn := range conns {
+		c, conn := c, conn
+		sendChs[c] = make(chan shardMsg, perConn+2)
+		wg.Add(1)
+		go func() { // writer
+			defer wg.Done()
+			bw := bufio.NewWriter(conn.W)
+			enc := json.NewEncoder(bw)
+			for m := range sendChs[c] {
+				if err := enc.Encode(m); err != nil {
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() { // reader
+			defer wg.Done()
+			dec := json.NewDecoder(bufio.NewReaderSize(conn.R, 1<<16))
+			for {
+				var m shardMsg
+				err := dec.Decode(&m)
+				select {
+				case events <- shardEvent{conn: c, msg: m, err: err}:
+				case <-quit:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(quit)
+		for _, ch := range sendChs {
+			close(ch)
+		}
+		CloseShardConns(conns)
+		wg.Wait()
+	}()
+
+	// Lease watchdogs: one timer per connection, armed while the conn
+	// holds cells and reset on every result. Expiry closes the conn —
+	// the reader then surfaces the death and this loop requeues. The
+	// timers never touch scheduling state, so the wall clock cannot
+	// reach the results.
+	leases := make([]*time.Timer, len(conns))
+	for c := range conns {
+		conn := conns[c]
+		leases[c] = time.AfterFunc(opts.lease(), func() { conn.Close() })
+		leases[c].Stop()
+	}
+	defer func() {
+		for _, l := range leases {
+			l.Stop()
+		}
+	}()
+
+	// Coordinator-owned scheduling state.
+	queue := make([]int, 0, len(cells))
+	attempts := make([]int, len(cells))
+	lastErr := make([]error, len(cells))
+	inflight := make([]map[int]bool, len(conns)) // conn → set of cell ids
+	spans := make(map[int]*obs.ActiveSpan, len(cells))
+	results := make([][]stats.Rate, len(cells))
+	done := make([]bool, len(cells))
+	ready := make([]bool, len(conns))
+	dead := make([]bool, len(conns))
+	remaining := len(cells)
+	for c := range conns {
+		inflight[c] = map[int]bool{}
+		sendChs[c] <- shardMsg{Type: "open", ID: -1, Store: storePath,
+			Scale: cfg.Scale, NumSMs: cfg.NumSMs, Seed: cfg.Seed, Workers: perConn}
+	}
+	for t := len(cells) - 1; t >= 0; t-- {
+		queue = append(queue, t) // popped from the end → dispatches in cell order
+	}
+
+	totalInflight := 0
+	dispatch := func(c int) {
+		for !dead[c] && ready[c] && len(inflight[c]) < perConn && len(queue) > 0 {
+			t := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			attempts[t]++
+			if attempts[t] > 1 && cellsRetried != nil {
+				cellsRetried.Add(1)
+			}
+			if cellsDispatched != nil {
+				cellsDispatched.Add(1)
+			}
+			inflight[c][t] = true
+			totalInflight++
+			if occHist != nil {
+				occHist.Observe(totalInflight)
+			}
+			spans[t] = root.Child("shard.cell",
+				obs.Str("kernel", cells[t].kernel),
+				obs.Str("conn", conns[c].Name),
+				obs.Int("designs", int64(cells[t].hi-cells[t].lo)),
+				obs.Int("attempt", int64(attempts[t])))
+			if len(inflight[c]) == 1 {
+				leases[c].Reset(opts.lease())
+			}
+			sendChs[c] <- shardMsg{Type: "cell", ID: t, Op: op,
+				Kernel: cells[t].kernel, Designs: designs[cells[t].lo:cells[t].hi]}
+		}
+	}
+
+	// requeue returns an error when a cell has exhausted its attempts —
+	// the loud-failure path the retry cap exists for.
+	requeue := func(t int, cause error) error {
+		if spans[t] != nil {
+			spans[t].Add(obs.Str("outcome", "requeued"))
+			spans[t].End()
+			delete(spans, t)
+		}
+		lastErr[t] = cause
+		if attempts[t] >= opts.maxAttempts() {
+			return fmt.Errorf("experiments: shard cell %d (kernel %q, designs [%d,%d)) failed %d times, giving up: %w",
+				t, cells[t].kernel, cells[t].lo, cells[t].hi, attempts[t], cause)
+		}
+		queue = append(queue, t)
+		return nil
+	}
+
+	// connDied requeues every cell the connection held, in cell order so
+	// the redispatch sequence is deterministic given the failure.
+	connDied := func(c int, cause error) error {
+		if dead[c] {
+			return nil
+		}
+		dead[c] = true
+		leases[c].Stop()
+		conns[c].Close()
+		held := make([]int, 0, len(inflight[c]))
+		for t := range inflight[c] {
+			held = append(held, t)
+		}
+		sort.Ints(held)
+		totalInflight -= len(held)
+		inflight[c] = map[int]bool{}
+		for _, t := range held {
+			if err := requeue(t, fmt.Errorf("experiments: shard conn %s died holding cell %d: %w", conns[c].Name, t, cause)); err != nil {
+				return err
+			}
+		}
+		allDead := true
+		for _, d := range dead {
+			allDead = allDead && d
+		}
+		if allDead && remaining > 0 {
+			return fmt.Errorf("experiments: all %d shard workers died with %d of %d cells unfinished (conn %s last: %v)",
+				len(conns), remaining, len(cells), conns[c].Name, cause)
+		}
+		return nil
+	}
+
+	for remaining > 0 {
+		ev := <-events
+		c := ev.conn
+		if ev.err != nil {
+			if err := connDied(c, ev.err); err != nil {
+				return nil, nil, err
+			}
+			for o := range conns {
+				dispatch(o)
+			}
+			continue
+		}
+		switch ev.msg.Type {
+		case "ready":
+			if err := suiteCovered(names, ev.msg.Kernels); err != nil {
+				// A store without the suite is a config error, not a
+				// transient worker fault: fail the sweep loudly.
+				return nil, nil, err
+			}
+			ready[c] = true
+			dispatch(c)
+		case "result", "error":
+			t := ev.msg.ID
+			if t < 0 || t >= len(cells) || !inflight[c][t] {
+				if ev.msg.Type == "error" {
+					// Fatal worker-level error (bad store path, config
+					// mismatch): the conn is useless, treat it as dead.
+					if err := connDied(c, errors.New(ev.msg.Msg)); err != nil {
+						return nil, nil, err
+					}
+					for o := range conns {
+						dispatch(o)
+					}
+				}
+				continue // stale reply for a cell requeued elsewhere
+			}
+			delete(inflight[c], t)
+			totalInflight--
+			if len(inflight[c]) > 0 {
+				leases[c].Reset(opts.lease())
+			} else {
+				leases[c].Stop()
+			}
+			if ev.msg.Type == "error" {
+				if err := requeue(t, errors.New(ev.msg.Msg)); err != nil {
+					return nil, nil, err
+				}
+				for o := range conns {
+					dispatch(o)
+				}
+				continue
+			}
+			if want := cells[t].hi - cells[t].lo; len(ev.msg.Rates) != want {
+				if err := requeue(t, fmt.Errorf("experiments: shard cell %d returned %d rates, want %d", t, len(ev.msg.Rates), want)); err != nil {
+					return nil, nil, err
+				}
+				dispatch(c)
+				continue
+			}
+			if !done[t] {
+				done[t] = true
+				remaining--
+				results[t] = ev.msg.Rates
+				if spans[t] != nil {
+					spans[t].End()
+					delete(spans, t)
+				}
+			}
+			dispatch(c)
+		}
+	}
+	for c := range conns {
+		if !dead[c] {
+			sendChs[c] <- shardMsg{Type: "done", ID: -1}
+		}
+	}
+
+	fold := root.Child("shard.fold")
+	rates := make([]stats.Rate, nk*nd)
+	foldBatches(rates, results, batches, nk, nd)
+	fold.End()
+	return rates, names, nil
+}
+
+// suiteCovered checks a worker's advertised kernel list holds every
+// suite kernel, failing the same way suiteKernels does on a short set.
+func suiteCovered(suite, have []string) error {
+	got := make(map[string]bool, len(have))
+	for _, n := range have {
+		got[n] = true
+	}
+	for _, n := range suite {
+		if !got[n] {
+			return fmt.Errorf("experiments: shard store is missing kernel %q (store holds %d kernels)", n, len(have))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"st2gpu/internal/kernels"
+	"st2gpu/internal/trace"
+)
+
+// TestMain doubles as the shard-worker entry point: the coordinator
+// tests re-exec this test binary with ST2_SHARD_WORKER=1 and speak the
+// shard protocol over its stdio — a real subprocess worker, no mocks.
+func TestMain(m *testing.M) {
+	if os.Getenv("ST2_SHARD_WORKER") == "1" {
+		if err := ServeShardWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	code := m.Run()
+	suiteStoreState.mu.Lock()
+	if suiteStoreState.dir != "" {
+		os.RemoveAll(suiteStoreState.dir)
+	}
+	suiteStoreState.mu.Unlock()
+	os.Exit(code)
+}
+
+// suiteStoreState caches the recorded suite store across shard tests —
+// recording 23 kernels is the expensive part, and every test wants the
+// same scale-1 capture.
+var suiteStoreState struct {
+	mu   sync.Mutex
+	once sync.Once
+	dir  string
+	path string
+	dec  *trace.Decoded
+	err  error
+}
+
+// suiteStore records the suite under Default(), persists it as a store
+// file, and returns the path plus the in-memory decoded set the
+// in-process comparators run on.
+func suiteStore(t *testing.T) (string, *trace.Decoded) {
+	t.Helper()
+	s := &suiteStoreState
+	s.once.Do(func() {
+		set, err := RecordSuite(Default())
+		if err != nil {
+			s.err = err
+			return
+		}
+		dec, err := trace.DecodeSet(set)
+		if err != nil {
+			s.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "st2shard")
+		if err != nil {
+			s.err = err
+			return
+		}
+		path := filepath.Join(dir, "suite.st2dec")
+		if err := dec.WriteStoreFile(path, trace.StoreOptions{}); err != nil {
+			s.err = err
+			return
+		}
+		s.mu.Lock()
+		s.dir, s.path, s.dec = dir, path, dec
+		s.mu.Unlock()
+	})
+	if s.err != nil {
+		t.Fatal(s.err)
+	}
+	return s.path, s.dec
+}
+
+// spawnTestWorkers launches n real worker subprocesses by re-execing
+// the test binary with the worker env flag set.
+func spawnTestWorkers(t *testing.T, n int) []*ShardConn {
+	t.Helper()
+	conns, err := SpawnWorkers(n, func() *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "ST2_SHARD_WORKER=1")
+		return cmd
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conns
+}
+
+// TestShardedSweepMatchesInProcess pins the tentpole guarantee: the
+// distributed sweep over real worker subprocesses produces rows
+// DeepEqual to the in-process decoded sweeps, at multiple shard counts
+// × sweep-worker counts (the inflight cap that also sets the batch
+// partition).
+func TestShardedSweepMatchesInProcess(t *testing.T) {
+	storePath, dec := suiteStore(t)
+	cfg := Default()
+	wantF5, err := Fig5FromDecoded(cfg, dec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF3, err := Fig3FromDecoded(cfg, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3} {
+		for _, workers := range []int{1, 2} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				c := cfg
+				c.SweepWorkers = workers
+				conns := spawnTestWorkers(t, shards)
+				gotF5, err := Fig5Sharded(c, storePath, nil, conns, ShardOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotF5, wantF5) {
+					t.Errorf("sharded Fig5 rows differ from in-process:\n got %+v\nwant %+v", gotF5, wantF5)
+				}
+				conns = spawnTestWorkers(t, shards)
+				gotF3, err := Fig3Sharded(c, storePath, conns, ShardOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotF3, wantF3) {
+					t.Errorf("sharded Fig3 rows differ from in-process:\n got %+v\nwant %+v", gotF3, wantF3)
+				}
+			})
+		}
+	}
+}
+
+// killAfterResults wraps a worker connection's read side and fires kill
+// once `remaining` reply lines have passed through — deterministic
+// mid-sweep worker death while the worker still holds leased cells.
+type killAfterResults struct {
+	r         io.Reader
+	remaining int
+	kill      func()
+	once      sync.Once
+}
+
+func (k *killAfterResults) Read(p []byte) (int, error) {
+	n, err := k.r.Read(p)
+	k.remaining -= bytes.Count(p[:n], []byte("\n"))
+	if k.remaining <= 0 {
+		k.once.Do(k.kill)
+	}
+	return n, err
+}
+
+// TestShardedSweepSurvivesWorkerKill is the fault-injection test: a
+// worker subprocess dies mid-sweep (after delivering two results, so it
+// holds leased cells) and another dies before the handshake; both
+// times the coordinator requeues onto the survivor and the rows stay
+// bit-identical to the in-process sweep.
+func TestShardedSweepSurvivesWorkerKill(t *testing.T) {
+	storePath, dec := suiteStore(t)
+	cfg := Default()
+	cfg.SweepWorkers = 2
+	want, err := Fig5FromDecoded(cfg, dec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("mid-sweep", func(t *testing.T) {
+		conns := spawnTestWorkers(t, 2)
+		victim := conns[0]
+		victim.R = &killAfterResults{r: victim.R, remaining: 3, kill: func() { victim.Close() }}
+		got, err := Fig5Sharded(cfg, storePath, nil, conns, ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("rows after mid-sweep worker kill differ from in-process:\n got %+v\nwant %+v", got, want)
+		}
+	})
+
+	t.Run("before-handshake", func(t *testing.T) {
+		conns := spawnTestWorkers(t, 2)
+		conns[0].Close()
+		got, err := Fig5Sharded(cfg, storePath, nil, conns, ShardOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("rows after pre-handshake worker kill differ from in-process:\n got %+v\nwant %+v", got, want)
+		}
+	})
+}
+
+// fakeWorker speaks the protocol in-process over pipes with a
+// scriptable cell reply — how the error paths get exercised without
+// needing a subprocess that misbehaves on cue.
+func fakeWorker(t *testing.T, reply func(m shardMsg) shardMsg) *ShardConn {
+	t.Helper()
+	names := make([]string, 0, len(kernels.Suite()))
+	for _, w := range kernels.Suite() {
+		names = append(names, w.Name)
+	}
+	coordR, workerW := io.Pipe()
+	workerR, coordW := io.Pipe()
+	go func() {
+		dec := json.NewDecoder(workerR)
+		enc := json.NewEncoder(workerW)
+		for {
+			var m shardMsg
+			if err := dec.Decode(&m); err != nil {
+				workerW.Close()
+				return
+			}
+			switch m.Type {
+			case "open":
+				enc.Encode(shardMsg{Type: "ready", ID: -1, Kernels: names})
+			case "cell":
+				enc.Encode(reply(m))
+			case "done":
+				workerW.Close()
+				return
+			}
+		}
+	}()
+	return &ShardConn{Name: "fake", R: coordR, W: coordW, C: coordW}
+}
+
+// TestShardedSweepRetryExhausted covers the loud-failure path: every
+// worker fails every cell, so once a cell burns MaxAttempts the sweep
+// errors naming the cell instead of spinning forever.
+func TestShardedSweepRetryExhausted(t *testing.T) {
+	storePath, _ := suiteStore(t)
+	cfg := Default()
+	cfg.SweepWorkers = 1
+	alwaysFail := func(m shardMsg) shardMsg {
+		return shardMsg{Type: "error", ID: m.ID, Msg: "injected cell failure"}
+	}
+	conns := []*ShardConn{fakeWorker(t, alwaysFail), fakeWorker(t, alwaysFail)}
+	_, err := Fig5Sharded(cfg, storePath, nil, conns, ShardOptions{MaxAttempts: 2, Lease: time.Minute})
+	if err == nil {
+		t.Fatal("sweep with always-failing workers succeeded")
+	}
+	if !strings.Contains(err.Error(), "giving up") || !strings.Contains(err.Error(), "injected cell failure") {
+		t.Errorf("retry-exhausted error %q does not name the failure", err)
+	}
+}
+
+// TestShardedSweepAllWorkersDead covers the other loud-failure path:
+// every connection dies with cells outstanding.
+func TestShardedSweepAllWorkersDead(t *testing.T) {
+	storePath, _ := suiteStore(t)
+	cfg := Default()
+	cfg.SweepWorkers = 1
+	conns := spawnTestWorkers(t, 2)
+	conns[0].Close()
+	conns[1].Close()
+	_, err := Fig5Sharded(cfg, storePath, nil, conns, ShardOptions{})
+	if err == nil {
+		t.Fatal("sweep with all workers dead succeeded")
+	}
+	if !strings.Contains(err.Error(), "workers died") {
+		t.Errorf("all-dead error %q does not say the workers died", err)
+	}
+}

@@ -199,6 +199,48 @@ func foldBatches(rates []stats.Rate, cells [][]stats.Rate, batches [][2]int, nk,
 	}
 }
 
+// foldFig5Rows folds the flat kernel-major (kernel × design) rate grid
+// into Fig5 rows: per design, the mean of the per-kernel miss rates in
+// fixed suite order. Shared by the in-process and sharded sweeps so
+// both paths run the identical float fold.
+func foldFig5Rows(designs []string, rates []stats.Rate, nk int) []Fig5Row {
+	nd := len(designs)
+	out := make([]Fig5Row, nd)
+	vals := make([]float64, nk)
+	for j, d := range designs {
+		for i := 0; i < nk; i++ {
+			vals[i] = rates[i*nd+j].Value()
+		}
+		out[j] = Fig5Row{Design: d, MissRate: stats.Mean(vals)}
+	}
+	return out
+}
+
+// foldFig3Rows folds the flat kernel-major (kernel × scheme) rate grid
+// into per-kernel Fig3 rows plus the sample-weighted Average row, in
+// fixed suite order. Shared by the in-process and sharded sweeps.
+func foldFig3Rows(names []string, rates []stats.Rate) []Fig3Row {
+	nk, nd := len(names), len(trace.Fig3Designs)
+	rows := make([]Fig3Row, nk)
+	var agg [3]stats.Rate
+	for i := 0; i < nk; i++ {
+		rows[i].Kernel = names[i]
+		for j := 0; j < nd; j++ {
+			r := rates[i*nd+j]
+			rows[i].Rates[j] = r.Value()
+			rows[i].Samples[j] = r.Total
+			agg[j].Merge(r)
+		}
+	}
+	var avg Fig3Row
+	avg.Kernel = "Average"
+	for j := range agg {
+		avg.Rates[j] = agg[j].Value()
+		avg.Samples[j] = agg[j].Total
+	}
+	return append(rows, avg)
+}
+
 // suiteKernels resolves every suite kernel in the decoded set, in suite
 // order — the fixed fold order of every grid below.
 func suiteKernels(dec *trace.Decoded) ([]kernels.Workload, []*trace.DecodedKernel, error) {
@@ -253,15 +295,7 @@ func Fig5FromDecoded(cfg Config, dec *trace.Decoded, designs []string) ([]Fig5Ro
 	}
 	rates := make([]stats.Rate, nk*nd)
 	foldBatches(rates, cells, batches, nk, nd)
-	out := make([]Fig5Row, nd)
-	vals := make([]float64, nk)
-	for j, d := range designs {
-		for i := 0; i < nk; i++ {
-			vals[i] = rates[i*nd+j].Value()
-		}
-		out[j] = Fig5Row{Design: d, MissRate: stats.Mean(vals)}
-	}
-	return out, nil
+	return foldFig5Rows(designs, rates, nk), nil
 }
 
 // Fig3FromDecoded runs the Figure 3 correlation analysis over a decoded
@@ -298,24 +332,11 @@ func Fig3FromDecoded(cfg Config, dec *trace.Decoded) ([]Fig3Row, error) {
 	}
 	rates := make([]stats.Rate, nk*nd)
 	foldBatches(rates, cells, batches, nk, nd)
-	rows := make([]Fig3Row, nk)
-	var agg [3]stats.Rate
-	for i := 0; i < nk; i++ {
-		rows[i].Kernel = ws[i].Name
-		for j := 0; j < nd; j++ {
-			r := rates[i*nd+j]
-			rows[i].Rates[j] = r.Value()
-			rows[i].Samples[j] = r.Total
-			agg[j].Merge(r)
-		}
+	names := make([]string, nk)
+	for i, w := range ws {
+		names[i] = w.Name
 	}
-	var avg Fig3Row
-	avg.Kernel = "Average"
-	for j := range agg {
-		avg.Rates[j] = agg[j].Value()
-		avg.Samples[j] = agg[j].Total
-	}
-	return append(rows, avg), nil
+	return foldFig3Rows(names, rates), nil
 }
 
 // approxFromDecoded is the decoded-grid form of the approximate-adder
@@ -410,15 +431,7 @@ func Fig5FromDecodedPerDesign(cfg Config, dec *trace.Decoded, designs []string) 
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Fig5Row, nd)
-	vals := make([]float64, nk)
-	for j, d := range designs {
-		for i := 0; i < nk; i++ {
-			vals[i] = rates[i*nd+j].Value()
-		}
-		out[j] = Fig5Row{Design: d, MissRate: stats.Mean(vals)}
-	}
-	return out, nil
+	return foldFig5Rows(designs, rates, nk), nil
 }
 
 // Fig5FromSetPerDesign is the PR-3-style per-design replay baseline,

@@ -395,9 +395,10 @@ var ErrRecordingTooBig = errors.New("gpusim: recording exceeds byte budget")
 const readSegChunk = 64 << 10
 
 // ReadRecording deserializes a recording written by WriteTo, holding
-// segment payloads to the DefaultRecordMaxBytes budget.
+// segment payloads to the DefaultRecordMaxBytes budget (the same
+// 0-means-default idiom every other no-limit reader uses).
 func ReadRecording(rd io.Reader) (*Recording, error) {
-	return ReadRecordingLimit(rd, DefaultRecordMaxBytes)
+	return ReadRecordingLimit(rd, 0)
 }
 
 // ReadRecordingLimit deserializes a recording written by WriteTo,

@@ -92,6 +92,17 @@ func TestReadRecordingCorruptInputs(t *testing.T) {
 	})
 }
 
+// TestReadRecordingDefaultBudget pins that the no-limit entry point is
+// bounded: ReadRecording defaults to DefaultRecordMaxBytes, so a stream
+// declaring a segment past 1 GiB fails loudly instead of allocating.
+func TestReadRecordingDefaultBudget(t *testing.T) {
+	over := corruptHeader(1, 1, 1)
+	over = binary.AppendUvarint(over, DefaultRecordMaxBytes+1)
+	if _, err := ReadRecording(bytes.NewReader(over)); !errors.Is(err, ErrRecordingTooBig) {
+		t.Fatalf("ReadRecording error = %v, want ErrRecordingTooBig under the default budget", err)
+	}
+}
+
 // TestReadRecordingLimitRoundTrip checks a legitimate recording reads
 // back under its own size as the budget, and fails once the budget
 // drops below the payload.

@@ -570,61 +570,87 @@ func ReadDecodedTraced(r io.Reader, maxBytes uint64, workers int, tr *obs.Tracer
 	return d, nil
 }
 
-func readDecoded(r io.Reader, maxBytes uint64, workers int) (*Decoded, int64, error) {
+// storeInfo is the parsed header + section table of a store: everything
+// a reader needs to know before touching any section payload. headerLen
+// is the byte length of magic + fixed header + table — the file offset
+// of the first section payload.
+type storeInfo struct {
+	scale, numSMs int
+	seed          int64
+	flags         uint32
+	entries       []storeEntry
+	payloadTotal  uint64 // Σ declared section bytes
+	headerLen     int64
+}
+
+// readStoreInfo parses the store header and section table from r,
+// leaving r positioned at the first section payload. Every table row is
+// sanity-checked (name length, duplicates, lane/record consistency) and
+// the table itself is budget-checked before it is allocated. When
+// wholeFile is set the declared payload total and the full decoded
+// column footprint are also held to maxBytes — the full-load invariant;
+// a partial loader (StoreHandle) instead budgets each LoadKernels call
+// over just its requested sections, so a store bigger than one worker's
+// budget can still be read a slice at a time.
+func readStoreInfo(r io.Reader, maxBytes uint64, wholeFile bool) (*storeInfo, error) {
 	magic := make([]byte, len(storeMagicStr))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, 0, fmt.Errorf("trace: store header: %w", err)
+		return nil, fmt.Errorf("trace: store header: %w", err)
 	}
 	if string(magic) != storeMagicStr {
 		if strings.HasPrefix(string(magic), storeVersionPrefix) {
-			return nil, 0, fmt.Errorf("trace: unsupported decoded-store version %q (this build reads %q); regenerate the store",
+			return nil, fmt.Errorf("trace: unsupported decoded-store version %q (this build reads %q); regenerate the store",
 				strings.TrimSpace(string(magic)), strings.TrimSpace(storeMagicStr))
 		}
-		return nil, 0, fmt.Errorf("trace: not an st2gpu.decoded store (bad magic %q)", magic)
+		return nil, fmt.Errorf("trace: not an st2gpu.decoded store (bad magic %q)", magic)
 	}
 	var fixed [36]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return nil, 0, fmt.Errorf("trace: store header: %w", err)
+		return nil, fmt.Errorf("trace: store header: %w", err)
 	}
 	bom := binary.LittleEndian.Uint32(fixed[0:])
 	if bom != storeBOM {
 		if bits.ReverseBytes32(bom) == storeBOM {
-			return nil, 0, fmt.Errorf("trace: store byte-order mismatch (written as big-endian, this build reads little-endian)")
+			return nil, fmt.Errorf("trace: store byte-order mismatch (written as big-endian, this build reads little-endian)")
 		}
-		return nil, 0, fmt.Errorf("trace: corrupt store byte-order marker %#x (want %#x)", bom, storeBOM)
+		return nil, fmt.Errorf("trace: corrupt store byte-order marker %#x (want %#x)", bom, storeBOM)
 	}
-	scale := int(int32(binary.LittleEndian.Uint32(fixed[4:])))
-	numSMs := int(int32(binary.LittleEndian.Uint32(fixed[8:])))
-	seed := int64(binary.LittleEndian.Uint64(fixed[12:]))
-	flags := binary.LittleEndian.Uint32(fixed[20:])
+	info := &storeInfo{
+		scale:  int(int32(binary.LittleEndian.Uint32(fixed[4:]))),
+		numSMs: int(int32(binary.LittleEndian.Uint32(fixed[8:]))),
+		seed:   int64(binary.LittleEndian.Uint64(fixed[12:])),
+		flags:  binary.LittleEndian.Uint32(fixed[20:]),
+	}
 	nkern := binary.LittleEndian.Uint32(fixed[24:])
 	tableLen := binary.LittleEndian.Uint64(fixed[28:])
 
 	if tableLen > maxBytes {
-		return nil, 0, fmt.Errorf("trace: store declares a %d-byte section table with a %d-byte budget: %w",
+		return nil, fmt.Errorf("trace: store declares a %d-byte section table with a %d-byte budget: %w",
 			tableLen, maxBytes, ErrStoreTooBig)
 	}
 	table := make([]byte, tableLen)
 	if _, err := io.ReadFull(r, table); err != nil {
-		return nil, 0, fmt.Errorf("trace: store section table: %w", err)
+		return nil, fmt.Errorf("trace: store section table: %w", err)
 	}
+	info.headerLen = int64(len(storeMagicStr)) + int64(len(fixed)) + int64(tableLen)
 
 	// Parse and sanity-check every table row before any section payload
 	// or column allocation: declared payload bytes and the decoded column
-	// footprint both stay under the budget, and lane counts must be
-	// consistent with record counts (1..32 active lanes per record).
-	entries := make([]storeEntry, 0, nkern)
+	// footprint both stay under the budget (full loads), and lane counts
+	// must be consistent with record counts (1..32 active lanes per
+	// record).
+	info.entries = make([]storeEntry, 0, nkern)
 	seen := make(map[string]bool, nkern)
-	var payloadTotal, footprint uint64
+	var footprint uint64
 	pos := 0
 	for i := uint32(0); i < nkern; i++ {
 		if len(table)-pos < 2 {
-			return nil, 0, fmt.Errorf("trace: store section table truncated at entry %d", i)
+			return nil, fmt.Errorf("trace: store section table truncated at entry %d", i)
 		}
 		nameLen := int(binary.LittleEndian.Uint16(table[pos:]))
 		pos += 2
 		if nameLen > maxSetNameLen || len(table)-pos < nameLen+16 {
-			return nil, 0, fmt.Errorf("trace: store section table entry %d truncated or name too long (%d bytes)", i, nameLen)
+			return nil, fmt.Errorf("trace: store section table entry %d truncated or name too long (%d bytes)", i, nameLen)
 		}
 		name := string(table[pos : pos+nameLen])
 		pos += nameLen
@@ -633,46 +659,54 @@ func readDecoded(r io.Reader, maxBytes uint64, workers int) (*Decoded, int64, er
 		sectLen := binary.LittleEndian.Uint64(table[pos+8:])
 		pos += 16
 		if seen[name] {
-			return nil, 0, fmt.Errorf("trace: store declares kernel %q twice", name)
+			return nil, fmt.Errorf("trace: store declares kernel %q twice", name)
 		}
 		seen[name] = true
 		if uint64(lanes) < uint64(records) || uint64(lanes) > 32*uint64(records) {
-			return nil, 0, fmt.Errorf("trace: store kernel %q declares %d lanes for %d records (want 1..32 per record)",
+			return nil, fmt.Errorf("trace: store kernel %q declares %d lanes for %d records (want 1..32 per record)",
 				name, lanes, records)
 		}
-		if sectLen > maxBytes-payloadTotal {
-			return nil, 0, fmt.Errorf("trace: store kernel %q declares %d payload bytes with %d of %d remaining: %w",
-				name, sectLen, maxBytes-payloadTotal, maxBytes, ErrStoreTooBig)
+		if wholeFile {
+			if sectLen > maxBytes-info.payloadTotal {
+				return nil, fmt.Errorf("trace: store kernel %q declares %d payload bytes with %d of %d remaining: %w",
+					name, sectLen, maxBytes-info.payloadTotal, maxBytes, ErrStoreTooBig)
+			}
+			// Decoded footprint: ~21 bytes per record of mask/offset columns
+			// plus four 8-byte lane columns. Checked against the same budget
+			// so a tiny file full of width-0 blocks cannot demand gigabytes.
+			footprint += entryFootprint(int(records), int(lanes))
+			if footprint > maxBytes {
+				return nil, fmt.Errorf("trace: store declares a %d-byte decoded footprint with a %d-byte budget: %w",
+					footprint, maxBytes, ErrStoreTooBig)
+			}
+		} else if sectLen > uint64(1)<<62-info.payloadTotal {
+			// Even a partial reader refuses absurd declared lengths: the
+			// payload total must stay far below int64 so section offset
+			// arithmetic cannot overflow.
+			return nil, fmt.Errorf("trace: store kernel %q declares a %d-byte section: %w", name, sectLen, ErrStoreTooBig)
 		}
-		payloadTotal += sectLen
-		// Decoded footprint: ~21 bytes per record of mask/offset columns
-		// plus four 8-byte lane columns. Checked against the same budget
-		// so a tiny file full of width-0 blocks cannot demand gigabytes.
-		footprint += 21*uint64(records) + 32*uint64(lanes)
-		if footprint > maxBytes {
-			return nil, 0, fmt.Errorf("trace: store declares a %d-byte decoded footprint with a %d-byte budget: %w",
-				footprint, maxBytes, ErrStoreTooBig)
-		}
-		entries = append(entries, storeEntry{name: name, records: int(records), lanes: int(lanes), sectLen: sectLen})
+		info.payloadTotal += sectLen
+		info.entries = append(info.entries, storeEntry{name: name, records: int(records), lanes: int(lanes), sectLen: sectLen})
 	}
 	if pos != len(table) {
-		return nil, 0, fmt.Errorf("trace: store section table holds %d trailing bytes", len(table)-pos)
+		return nil, fmt.Errorf("trace: store section table holds %d trailing bytes", len(table)-pos)
 	}
+	return info, nil
+}
 
-	// Sequential payload read (chunked so a lying length fails at true
-	// EOF, like the recording reader), then parallel section decode with
-	// results folded in table order.
-	bufs := make([][]byte, len(entries))
-	for i, ent := range entries {
-		buf, err := readSection(r, ent.sectLen)
-		if err != nil {
-			return nil, 0, fmt.Errorf("trace: store kernel %q payload: %w", ent.name, err)
-		}
-		bufs[i] = buf
-	}
+// entryFootprint is the decoded in-memory cost of one kernel's columns:
+// ~21 bytes per record of mask/offset columns plus four 8-byte lane
+// columns.
+func entryFootprint(records, lanes int) uint64 {
+	return 21*uint64(records) + 32*uint64(lanes)
+}
 
+// decodeSections decodes the given section payload buffers on a bounded
+// pool and folds them, in entries order, into a Decoded stamped with the
+// store's capture config. bufs[i] is entries[i]'s payload.
+func (info *storeInfo) decodeSections(entries []storeEntry, bufs [][]byte, workers int) (*Decoded, error) {
 	d := &Decoded{
-		Scale: scale, NumSMs: numSMs, Seed: seed,
+		Scale: info.scale, NumSMs: info.numSMs, Seed: info.seed,
 		names:   make([]string, len(entries)),
 		kernels: make(map[string]*DecodedKernel, len(entries)),
 	}
@@ -688,7 +722,7 @@ func readDecoded(r io.Reader, maxBytes uint64, workers int) (*Decoded, int64, er
 			defer wg.Done()
 			defer func() { <-sem }()
 			k, err := decodeSection(bufs[i], ent.records, ent.lanes,
-				flags&storeHasSum != 0, flags&storeHasCarries != 0)
+				info.flags&storeHasSum != 0, info.flags&storeHasCarries != 0)
 			if err != nil {
 				errs[i] = fmt.Errorf("trace: store kernel %q: %w", ent.name, err)
 				return
@@ -699,15 +733,38 @@ func readDecoded(r io.Reader, maxBytes uint64, workers int) (*Decoded, int64, er
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 	}
-	var total int64 = int64(len(storeMagicStr)) + int64(len(fixed)) + int64(tableLen) + int64(payloadTotal)
 	for i, ent := range entries {
 		d.names[i] = ent.name
 		d.kernels[ent.name] = decoded[i]
 	}
-	return d, total, nil
+	return d, nil
+}
+
+func readDecoded(r io.Reader, maxBytes uint64, workers int) (*Decoded, int64, error) {
+	info, err := readStoreInfo(r, maxBytes, true)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Sequential payload read (chunked so a lying length fails at true
+	// EOF, like the recording reader), then parallel section decode with
+	// results folded in table order.
+	bufs := make([][]byte, len(info.entries))
+	for i, ent := range info.entries {
+		buf, err := readSection(r, ent.sectLen)
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace: store kernel %q payload: %w", ent.name, err)
+		}
+		bufs[i] = buf
+	}
+	d, err := info.decodeSections(info.entries, bufs, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, info.headerLen + int64(info.payloadTotal), nil
 }
 
 // readSection reads a section payload incrementally so a lying length

@@ -86,4 +86,26 @@ sspeedup=$(last store_load_speedup)
 [ -n "$sspeedup" ] || fail "store_load_speedup missing from $OUT"
 awk "BEGIN { exit !($sspeedup >= 3.0) }" || fail "store load speedup $sspeedup < 3.0x over varint decode"
 
-echo "bench-dse: OK (batched ${bspeedup}x / decode-once ${speedup}x over per-design replay, batched ${bevalrate} eval-ops/s, decode ${decops} ops/s, store load ${sspeedup}x over decode, identical rows, $OUT)"
+# Sharded-sweep fields: the distributed path must have run (2 worker
+# subprocesses), produced bit-identical rows (folded into `identical`
+# above), and recorded a nonzero throughput. No >1 floor vs batched —
+# on a small single-host grid the subprocess spawn + IPC tax dominates;
+# the win is the multi-host scale-out the trend gate tracks.
+[ "$(last shards)" = "2" ] || fail "sharded sweep did not run over 2 workers"
+srate=$(last sharded_eval_ops_per_sec)
+[ -n "$srate" ] || fail "sharded_eval_ops_per_sec missing from $OUT"
+awk "BEGIN { exit !($srate > 0) }" || fail "sharded eval throughput is zero"
+
+# Partial-load floor: opening the store and loading ONE kernel's
+# sections must beat a full-store load by 2x — the whole point of the
+# section table is that a shard worker's load time tracks its
+# assignment, so losing this means LoadKernels regressed into reading
+# the file.
+prate=$(last store_partial_load_ops_per_sec)
+[ -n "$prate" ] || fail "store_partial_load_ops_per_sec missing from $OUT"
+awk "BEGIN { exit !($prate > 0) }" || fail "partial store load throughput is zero"
+pspeedup=$(last store_partial_load_speedup)
+[ -n "$pspeedup" ] || fail "store_partial_load_speedup missing from $OUT"
+awk "BEGIN { exit !($pspeedup >= 2.0) }" || fail "partial-load speedup $pspeedup < 2.0x over a full store load"
+
+echo "bench-dse: OK (batched ${bspeedup}x / decode-once ${speedup}x over per-design replay, batched ${bevalrate} eval-ops/s, decode ${decops} ops/s, store load ${sspeedup}x over decode, partial load ${pspeedup}x over full, sharded ${srate} eval-ops/s, identical rows, $OUT)"

@@ -21,6 +21,13 @@ go test -race ./...
 # failure here names the broken invariant directly).
 go test -race -count=1 -run TestSweepBitIdenticalAcrossWorkers ./internal/experiments
 
+# Distributed-sweep determinism gate: a scale-1 sweep sharded over real
+# worker subprocesses (2 and 3 shards × 1 and 2 sweep-workers, partial
+# kernel-section loads from the store) must produce rows DeepEqual to
+# the in-process grid, under the race detector — the named smoke for
+# the coordinator/worker protocol and the lease/requeue machinery.
+go test -race -count=1 -run 'TestShardedSweepMatchesInProcess|TestShardedSweepSurvivesWorkerKill' ./internal/experiments
+
 # Short fuzz pass over the recording decoder: seeds plus a few seconds
 # of mutation must never panic, over-allocate, or round-trip unstably.
 go test -run='^$' -fuzz=FuzzReadRecording -fuzztime=5s ./internal/gpusim

@@ -7,10 +7,12 @@
 # per-design decode, a sweep gone sequential, a suite that stopped
 # simulating), not CI-host jitter.
 #
-#   BENCH_dse.json   batched_eval_ops_per_sec ≥ 0.25 × best prior
-#                    decode_ops_per_sec       ≥ 0.25 × best prior
-#                    store_load_ops_per_sec   ≥ 0.25 × best prior
-#                    identical                == true (bit-identity verdict)
+#   BENCH_dse.json   batched_eval_ops_per_sec       ≥ 0.25 × best prior
+#                    decode_ops_per_sec             ≥ 0.25 × best prior
+#                    store_load_ops_per_sec         ≥ 0.25 × best prior
+#                    sharded_eval_ops_per_sec       ≥ 0.25 × best prior
+#                    store_partial_load_ops_per_sec ≥ 0.25 × best prior
+#                    identical                      == true (bit-identity verdict)
 #   BENCH_smoke.json total_seconds            ≤ 5 × best prior
 #                    kernels                  ≥ best prior (suite never shrinks)
 set -eu
@@ -28,6 +30,8 @@ go run ./cmd/st2trend -q \
     -gate batched_eval_ops_per_sec:higher:0.25 \
     -gate decode_ops_per_sec:higher:0.25 \
     -gate store_load_ops_per_sec:higher:0.25 \
+    -gate sharded_eval_ops_per_sec:higher:0.25 \
+    -gate store_partial_load_ops_per_sec:higher:0.25 \
     -gate identical:true \
     -gate total_seconds:lower:5.0 \
     -gate kernels:higher:1.0 \
