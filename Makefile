@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race fuzz-smoke check bench bench-smoke bench-dse trend-gate
+.PHONY: build test vet lint lint-clean race fuzz-smoke check bench bench-smoke bench-dse trend-gate
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,20 @@ test:
 vet:
 	$(GO) vet ./...
 
-# st2lint: the determinism/shard-ownership analyzers (DESIGN.md §11).
-# Exits non-zero on any finding not suppressed by //st2:det-ok <reason>.
+# st2lint: the determinism analyzers (DESIGN.md §11) plus the
+# concurrency-safety and wire-taint analyzers (DESIGN.md §16). Exits
+# non-zero on any finding not suppressed by //st2:det-ok <reason> /
+# //st2:conc-ok <reason> and not in the committed (empty) baseline. The
+# `go list` package-discovery step is cached under .cache/st2lint/,
+# keyed on the toolchain, go.mod, and every non-testdata .go file, so
+# repeat runs skip the subprocess.
 lint:
-	$(GO) run ./cmd/st2lint ./...
+	$(GO) run ./cmd/st2lint -cache .cache/st2lint -baseline .st2lint-baseline.json ./...
+
+# Drop the cached go-list load (it self-invalidates on any .go edit;
+# this is for reclaiming space or forcing a cold run).
+lint-clean:
+	rm -rf .cache/st2lint
 
 # Race-detector run over the packages that exercise the parallel per-SM
 # launch path (plus everything downstream of it).

@@ -1,17 +1,31 @@
-// Command st2lint statically enforces the simulator's determinism and
-// shard-ownership invariants: the bit-identical-at-any-worker-count
-// guarantee behind every reproduced paper figure is checked at lint
+// Command st2lint statically enforces the simulator's determinism,
+// shard-ownership, concurrency-safety, and wire-input-hardening
+// invariants: the bit-identical-at-any-worker-count guarantee behind
+// every reproduced paper figure — and the decode-validate-then-spawn
+// discipline behind every daemon-facing surface — are checked at lint
 // time, not just by the runtime identity tests.
 //
 // Usage:
 //
-//	st2lint [-run detmaprange,detclock,...] [-json] [-v] ./...
+//	st2lint [-run detmaprange,wiretaint,...] [-json|-sarif] [-baseline file]
+//	        [-write-baseline file] [-cache dir] [-v] ./...
 //
-// st2lint exits 1 when any finding survives suppression filtering, so
-// `make lint` (and `make check`, which runs it before the race-detector
-// suite) fails fast on a violation. A finding is suppressed by a
-// `//st2:det-ok <reason>` comment on the flagged line or the line
-// above; the reason is mandatory (see the detok analyzer).
+// st2lint exits 1 when any finding survives suppression and baseline
+// filtering, so `make lint` (and `make check`, which runs it before the
+// race-detector suite) fails fast on a violation. A finding is
+// suppressed by a `//st2:det-ok <reason>` (determinism family) or
+// `//st2:conc-ok <reason>` (concurrency family) comment on the flagged
+// line or the line above; the reason is mandatory, and a reasoned
+// suppression that covers no finding is itself flagged as stale (see
+// the detok analyzer).
+//
+// The baseline workflow freezes known findings so new code is held to
+// the full standard while legacy findings are burned down deliberately:
+// `-write-baseline .st2lint-baseline.json` records today's findings;
+// `-baseline .st2lint-baseline.json` filters exactly those (matched by
+// analyzer, file, and message — line numbers excluded, so unrelated
+// edits don't resurrect them). The repository commits its baseline; it
+// is empty, and must stay empty.
 //
 // Analyzers (each documents the invariant it encodes in its Doc):
 //
@@ -19,7 +33,11 @@
 //	detclock     no wall-clock/global-rand reads in simulation code
 //	shardown     worker goroutines write only worker-owned shards
 //	foldorder    cross-shard float folds only in blessed fold helpers
-//	detok        suppressions must carry a reason
+//	wiretaint    wire-decoded lengths are budget-checked before allocation
+//	goleak       every go statement has a statically-visible exit path
+//	lockorder    stripe-array locks are acquired in ascending order
+//	chandisc     dispatcher channel sends cannot block forever
+//	detok        suppressions carry reasons and cover real findings
 package main
 
 import (
@@ -27,21 +45,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"st2gpu/internal/analysis"
 )
 
 func main() {
 	var (
-		runList  = flag.String("run", "", "comma-separated analyzers to run (default: all)")
-		jsonOut  = flag.Bool("json", false, "emit findings as JSON lines")
-		verbose  = flag.Bool("v", false, "print per-analyzer docs and a summary")
-		listOnly = flag.Bool("list", false, "list analyzers and exit")
+		runList   = flag.String("run", "", "comma-separated analyzers to run (default: all)")
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON lines")
+		sarifOut  = flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 document")
+		baseline  = flag.String("baseline", "", "filter findings recorded in this baseline file")
+		writeBase = flag.String("write-baseline", "", "write surviving findings to this baseline file and exit 0")
+		cacheDir  = flag.String("cache", "", "cache the go-list package load under this directory")
+		verbose   = flag.Bool("v", false, "print per-analyzer docs and a summary")
+		listOnly  = flag.Bool("list", false, "list analyzers and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: st2lint [-run names] [-json] [-v] packages...\n\n"+
-				"Statically enforces determinism and shard-ownership invariants.\n\n")
+			"usage: st2lint [-run names] [-json|-sarif] [-baseline file] [-cache dir] [-v] packages...\n\n"+
+				"Statically enforces determinism, shard-ownership, and concurrency-safety invariants.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,6 +88,10 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "st2lint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -76,26 +104,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(wd, patterns, analyzers)
+	diags, err := analysis.Run(wd, patterns, analyzers, *cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		if *jsonOut {
-			b, err := json.Marshal(struct {
-				File     string `json:"file"`
-				Line     int    `json:"line"`
-				Col      int    `json:"col"`
-				Analyzer string `json:"analyzer"`
-				Message  string `json:"message"`
-			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+
+	if *writeBase != "" {
+		if err := writeBaseline(*writeBase, wd, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "st2lint: wrote %d baseline entries to %s\n", len(diags), *writeBase)
+		return
+	}
+	if *baseline != "" {
+		diags, err = filterBaseline(*baseline, wd, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *sarifOut:
+		if err := emitSARIF(os.Stdout, wd, analyzers, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *jsonOut:
+		for _, d := range diags {
+			b, err := json.Marshal(jsonFinding{
+				File:      d.Pos.Filename,
+				Line:      d.Pos.Line,
+				Col:       d.Pos.Column,
+				EndLine:   d.End.Line,
+				EndCol:    d.End.Column,
+				Analyzer:  d.Analyzer,
+				Directive: d.Directive,
+				Message:   d.Message,
+			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
 			fmt.Println(string(b))
-		} else {
+		}
+	default:
+		for _, d := range diags {
 			fmt.Println(d.String())
 		}
 	}
@@ -105,4 +161,84 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json line schema. file/line/col/analyzer/message
+// are the original fields; endLine/endCol and directive extend the
+// schema without renaming anything, so existing consumers keep working.
+type jsonFinding struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	EndLine   int    `json:"endLine"`
+	EndCol    int    `json:"endCol"`
+	Analyzer  string `json:"analyzer"`
+	Directive string `json:"directive,omitempty"`
+	Message   string `json:"message"`
+}
+
+// baselineFile is the committed-baseline schema. Entries match on
+// (analyzer, file, message) — deliberately no line numbers, so editing
+// an unrelated part of a file neither hides nor resurrects an entry.
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func baselineKey(wd string, d analysis.Diagnostic) baselineEntry {
+	return baselineEntry{Analyzer: d.Analyzer, File: relPath(wd, d.Pos.Filename), Message: d.Message}
+}
+
+// relPath makes a diagnostic path repo-relative with forward slashes so
+// baselines and SARIF output are machine-independent.
+func relPath(wd, file string) string {
+	if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+func writeBaseline(path, wd string, diags []analysis.Diagnostic) error {
+	bf := baselineFile{Version: 1, Entries: []baselineEntry{}}
+	seen := make(map[baselineEntry]bool)
+	for _, d := range diags {
+		e := baselineKey(wd, d)
+		if !seen[e] {
+			seen[e] = true
+			bf.Entries = append(bf.Entries, e)
+		}
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func filterBaseline(path, wd string, diags []analysis.Diagnostic) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("st2lint: reading baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("st2lint: parsing baseline %s: %w", path, err)
+	}
+	known := make(map[baselineEntry]bool, len(bf.Entries))
+	for _, e := range bf.Entries {
+		known[e] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !known[baselineKey(wd, d)] {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
 }

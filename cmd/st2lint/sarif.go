@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"st2gpu/internal/analysis"
+)
+
+// SARIF 2.1.0 output, the subset CI annotators (GitHub code scanning,
+// most SARIF viewers) consume: one run, one rule per analyzer, one
+// result per finding with a start/end region. Hand-rolled structs keep
+// the dependency surface at zero.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+// emitSARIF writes the findings as one SARIF run. Paths are
+// repo-relative; the region carries the full flagged range when the
+// analyzer reported one.
+func emitSARIF(w io.Writer, wd string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	ruleIndex := make(map[string]int, len(analyzers))
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		short, _, _ := strings.Cut(a.Doc, "\n")
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: short},
+			FullDescription:  sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		region := sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column}
+		if d.End.Line > d.Pos.Line || (d.End.Line == d.Pos.Line && d.End.Column > d.Pos.Column) {
+			region.EndLine = d.End.Line
+			region.EndColumn = d.End.Column
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(wd, d.Pos.Filename)},
+					Region:           region,
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "st2lint", Rules: rules}}, Results: results}},
+	})
+}

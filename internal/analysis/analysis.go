@@ -45,12 +45,27 @@ type Analyzer struct {
 	Name string
 	// Doc states the invariant the analyzer encodes, first line short.
 	Doc string
+	// Directive is the suppression directive that silences this
+	// analyzer's findings ("det-ok" or "conc-ok"); empty means det-ok.
+	// The determinism analyzers answer to //st2:det-ok, the concurrency
+	// and input-hardening analyzers to //st2:conc-ok, so a reviewer can
+	// tell at the suppression site which invariant family is being
+	// waived.
+	Directive string
 	// Skip reports whether the analyzer does not apply to the package
 	// with the given import path (nil: applies everywhere). Skipped
 	// packages are not traversed at all.
 	Skip func(pkgPath string) bool
 	// Run performs the check, reporting findings through the pass.
 	Run func(*Pass) error
+}
+
+// directive returns the analyzer's suppression directive name,
+// defaulting to det-ok.
+// directive returns the suppression family for a's findings; empty for
+// detok, whose findings are unsuppressible.
+func (a *Analyzer) directive() string {
+	return a.Directive
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -62,23 +77,43 @@ type Pass struct {
 	TypesInfo *types.Info
 	PkgPath   string
 
+	facts *Facts
 	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportRangef(pos, pos, format, args...)
+}
+
+// ReportRangef records a finding spanning [pos, end), so editor and CI
+// annotators can underline the whole offending expression rather than
+// one column.
+func (p *Pass) ReportRangef(pos, end token.Pos, format string, args ...any) {
+	endp := p.Fset.Position(pos)
+	if end.IsValid() && end >= pos {
+		endp = p.Fset.Position(end)
+	}
 	*p.diags = append(*p.diags, Diagnostic{
-		Analyzer: p.Analyzer.Name,
-		Pos:      p.Fset.Position(pos),
-		Message:  fmt.Sprintf(format, args...),
+		Analyzer:  p.Analyzer.Name,
+		Directive: p.Analyzer.directive(),
+		Pos:       p.Fset.Position(pos),
+		End:       endp,
+		Message:   fmt.Sprintf(format, args...),
 	})
 }
 
 // Diagnostic is one finding, with its position resolved.
 type Diagnostic struct {
 	Analyzer string
-	Pos      token.Position
-	Message  string
+	// Directive names the suppression directive that can silence this
+	// finding (det-ok or conc-ok); empty for unsuppressible findings.
+	Directive string
+	Pos       token.Position
+	// End is the exclusive end of the flagged range; equal to Pos for
+	// point findings.
+	End     token.Position
+	Message string
 }
 
 func (d Diagnostic) String() string {
@@ -103,18 +138,34 @@ func SortDiagnostics(diags []Diagnostic) {
 	})
 }
 
-// DetOkPrefix introduces a suppression comment. The directive form (no
-// space after //, like //go:build) keeps it out of godoc.
-const DetOkPrefix = "//st2:det-ok"
+// Suppression directive names and their comment prefixes. The directive
+// form (no space after //, like //go:build) keeps them out of godoc.
+const (
+	// DirectiveDetOk suppresses determinism findings (detmaprange,
+	// detclock, shardown, foldorder).
+	DirectiveDetOk = "det-ok"
+	// DirectiveConcOk suppresses concurrency-safety and input-hardening
+	// findings (wiretaint, goleak, lockorder, chandisc).
+	DirectiveConcOk = "conc-ok"
 
-// Suppression is one parsed //st2:det-ok comment.
-type Suppression struct {
-	Pos    token.Position
-	Reason string // empty reasons are invalid and suppress nothing
-	Used   bool
+	DetOkPrefix  = "//st2:det-ok"
+	ConcOkPrefix = "//st2:conc-ok"
+)
+
+// DirectivePrefix returns the comment prefix for a directive name.
+func DirectivePrefix(directive string) string {
+	return "//st2:" + directive
 }
 
-// Suppressions collects every det-ok comment in the files, keyed by
+// Suppression is one parsed //st2:det-ok or //st2:conc-ok comment.
+type Suppression struct {
+	Pos       token.Position
+	Directive string // det-ok or conc-ok
+	Reason    string // empty reasons are invalid and suppress nothing
+	Used      bool
+}
+
+// Suppressions collects every suppression comment in the files, keyed by
 // (filename, line). Multi-line comment groups attach each directive to
 // its own line.
 func Suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]*Suppression {
@@ -122,36 +173,40 @@ func Suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]*Su
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, DetOkPrefix)
-				if !ok {
-					continue
+				for _, directive := range []string{DirectiveDetOk, DirectiveConcOk} {
+					text, ok := strings.CutPrefix(c.Text, DirectivePrefix(directive))
+					if !ok {
+						continue
+					}
+					// Guard against //st2:det-okay and friends: the directive
+					// must end exactly at the prefix or be followed by space.
+					if text != "" && text[0] != ' ' && text[0] != '\t' {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					byLine := out[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]*Suppression)
+						out[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = &Suppression{Pos: pos, Directive: directive, Reason: strings.TrimSpace(text)}
+					break
 				}
-				// Guard against //st2:det-okay and friends: the directive
-				// must end exactly at the prefix or be followed by space.
-				if text != "" && text[0] != ' ' && text[0] != '\t' {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				byLine := out[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]*Suppression)
-					out[pos.Filename] = byLine
-				}
-				byLine[pos.Line] = &Suppression{Pos: pos, Reason: strings.TrimSpace(text)}
 			}
 		}
 	}
 	return out
 }
 
-// Filter drops findings covered by a valid suppression on the same line
-// or the line directly above, marking those suppressions used. Findings
-// from the detok analyzer itself are never suppressible.
+// Filter drops findings covered by a valid suppression — with the
+// matching directive — on the same line or the line directly above,
+// marking those suppressions used. Findings from the detok analyzer
+// itself are never suppressible.
 func Filter(diags []Diagnostic, sup map[string]map[int]*Suppression) []Diagnostic {
 	kept := diags[:0]
 	for _, d := range diags {
 		if d.Analyzer != DetOk.Name {
-			if s := lookupSuppression(sup, d.Pos); s != nil && s.Reason != "" {
+			if s := lookupSuppression(sup, d.Pos); s != nil && s.Reason != "" && s.Directive == d.Directive {
 				s.Used = true
 				continue
 			}
@@ -172,9 +227,49 @@ func lookupSuppression(sup map[string]map[int]*Suppression, pos token.Position) 
 	return byLine[pos.Line-1]
 }
 
-// runOne applies one analyzer to one package.
+// StaleSuppressions reports reasoned suppressions that covered no
+// finding — dead directives that accumulate silently and hide nothing.
+// A directive family is only judged when every analyzer it can suppress
+// ran (otherwise a det-ok for a not-run analyzer would look stale), and
+// the findings are attributed to detok, so they are unsuppressible like
+// the rest of the suppression-hygiene checks.
+func StaleSuppressions(sup map[string]map[int]*Suppression, analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	if !ran[DetOk.Name] {
+		return nil
+	}
+	complete := map[string]bool{DirectiveDetOk: true, DirectiveConcOk: true}
+	for _, a := range All() {
+		if a.Name != DetOk.Name && !ran[a.Name] {
+			complete[a.directive()] = false
+		}
+	}
+	var out []Diagnostic
+	for _, byLine := range sup {
+		for _, s := range byLine {
+			if s.Used || s.Reason == "" || !complete[s.Directive] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: DetOk.Name,
+				Pos:      s.Pos,
+				End:      s.Pos,
+				Message: fmt.Sprintf(
+					"stale %s suppression: no analyzer reports anything on this line; delete the directive (dead suppressions hide future findings)",
+					DirectivePrefix(s.Directive)),
+			})
+		}
+	}
+	return out
+}
+
+// runOne applies one analyzer to one package, with facts carried across
+// packages of the same run.
 func runOne(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package,
-	info *types.Info, pkgPath string, diags *[]Diagnostic) error {
+	info *types.Info, pkgPath string, facts *Facts, diags *[]Diagnostic) error {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      fset,
@@ -182,6 +277,7 @@ func runOne(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pack
 		Pkg:       pkg,
 		TypesInfo: info,
 		PkgPath:   pkgPath,
+		facts:     facts,
 		diags:     diags,
 	}
 	return a.Run(pass)

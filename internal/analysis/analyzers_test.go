@@ -29,30 +29,62 @@ func TestFoldOrder(t *testing.T) {
 	analysistest.Run(t, testdata("foldorder"), analysis.FoldOrder)
 }
 
+func TestWireTaint(t *testing.T) {
+	analysistest.Run(t, testdata("wiretaint"), analysis.WireTaint)
+}
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, testdata("goleak"), analysis.GoLeak)
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, testdata("lockorder"), analysis.LockOrder)
+}
+
+func TestChanDisc(t *testing.T) {
+	analysistest.Run(t, testdata("chandisc"), analysis.ChanDisc)
+}
+
+// TestCrossPackageFacts loads the importer half of the fact-propagation
+// fixture: testdata/factimp imports testdata/factdep, whose shardown
+// writes-summary and lockorder locks-stripes facts are exported while
+// checking the dependency and consumed at factimp's call sites. Every
+// want comment in factimp exists only because a fact crossed the
+// package boundary.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, testdata("factimp"), analysis.ShardOwn, analysis.LockOrder)
+}
+
 // TestDetOk asserts on the diagnostics directly: detok reports at the
 // offending comment's own position, so a want comment cannot share the
-// line with it.
+// line with it. Running detok alone leaves both directive families
+// incomplete, so the reasoned-but-unused suppression in the fixture is
+// NOT reported as stale here.
 func TestDetOk(t *testing.T) {
 	diags, _, _ := analysistest.Check(t, testdata("detok"), analysis.DetOk)
-	if len(diags) != 2 {
-		t.Fatalf("got %d findings, want 2:\n%v", len(diags), diags)
+	wants := []string{
+		"//st2:det-ok suppression is missing a reason",
+		"//st2:conc-ok suppression is missing a reason",
+		`unknown //st2: directive "//st2:det-okay"`,
+		`unknown //st2: directive "//st2:conc-okay"`,
 	}
-	if !strings.Contains(diags[0].Message, "missing a reason") {
-		t.Errorf("first finding should flag the reasonless det-ok, got: %s", diags[0].String())
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(wants), diags)
 	}
-	if !strings.Contains(diags[1].Message, "unknown //st2: directive") ||
-		!strings.Contains(diags[1].Message, "det-okay") {
-		t.Errorf("second finding should flag the //st2:det-okay typo, got: %s", diags[1].String())
-	}
-	if diags[0].Pos.Line >= diags[1].Pos.Line {
-		t.Errorf("findings out of source order: %v", diags)
+	for i, want := range wants {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("finding %d should contain %q, got: %s", i, want, diags[i].String())
+		}
+		if i > 0 && diags[i-1].Pos.Line >= diags[i].Pos.Line {
+			t.Errorf("findings out of source order: %v", diags)
+		}
 	}
 }
 
-// TestDetOkNeverSuppressed pins the rule that a det-ok finding cannot
-// be silenced by another det-ok: running detok together with detclock
-// over the detclock fixtures must keep detclock suppressions working
-// without detok gaining any.
+// TestDetOkNeverSuppressed pins two rules at once: a detok finding
+// cannot be silenced by another directive, and with the full suite
+// running both directive families are complete, so the reasoned
+// suppression that covers nothing becomes a stale finding.
 func TestDetOkNeverSuppressed(t *testing.T) {
 	diags, _, _ := analysistest.Check(t, testdata("detok"), analysis.All()...)
 	for _, d := range diags {
@@ -60,15 +92,31 @@ func TestDetOkNeverSuppressed(t *testing.T) {
 			t.Errorf("non-detok finding in detok fixtures: %s", d.String())
 		}
 	}
-	if len(diags) != 2 {
-		t.Errorf("got %d detok findings, want 2:\n%v", len(diags), diags)
+	if len(diags) != 5 {
+		t.Fatalf("got %d detok findings, want 5 (4 directive errors + 1 stale):\n%v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "stale //st2:det-ok suppression") {
+		t.Errorf("first finding should flag the stale reasoned suppression, got: %s", diags[0].String())
+	}
+}
+
+// TestStaleNotReportedForPartialFamily: a reasoned det-ok must not be
+// called stale when only part of its analyzer family ran — the analyzer
+// it suppresses might be one that did not run.
+func TestStaleNotReportedForPartialFamily(t *testing.T) {
+	diags, _, _ := analysistest.Check(t, testdata("detok"),
+		analysis.DetClock, analysis.DetOk)
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale") {
+			t.Errorf("stale finding with incomplete det-ok family: %s", d.String())
+		}
 	}
 }
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 5", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 9", len(all), err)
 	}
 	two, err := analysis.ByName("detmaprange, detok")
 	if err != nil || len(two) != 2 || two[0].Name != "detmaprange" || two[1].Name != "detok" {
@@ -90,7 +138,9 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if !seen["detok"] {
-		t.Error("suite must include the detok companion check")
+	for _, name := range []string{"detok", "wiretaint", "goleak", "lockorder", "chandisc"} {
+		if !seen[name] {
+			t.Errorf("suite must include %s", name)
+		}
 	}
 }

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanDisc enforces the shard coordinator's channel discipline (PR 7,
+// DESIGN.md §12): a coordinator that feeds worker goroutines over
+// channels must never be able to block forever on a send. A send that
+// can block with no escape deadlocks the whole dispatch loop the moment
+// one worker dies without draining.
+//
+// The check applies to sends inside goroutine bodies and inside
+// functions that spawn goroutines (the dispatcher shape). Each such
+// send must satisfy one of:
+//
+//   - the channel's make site is visible and buffered with a capacity
+//     DERIVED from the workload (`perConn+2`, `len(conns)*n`,
+//     `storeWorkers(w)`) — the buffer provably covers the in-flight
+//     message count;
+//   - the make site is buffered with a bare literal capacity AND the
+//     make line carries a comment justifying the number — magic buffer
+//     sizes hide exactly the races this analyzer exists for;
+//   - the send is a select case alongside a quit/default escape, so a
+//     stalled receiver cannot wedge the sender.
+//
+// Unbuffered channels, or channels whose make site is not visible in
+// the function (parameters, struct fields), require the select guard.
+var ChanDisc = &Analyzer{
+	Name:      "chandisc",
+	Directive: DirectiveConcOk,
+	Doc: "requires dispatcher channel sends to be unblockable\n\n" +
+		"Buffered with derived capacity, literal capacity with a " +
+		"justifying comment, or select-guarded with an escape case.",
+	Skip: skipUnder(
+		"st2gpu/internal/analysis",
+		"st2gpu/examples",
+	),
+	Run: runChanDisc,
+}
+
+func runChanDisc(pass *Pass) error {
+	cd := &chanDisc{pass: pass}
+	for _, file := range pass.Files {
+		cd.file = file
+		cd.makeSites = collectMakeSites(pass.TypesInfo, file)
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cd.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+type chanDisc struct {
+	pass      *Pass
+	file      *ast.File
+	makeSites map[types.Object]*makeSite
+}
+
+// makeSite records one `ch := make(chan T[, cap])` binding.
+type makeSite struct {
+	pos token.Pos
+	cap ast.Expr // nil for unbuffered
+}
+
+// collectMakeSites maps channel variables to their make expressions.
+// Only direct bindings are tracked (`ch := make(...)`, `ch = make(...)`,
+// `chs[i] = make(...)` keyed on the slice variable); channels arriving
+// through parameters or fields have no visible site.
+func collectMakeSites(info *types.Info, file *ast.File) map[types.Object]*makeSite {
+	sites := make(map[types.Object]*makeSite)
+	ast.Inspect(file, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, r := range asg.Rhs {
+			if i >= len(asg.Lhs) {
+				break
+			}
+			call, ok := ast.Unparen(r).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" || len(call.Args) == 0 {
+				continue
+			}
+			if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+				continue
+			}
+			tv, ok := info.Types[call.Args[0]]
+			if !ok {
+				continue
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			root := rootIdent(asg.Lhs[i])
+			if root == nil {
+				continue
+			}
+			obj := info.ObjectOf(root)
+			if obj == nil {
+				continue
+			}
+			ms := &makeSite{pos: call.Pos()}
+			if len(call.Args) > 1 {
+				ms.cap = call.Args[1]
+			}
+			// Last site wins; channels rebound per iteration (sendChs[c] =
+			// make(...)) all share one capacity shape anyway.
+			sites[obj] = ms
+		}
+		return true
+	})
+	return sites
+}
+
+// checkFunc checks fd's sends if fd is a dispatcher (spawns goroutines)
+// and always checks sends inside fd's goroutine bodies.
+func (cd *chanDisc) checkFunc(fd *ast.FuncDecl) {
+	spawns := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+			return false
+		}
+		return true
+	})
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		inGoroutine := underGoStmt(stack)
+		if !spawns && !inGoroutine {
+			return true // plain sequential send; receiver runs in this frame's caller
+		}
+		cd.checkSend(send, stack)
+		return true
+	})
+}
+
+// underGoStmt reports whether the innermost enclosing function literal
+// in the stack is the operand of a go statement. The stack runs
+// GoStmt → CallExpr → FuncLit, so the grandparent is checked.
+func underGoStmt(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 1; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			_, isGo := stack[i-2].(*ast.GoStmt)
+			return isGo
+		}
+	}
+	return false
+}
+
+// checkSend validates one dispatcher send against the three accepted
+// shapes.
+func (cd *chanDisc) checkSend(send *ast.SendStmt, stack []ast.Node) {
+	if selectGuarded(send, stack) {
+		return
+	}
+	root := rootIdent(send.Chan)
+	var site *makeSite
+	if root != nil {
+		if obj := cd.pass.TypesInfo.ObjectOf(root); obj != nil {
+			site = cd.makeSites[obj]
+		}
+	}
+	name := "channel"
+	if root != nil {
+		name = root.Name
+	}
+	switch {
+	case site == nil:
+		cd.pass.ReportRangef(send.Pos(), send.End(),
+			"dispatcher send on %s whose make site is not visible here: if the receiver stalls, this send blocks the dispatch loop forever; guard it with select and a quit/default case, or make the channel here with derived capacity (DESIGN.md §16)",
+			name)
+	case site.cap == nil:
+		cd.pass.ReportRangef(send.Pos(), send.End(),
+			"dispatcher send on unbuffered %s: one stalled receiver wedges the whole dispatch loop; buffer it with capacity derived from the in-flight count, or guard the send with select and a quit case (DESIGN.md §16)",
+			name)
+	case bareLiteralCap(site.cap) && !cd.hasLineComment(site.pos):
+		cd.pass.ReportRangef(send.Pos(), send.End(),
+			"dispatcher send on %s buffered with a bare literal capacity: justify the number with a comment on the make line (why does this buffer provably cover the in-flight count?), or derive it from the workload (DESIGN.md §16)",
+			name)
+	}
+}
+
+// selectGuarded reports whether send is the comm of a select case that
+// has an escape: another case that is a receive (quit/ctx.Done) or a
+// default clause. The send being inside a case BODY does not count —
+// only being the case's communication makes it non-blocking.
+func selectGuarded(send *ast.SendStmt, stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		clause, ok := stack[i].(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if clause.Comm != send {
+			return false // send is in a case body, not the comm
+		}
+		// The clause's parent chain is SelectStmt → BlockStmt → CommClause.
+		if i < 2 {
+			return false
+		}
+		sel, ok := stack[i-2].(*ast.SelectStmt)
+		if !ok {
+			return false
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc == clause {
+				continue
+			}
+			if cc.Comm == nil {
+				return true // default: send never blocks
+			}
+			if isReceiveComm(cc.Comm) {
+				return true // quit/ctx.Done escape
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isReceiveComm reports whether a select comm statement is a channel
+// receive (`<-quit`, `v := <-ch`, `case <-ctx.Done():`).
+func isReceiveComm(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(s.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	}
+	return false
+}
+
+// bareLiteralCap reports whether the make capacity is a bare numeric
+// literal (possibly parenthesized) — a magic number with no derivation.
+func bareLiteralCap(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok
+}
+
+// hasLineComment reports whether any comment in the file sits on the
+// same line as pos — the justification slot for literal capacities.
+func (cd *chanDisc) hasLineComment(pos token.Pos) bool {
+	line := cd.pass.Fset.Position(pos).Line
+	for _, cg := range cd.file.Comments {
+		for _, c := range cg.List {
+			if cd.pass.Fset.Position(c.Pos()).Line == line {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -8,9 +8,15 @@ import (
 	"st2gpu/internal/analysis/load"
 )
 
-// All returns the full st2lint suite in reporting order.
+// All returns the full st2lint suite in reporting order: the first-
+// generation determinism analyzers, the second-generation concurrency
+// and input-hardening analyzers, then the suppression-hygiene check.
 func All() []*Analyzer {
-	return []*Analyzer{DetMapRange, DetClock, ShardOwn, FoldOrder, DetOk}
+	return []*Analyzer{
+		DetMapRange, DetClock, ShardOwn, FoldOrder,
+		WireTaint, GoLeak, LockOrder, ChanDisc,
+		DetOk,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("detmaprange,detok");
@@ -45,16 +51,19 @@ func Names() []string {
 }
 
 // CheckPackages runs the analyzers over loaded packages, applies
-// //st2:det-ok suppression filtering, and returns the surviving
-// findings sorted by position. Packages that failed to load contribute
-// an error instead of silently passing.
+// suppression filtering, and returns the surviving findings sorted by
+// position. Packages arrive in dependency order, so facts exported
+// while checking a dependency are visible to its importers' passes.
+// Packages that failed to load contribute an error instead of silently
+// passing.
 func CheckPackages(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFacts()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			return nil, fmt.Errorf("st2lint: %s did not type-check: %v", pkg.ImportPath, pkg.Errors[0])
 		}
-		pkgDiags, err := checkOnePackage(pkg, analyzers)
+		pkgDiags, err := checkOnePackage(pkg, analyzers, facts)
 		if err != nil {
 			return nil, err
 		}
@@ -65,44 +74,61 @@ func CheckPackages(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, e
 }
 
 // checkOnePackage applies the analyzers to one package and filters
-// suppressed findings. Suppression state is per package: a det-ok
-// comment can only cover findings in its own file.
-func checkOnePackage(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// suppressed findings. Suppression state is per package: a det-ok or
+// conc-ok comment can only cover findings in its own file. Reasoned
+// suppressions that covered nothing are reported as stale (when the
+// full directive family ran; see StaleSuppressions).
+func checkOnePackage(pkg *load.Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		if a.Skip != nil && a.Skip(pkg.ImportPath) {
 			continue
 		}
-		if err := runOne(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, pkg.ImportPath, &diags); err != nil {
-			return nil, fmt.Errorf("st2lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
-		}
-	}
-	sup := Suppressions(pkg.Fset, pkg.Syntax)
-	return Filter(diags, sup), nil
-}
-
-// CheckForTests applies the analyzers to one loaded package without the
-// per-analyzer Skip filter (testdata import paths are synthetic) and
-// with suppression filtering, returning the surviving findings sorted.
-// It is the analysistest harness's entry point.
-func CheckForTests(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		if err := runOne(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, pkg.ImportPath, &diags); err != nil {
+		if err := runOne(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, pkg.ImportPath, facts, &diags); err != nil {
 			return nil, fmt.Errorf("st2lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
 	sup := Suppressions(pkg.Fset, pkg.Syntax)
 	diags = Filter(diags, sup)
+	return append(diags, StaleSuppressions(sup, analyzers)...), nil
+}
+
+// CheckForTests applies the analyzers to one loaded package without the
+// per-analyzer Skip filter (testdata import paths are synthetic) and
+// with suppression filtering, returning the surviving findings sorted.
+// Sibling testdata dependencies are checked first — diagnostics
+// discarded, facts kept — so cross-package fact propagation is
+// exercised exactly as in a real run. It is the analysistest harness's
+// entry point.
+func CheckForTests(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFacts()
+	for _, dep := range pkg.SiblingDeps() {
+		var depDiags []Diagnostic
+		for _, a := range analyzers {
+			if err := runOne(a, dep.Fset, dep.Syntax, dep.Types, dep.TypesInfo, dep.ImportPath, facts, &depDiags); err != nil {
+				return nil, fmt.Errorf("st2lint: %s on dep %s: %w", a.Name, dep.ImportPath, err)
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if err := runOne(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, pkg.ImportPath, facts, &diags); err != nil {
+			return nil, fmt.Errorf("st2lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sup := Suppressions(pkg.Fset, pkg.Syntax)
+	diags = Filter(diags, sup)
+	diags = append(diags, StaleSuppressions(sup, analyzers)...)
 	SortDiagnostics(diags)
 	return diags, nil
 }
 
 // Run is the multichecker entry point: load patterns from dir, check,
-// return findings.
-func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// return findings. cacheDir, when non-empty, caches the `go list` load
+// (see load.LoadCached).
+func Run(dir string, patterns []string, analyzers []*Analyzer, cacheDir string) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
-	pkgs, err := load.Load(fset, dir, patterns...)
+	pkgs, err := load.LoadCached(fset, dir, cacheDir, patterns...)
 	if err != nil {
 		return nil, err
 	}

@@ -23,7 +23,8 @@ import (
 // v2 PCG/ChaCha8 sources) are allowed; the nondeterminism would come
 // from the seed expression, and a time.Now() there is flagged anyway.
 var DetClock = &Analyzer{
-	Name: "detclock",
+	Name:      "detclock",
+	Directive: DirectiveDetOk,
 	Doc: "flags wall-clock and global math/rand reads in simulation code\n\n" +
 		"Results must be functions of (kernel, config, seed) alone; " +
 		"wall-clock belongs only in runlog phase timings and CLI progress.",

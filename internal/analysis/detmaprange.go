@@ -29,7 +29,8 @@ import (
 // Anything else needs either a sorted key slice or a
 // `//st2:det-ok <reason>` suppression.
 var DetMapRange = &Analyzer{
-	Name: "detmaprange",
+	Name:      "detmaprange",
+	Directive: DirectiveDetOk,
 	Doc: "flags map-order iteration in result-producing paths\n\n" +
 		"Map iteration order is randomized; loops whose bodies are not " +
 		"provably order-insensitive must iterate a sorted key slice.",

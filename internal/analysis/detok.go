@@ -5,24 +5,33 @@ import (
 )
 
 // DetOk is the companion check for the suppression mechanism itself: a
-// `//st2:det-ok` comment must carry a reason, and near-miss spellings of
-// the directive must not silently do nothing.
+// `//st2:det-ok` or `//st2:conc-ok` comment must carry a reason, and
+// near-miss spellings of the directives must not silently do nothing.
 //
 // A reasonless suppression is doubly broken — it suppresses nothing
 // (Filter ignores it) while looking like it does — so it is reported,
 // and the report cannot itself be suppressed. Unknown `//st2:`
-// directives (typos like //st2:detok or //st2:det-okay) are reported
+// directives (typos like //st2:detok or //st2:conc-okay) are reported
 // too, since a typoed suppression would otherwise leave its target
 // finding active with no hint why.
+//
+// Stale suppressions — reasoned directives whose line carries no
+// finding from the directive's analyzer family — are detok's third
+// concern, detected by the checker after filtering (StaleSuppressions)
+// and attributed to this analyzer. A suppression that covers nothing is
+// a finding that was fixed without deleting its excuse, and it will
+// hide the next real finding on that line.
 var DetOk = &Analyzer{
 	Name: "detok",
-	Doc: "requires //st2:det-ok suppressions to carry a reason\n\n" +
-		"A det-ok without a reason suppresses nothing and is flagged; " +
-		"unknown //st2: directives are flagged as probable typos.",
+	Doc: "requires //st2:det-ok and //st2:conc-ok suppressions to carry a reason\n\n" +
+		"A directive without a reason suppresses nothing and is flagged; " +
+		"unknown //st2: directives are flagged as probable typos; reasoned " +
+		"suppressions that cover no finding are flagged as stale.",
 	Run: runDetOk,
 }
 
 func runDetOk(pass *Pass) error {
+	prefixes := []string{DetOkPrefix, ConcOkPrefix}
 	for _, file := range pass.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -30,13 +39,21 @@ func runDetOk(pass *Pass) error {
 				if !ok {
 					continue
 				}
-				if after, ok := strings.CutPrefix(c.Text, DetOkPrefix); ok &&
-					(after == "" || after[0] == ' ' || after[0] == '\t') {
+				known := false
+				for _, prefix := range prefixes {
+					after, ok := strings.CutPrefix(c.Text, prefix)
+					if !ok || (after != "" && after[0] != ' ' && after[0] != '\t') {
+						continue
+					}
+					known = true
 					if strings.TrimSpace(after) == "" {
 						pass.Reportf(c.Pos(),
-							"%s suppression is missing a reason: write %s <why this site is deterministic>; a reasonless det-ok suppresses nothing",
-							DetOkPrefix, DetOkPrefix)
+							"%s suppression is missing a reason: write %s <why this site is safe>; a reasonless directive suppresses nothing",
+							prefix, prefix)
 					}
+					break
+				}
+				if known {
 					continue
 				}
 				word := rest
@@ -44,8 +61,8 @@ func runDetOk(pass *Pass) error {
 					word = word[:i]
 				}
 				pass.Reportf(c.Pos(),
-					"unknown //st2: directive %q: the only recognized directive is %s <reason>",
-					"//st2:"+word, DetOkPrefix)
+					"unknown //st2: directive %q: recognized directives are %s <reason> and %s <reason>",
+					"//st2:"+word, DetOkPrefix, ConcOkPrefix)
 			}
 		}
 	}

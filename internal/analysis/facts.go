@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// Facts is the cross-package fact store for one checker run, mirroring
+// the role of golang.org/x/tools/go/analysis object facts in the
+// stdlib-only framework. Packages are checked in dependency order (`go
+// list -deps` emits dependencies first), so by the time an importer's
+// pass runs, every fact its dependencies exported is already present.
+// Object identity works across packages because one run shares a single
+// type-checked graph: the *types.Func an importer resolves for dep.F is
+// the same object dep's own pass saw.
+//
+// Facts are keyed by (analyzer, object): analyzers never observe each
+// other's facts.
+type Facts struct {
+	m map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// NewFacts returns an empty fact store for one checker run.
+func NewFacts() *Facts {
+	return &Facts{m: make(map[factKey]any)}
+}
+
+// ExportFact records a fact about obj for this pass's analyzer,
+// replacing any previous fact on the same object.
+func (p *Pass) ExportFact(obj types.Object, fact any) {
+	if obj == nil || p.facts == nil {
+		return
+	}
+	p.facts.m[factKey{p.Analyzer.Name, obj}] = fact
+}
+
+// ImportFact returns the fact this pass's analyzer exported about obj in
+// this run (from this package or any already-checked dependency).
+func (p *Pass) ImportFact(obj types.Object) (any, bool) {
+	if obj == nil || p.facts == nil {
+		return nil, false
+	}
+	fact, ok := p.facts.m[factKey{p.Analyzer.Name, obj}]
+	return fact, ok
+}

@@ -25,7 +25,8 @@ import (
 //     type named *Shard*/smState) outside a fold* helper — folds belong
 //     in the blessed helpers where the ordering contract is visible.
 var FoldOrder = &Analyzer{
-	Name: "foldorder",
+	Name:      "foldorder",
+	Directive: DirectiveDetOk,
 	Doc: "restricts cross-shard floating-point folds to blessed fold helpers\n\n" +
 		"Float addition re-rounds under reordering; folds must run in " +
 		"SM-ID/suite order inside fold*-named helpers.",

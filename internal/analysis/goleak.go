@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak requires every `go` statement to have a statically-visible
+// exit path reaching function return, the bug class behind the pre-fix
+// DecodeSet leak (PR 6): goroutines were spawned per kernel, and an
+// error return between the spawn loop and wg.Wait left every in-flight
+// goroutine writing into slices past the function's lifetime.
+//
+// Three shapes are flagged:
+//
+//   - join leak: the goroutine participates in a sync.WaitGroup (its
+//     body calls wg.Done), but the spawning function can return after
+//     the `go` statement without passing wg.Wait() — and the Wait is
+//     not deferred. This is exactly the pre-fix DecodeSet shape;
+//   - unbounded loop: the goroutine body contains a condition-less
+//     `for {}` (or `for { select {...} }`) with no `return`, no `break`
+//     out of the loop, and no quit-channel / ctx.Done() receive case
+//     that exits — the goroutine can never terminate;
+//   - unclosable range: the goroutine body ranges over a channel that
+//     the spawning function never closes (directly or in a defer) and
+//     that is not a parameter documented to be closed elsewhere — the
+//     range never ends.
+//
+// Straight-line goroutine bodies terminate when their last statement
+// does, so they need no join evidence; the analyzer is about goroutines
+// that outlive the function or the process, not about forcing a
+// WaitGroup onto every spawn.
+var GoLeak = &Analyzer{
+	Name:      "goleak",
+	Directive: DirectiveConcOk,
+	Doc: "requires every go statement to have a statically-visible exit path\n\n" +
+		"WaitGroup joins must be reached on every return after the spawn; " +
+		"goroutine loops need a return, break, or quit-channel exit.",
+	Skip: skipUnder(
+		"st2gpu/internal/analysis",
+		"st2gpu/examples",
+	),
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	gl := &goLeak{pass: pass}
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			_, encl := enclosingFunc(stack)
+			gl.checkGo(gs, encl)
+			return true
+		})
+	}
+	return nil
+}
+
+type goLeak struct {
+	pass *Pass
+}
+
+// checkGo validates one go statement spawned inside encl's body.
+func (gl *goLeak) checkGo(gs *ast.GoStmt, encl *ast.BlockStmt) {
+	lit, isLit := gs.Call.Fun.(*ast.FuncLit)
+	if isLit {
+		gl.checkLoops(lit, encl)
+	}
+	if encl == nil {
+		return
+	}
+	if isLit {
+		if wg := gl.waitGroupOf(lit); wg != nil {
+			gl.checkJoin(gs, wg, encl)
+		}
+	}
+}
+
+// waitGroupOf returns the sync.WaitGroup object whose Done the
+// goroutine body calls (plainly or deferred), or nil.
+func (gl *goLeak) waitGroupOf(lit *ast.FuncLit) types.Object {
+	info := gl.pass.TypesInfo
+	var wg types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || wg != nil {
+			return wg == nil
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if root := rootIdent(sel.X); root != nil {
+			wg = info.ObjectOf(root)
+		}
+		return wg == nil
+	})
+	return wg
+}
+
+// checkJoin enforces the DecodeSet rule: once goroutines with a
+// WaitGroup join are in flight, every return of the spawning function
+// must pass wg.Wait() first. A deferred Wait covers every return; an
+// inline Wait covers returns after it; a return between the spawn and
+// the first Wait leaks the spawned goroutines.
+func (gl *goLeak) checkJoin(gs *ast.GoStmt, wg types.Object, encl *ast.BlockStmt) {
+	info := gl.pass.TypesInfo
+	deferred := false
+	var waitPos token.Pos = token.NoPos
+	ast.Inspect(encl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n == gs.Call.Fun {
+				return false
+			}
+			return false // Waits inside other closures don't join this frame
+		case *ast.DeferStmt:
+			if isWaitCall(info, n.Call, wg) {
+				deferred = true
+			}
+			// `defer func() { ...; wg.Wait() }()` counts too.
+			if dl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(dl.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && isWaitCall(info, call, wg) {
+						deferred = true
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.CallExpr:
+			if isWaitCall(info, n, wg) && (!waitPos.IsValid() || n.Pos() < waitPos) {
+				if n.Pos() > gs.Pos() {
+					waitPos = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+	if !waitPos.IsValid() {
+		gl.pass.ReportRangef(gs.Pos(), gs.Call.End(),
+			"goroutine joins %s but the function never calls %s.Wait() after the spawn: the goroutines outlive the function (DESIGN.md §16)",
+			wg.Name(), wg.Name())
+		return
+	}
+	ast.Inspect(encl, func(n ast.Node) bool {
+		// Returns inside any function literal — including the goroutine's
+		// own body — are not returns of the spawning frame.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() > gs.Pos() && ret.Pos() < waitPos {
+			gl.pass.ReportRangef(ret.Pos(), ret.End(),
+				"return before %s.Wait() leaks the goroutines spawned at line %d: they keep running (and writing) past this function's lifetime; validate inputs before spawning, or defer the Wait (DESIGN.md §16)",
+				wg.Name(), gl.pass.Fset.Position(gs.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// isWaitCall reports whether call is wg.Wait() on the given WaitGroup.
+func isWaitCall(info *types.Info, call *ast.CallExpr, wg types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	root := rootIdent(sel.X)
+	return root != nil && info.ObjectOf(root) == wg
+}
+
+// checkLoops flags goroutine-body loops with no statically-visible
+// exit: condition-less `for` without return/break/quit-receive, and
+// range-over-channel with no visible close in the spawning function.
+func (gl *goLeak) checkLoops(lit *ast.FuncLit, encl *ast.BlockStmt) {
+	info := gl.pass.TypesInfo
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if loop.Cond != nil {
+				return true
+			}
+			if loopHasExit(info, loop) {
+				return true
+			}
+			gl.pass.ReportRangef(loop.Pos(), loop.Pos()+3,
+				"goroutine loops forever with no exit path: add a return/break, or a quit-channel / ctx.Done() receive that exits the loop (DESIGN.md §16)")
+		case *ast.RangeStmt:
+			tv, ok := info.Types[loop.X]
+			if !ok {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			ch := rootIdent(loop.X)
+			if ch == nil {
+				return true
+			}
+			chObj := info.ObjectOf(ch)
+			if chObj == nil || closesChannel(info, encl, chObj) {
+				return true
+			}
+			gl.pass.ReportRangef(loop.Pos(), loop.X.End(),
+				"goroutine ranges over %s but the spawning function never closes it: the range (and the goroutine) can never end; close the channel when dispatch is done (DESIGN.md §16)",
+				ch.Name)
+		}
+		return true
+	})
+}
+
+// loopHasExit reports whether a condition-less for loop contains a
+// reachable return, a break targeting it, or a quit/ctx receive case
+// that returns or breaks.
+func loopHasExit(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	var depth int // nested condition-less loops: break applies to innermost
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && (depth == 0 || n.Label != nil) {
+				found = true
+			}
+		case *ast.SelectStmt:
+			// A receive on any channel with a body that returns/breaks is
+			// found by the cases above; nothing special needed here —
+			// select alone is not an exit.
+		}
+		return !found
+	})
+	return found
+}
+
+// closesChannel reports whether fn (or one of its defers) closes the
+// channel object — including closing each element of the slice the
+// channel came from (`for _, ch := range sendChs { close(ch) }`).
+func closesChannel(info *types.Info, fn ast.Node, ch types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	// If ch is an element of a slice (sendChs[c]), accept a close of any
+	// expression rooted at the same slice, or of a range variable over it.
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "close" || len(call.Args) != 1 {
+			return true
+		}
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+			return true
+		}
+		root := rootIdent(call.Args[0])
+		if root == nil {
+			return true
+		}
+		obj := info.ObjectOf(root)
+		if obj == ch {
+			found = true
+			return false
+		}
+		// Range-variable close: `for _, c := range chans { close(c) }`
+		// closes every element; match when ch is rooted at the ranged
+		// slice or IS the ranged slice's element variable's source.
+		if obj != nil && sameChannelSource(info, fn, obj, ch) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sameChannelSource reports whether closeTarget and ch both trace to the
+// same slice-of-channels variable: ch used as `slice[i]` in the range
+// expression and closeTarget declared as the value variable of a `range
+// slice` statement (or vice versa).
+func sameChannelSource(info *types.Info, fn ast.Node, closeTarget, ch types.Object) bool {
+	matches := func(rangeVar, elemOf types.Object) bool {
+		ok := false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			if ok {
+				return false
+			}
+			rs, ok2 := n.(*ast.RangeStmt)
+			if !ok2 {
+				return true
+			}
+			val := rs.Value
+			if val == nil {
+				val = rs.Key
+			}
+			id, ok2 := val.(*ast.Ident)
+			if !ok2 || info.ObjectOf(id) != rangeVar {
+				return true
+			}
+			if root := rootIdent(rs.X); root != nil && info.ObjectOf(root) == elemOf {
+				ok = true
+			}
+			return !ok
+		})
+		return ok
+	}
+	return matches(closeTarget, ch) || matches(ch, closeTarget)
+}

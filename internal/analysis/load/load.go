@@ -15,6 +15,8 @@ package load
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -22,9 +24,11 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -50,6 +54,14 @@ type Package struct {
 
 	imports   map[string]*Package // source import path -> package
 	importMap map[string]string   // source path -> canonical (vendored) path
+	siblings  []*Package          // sibling testdata packages, dependencies first
+}
+
+// SiblingDeps returns the sibling testdata packages this package
+// imports (directly or transitively), dependencies first. Only LoadDir
+// populates siblings; packages from Load return nil.
+func (p *Package) SiblingDeps() []*Package {
+	return p.siblings
 }
 
 // listPackage is the subset of `go list -json` output the loader reads.
@@ -74,7 +86,95 @@ func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, erro
 	if err != nil {
 		return nil, err
 	}
-	byPath, order, err := checkGraph(fset, listed)
+	return fromListed(fset, listed)
+}
+
+// LoadCached is Load with the `go list -e -deps -json` step memoized on
+// disk. The cache key hashes the toolchain version, the patterns,
+// go.mod, and the name+content of every non-testdata .go file under
+// dir, so any edit that could change the package graph invalidates the
+// entry. Parsing and type-checking still run fresh each call — only the
+// package-discovery subprocess is skipped. An empty cacheDir, or any
+// cache error, falls back to a plain Load.
+func LoadCached(fset *token.FileSet, dir, cacheDir string, patterns ...string) ([]*Package, error) {
+	if cacheDir == "" {
+		return Load(fset, dir, patterns...)
+	}
+	key, err := cacheKey(dir, patterns)
+	if err != nil {
+		return Load(fset, dir, patterns...)
+	}
+	path := filepath.Join(cacheDir, key+".json")
+	if data, err := os.ReadFile(path); err == nil {
+		var listed []*listPackage
+		if json.Unmarshal(data, &listed) == nil && len(listed) > 0 {
+			return fromListed(fset, listed)
+		}
+	}
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if data, err := json.Marshal(listed); err == nil {
+		if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+			tmp := path + ".tmp"
+			if os.WriteFile(tmp, data, 0o644) == nil {
+				_ = os.Rename(tmp, path)
+			}
+		}
+	}
+	return fromListed(fset, listed)
+}
+
+// cacheKey derives the LoadCached key from everything that can change
+// `go list` output: toolchain, patterns, go.mod/go.sum, and each .go
+// file's path and content under dir (testdata and dot-directories
+// excluded — go list never reads them).
+func cacheKey(dir string, patterns []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1\x00%s\x00%s\x00", runtime.Version(), strings.Join(patterns, "\x00"))
+	for _, name := range []string{"go.mod", "go.sum"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err == nil {
+			fmt.Fprintf(h, "%s\x00%x\x00", name, sha256.Sum256(data))
+		}
+	}
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return "", err
+		}
+		rel, _ := filepath.Rel(dir, f)
+		fmt.Fprintf(h, "%s\x00%x\x00", rel, sha256.Sum256(data))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// fromListed parses, type-checks, and filters the listed graph down to
+// the target packages in `go list` order.
+func fromListed(fset *token.FileSet, listed []*listPackage) ([]*Package, error) {
+	byPath, order, err := checkGraph(fset, listed, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -89,8 +189,11 @@ func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, erro
 
 // LoadDir parses the single package rooted at dir — which may live under
 // a testdata directory the go tool refuses to list — resolves its
-// imports against the standard library, and type-checks it. Used by the
-// analysistest harness.
+// imports against the standard library, and type-checks it. Imports of
+// the form "testdata/<name>" resolve to the sibling directory
+// ../<name>, loaded recursively, so analysistest packages can exercise
+// cross-package fact propagation; siblings are exposed via
+// SiblingDeps() in dependency order. Used by the analysistest harness.
 func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -120,23 +223,60 @@ func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
 	// Gather the imports the testdata package needs and type-check them
 	// (and their dependencies) from source.
 	seen := map[string]bool{}
-	var deps []string
+	var deps, sibs []string
 	for _, f := range pkg.Syntax {
 		for _, imp := range f.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
-			if path != "unsafe" && !seen[path] {
-				seen[path] = true
+			if path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			if strings.HasPrefix(path, "testdata/") {
+				sibs = append(sibs, path)
+			} else {
 				deps = append(deps, path)
 			}
 		}
 	}
 	sort.Strings(deps)
+	sort.Strings(sibs)
+	for _, path := range sibs {
+		sibDir := filepath.Join(filepath.Dir(dir), strings.TrimPrefix(path, "testdata/"))
+		sib, err := LoadDir(fset, sibDir)
+		if err != nil {
+			return nil, fmt.Errorf("load: sibling %s of %s: %w", path, dir, err)
+		}
+		haveSib := map[string]bool{}
+		for _, s := range pkg.siblings {
+			haveSib[s.ImportPath] = true
+		}
+		for _, s := range append(sib.siblings, sib) {
+			if !haveSib[s.ImportPath] {
+				haveSib[s.ImportPath] = true
+				pkg.siblings = append(pkg.siblings, s)
+			}
+		}
+		pkg.imports[path] = sib
+		// The sibling's own stdlib dependencies must be resolvable when
+		// type-checking this package re-reaches them through the sibling's
+		// exported API.
+		for p, d := range sib.imports {
+			if _, ok := pkg.imports[p]; !ok {
+				pkg.imports[p] = d
+			}
+		}
+	}
 	if len(deps) > 0 {
 		listed, err := goList(dir, deps...)
 		if err != nil {
 			return nil, err
 		}
-		byPath, _, err := checkGraph(fset, listed)
+		// Seed with the packages the siblings already checked: re-checking
+		// a shared dependency (sync, fmt, ...) would mint a second
+		// *types.Package for the same import path, and the sibling's
+		// exported API would no longer be type-identical to this package's
+		// view of it.
+		byPath, _, err := checkGraph(fset, listed, pkg.imports)
 		if err != nil {
 			return nil, err
 		}
@@ -186,11 +326,19 @@ func goList(dir string, patterns ...string) ([]*listPackage, error) {
 
 // checkGraph parses and type-checks every listed package. `go list
 // -deps` emits dependencies before dependents, so a single forward pass
-// sees every import already checked.
-func checkGraph(fset *token.FileSet, listed []*listPackage) (map[string]*Package, []string, error) {
+// sees every import already checked. Packages present in seed (already
+// type-checked by an earlier load sharing the same fset) are reused as
+// is — one *types.Package per import path per run is what makes object
+// identity, and therefore facts and type equality, work across loads.
+func checkGraph(fset *token.FileSet, listed []*listPackage, seed map[string]*Package) (map[string]*Package, []string, error) {
 	byPath := make(map[string]*Package, len(listed))
 	order := make([]string, 0, len(listed))
 	for _, lp := range listed {
+		if pre, ok := seed[lp.ImportPath]; ok && pre.Types != nil {
+			byPath[lp.ImportPath] = pre
+			order = append(order, lp.ImportPath)
+			continue
+		}
 		if lp.ImportPath == "unsafe" {
 			byPath["unsafe"] = &Package{ImportPath: "unsafe", Standard: true, Types: types.Unsafe, Fset: fset}
 			order = append(order, "unsafe")

@@ -1,0 +1,93 @@
+package load
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a one-package module with no dependencies, so
+// the test loads fast and never touches the network.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":  "module example.com/tiny\n\ngo 1.22\n",
+		"tiny.go": src,
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadCached(t *testing.T) {
+	dir := writeModule(t, "package tiny\n\nfunc Two() int { return 2 }\n")
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+
+	load := func() []*Package {
+		t.Helper()
+		pkgs, err := LoadCached(token.NewFileSet(), dir, cacheDir, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkgs) != 1 || pkgs[0].Name != "tiny" || len(pkgs[0].Errors) != 0 {
+			t.Fatalf("unexpected load result: %+v", pkgs)
+		}
+		return pkgs
+	}
+
+	load()
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("first load should leave exactly one cache entry, got %v (err %v)", ents, err)
+	}
+	first := ents[0].Name()
+
+	// Second load hits the cached go-list output: same single entry, and
+	// the packages still come back fully type-checked.
+	load()
+	ents, _ = os.ReadDir(cacheDir)
+	if len(ents) != 1 || ents[0].Name() != first {
+		t.Fatalf("second load should reuse the cache entry %s, got %v", first, ents)
+	}
+
+	// Editing a .go file must change the key — a stale graph here would
+	// mean analyzing phantom packages.
+	if err := os.WriteFile(filepath.Join(dir, "tiny.go"),
+		[]byte("package tiny\n\nfunc Three() int { return 3 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load()
+	ents, _ = os.ReadDir(cacheDir)
+	if len(ents) != 2 {
+		t.Fatalf("edited source should mint a second cache entry, got %v", ents)
+	}
+}
+
+func TestLoadCachedEmptyDirFallsBack(t *testing.T) {
+	dir := writeModule(t, "package tiny\n")
+	pkgs, err := LoadCached(token.NewFileSet(), dir, "", "./...")
+	if err != nil || len(pkgs) != 1 {
+		t.Fatalf("LoadCached with no cache dir should behave like Load: %v, %v", pkgs, err)
+	}
+}
+
+func TestLoadCachedIgnoresCorruptEntry(t *testing.T) {
+	dir := writeModule(t, "package tiny\n\nfunc Two() int { return 2 }\n")
+	cacheDir := t.TempDir()
+	key, err := cacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadCached(token.NewFileSet(), dir, cacheDir, "./...")
+	if err != nil || len(pkgs) != 1 || pkgs[0].Name != "tiny" {
+		t.Fatalf("corrupt cache entry should be ignored, got %v, %v", pkgs, err)
+	}
+}

@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrder generalizes the lockSpan invariant of internal/gpusim's
+// striped memory (DESIGN.md §7): when a function acquires more than one
+// lock out of the same sync.Mutex array ("stripes"), the acquisitions
+// must be provably in ascending index order — otherwise two goroutines
+// taking the same pair in opposite orders deadlock.
+//
+// Accepted orderings:
+//
+//   - a swap normalization dominating the locks: `if j < i { i, j = j,
+//     i }` (either comparison direction) before the first Lock;
+//   - equal-index short-circuit paths: a Lock followed by a return is
+//     path-terminal and does not pair with later locks;
+//   - an ascending loop: a single Lock site inside a `for i := 0; i <
+//     n; i++` loop over the array (the lock-all idiom).
+//
+// Lock acquisitions are tracked through the pointer idiom too (`a :=
+// &m.stripes[i]; a.Lock()`), and a fact is exported for every function
+// that locks a stripe array, so acquiring a stripe lock and then
+// calling a helper that itself locks stripes — an ordering the analyzer
+// cannot see across the call — is flagged at the call site. Facts
+// propagate across packages within one run.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Directive: DirectiveConcOk,
+	Doc: "requires ascending acquisition order over sync.Mutex stripe arrays\n\n" +
+		"Two stripe locks taken in opposite orders by two goroutines " +
+		"deadlock; normalize indices (the lockSpan swap idiom) first.",
+	Skip: skipUnder(
+		"st2gpu/internal/analysis",
+		"st2gpu/examples",
+	),
+	Run: runLockOrder,
+}
+
+// loLocksFact marks a function that acquires locks on a mutex array:
+// callers holding a stripe lock must not call it.
+type loLocksFact struct {
+	field string // the stripe array's field or variable name, for messages
+}
+
+func runLockOrder(pass *Pass) error {
+	lo := &lockOrder{pass: pass}
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Fact round first so same-package helper calls are visible
+	// regardless of declaration order; dependencies' facts are already
+	// in the store.
+	for _, fd := range decls {
+		if field, locks := lo.locksStripes(fd); locks {
+			if obj := pass.TypesInfo.ObjectOf(fd.Name); obj != nil {
+				pass.ExportFact(obj, &loLocksFact{field: field})
+			}
+		}
+	}
+	for _, fd := range decls {
+		lo.checkFunc(fd)
+	}
+	return nil
+}
+
+type lockOrder struct {
+	pass *Pass
+}
+
+// stripeLock is one Lock() acquisition on an element of a mutex array.
+type stripeLock struct {
+	pos   token.Pos
+	base  types.Object // the array variable or field object
+	index ast.Expr     // the element index expression (nil if unknown)
+	// loop is set when the Lock sits inside an ascending for loop whose
+	// variable is the index.
+	loop bool
+}
+
+// event is one step of the source-order walk of a function body.
+type event struct {
+	kind  int // 0 lock, 1 unlock, 2 return, 3 swap-guard, 4 call-with-fact
+	lock  *stripeLock
+	obj   types.Object // swap-guard: one of the normalized index objects
+	obj2  types.Object
+	pos   token.Pos
+	call  *ast.CallExpr
+	fact  *loLocksFact
+	fname string
+}
+
+// locksStripes reports whether fd acquires any stripe-array lock, and
+// the array's name.
+func (lo *lockOrder) locksStripes(fd *ast.FuncDecl) (string, bool) {
+	events := lo.collect(fd)
+	for _, e := range events {
+		if e.kind == 0 {
+			return e.lock.base.Name(), true
+		}
+	}
+	return "", false
+}
+
+// checkFunc walks fd's events in source order, flagging unordered
+// second acquisitions and helper calls made while a stripe is held.
+func (lo *lockOrder) checkFunc(fd *ast.FuncDecl) {
+	events := lo.collect(fd)
+	var held []*stripeLock
+	swapped := make(map[types.Object]bool)
+	for _, e := range events {
+		switch e.kind {
+		case 0: // lock
+			if e.lock.loop {
+				// Ascending lock-all loop: ordered by construction.
+				continue
+			}
+			if len(held) > 0 && held[0].base == e.lock.base {
+				if !lo.orderedPair(held[len(held)-1], e.lock, swapped) {
+					lo.pass.ReportRangef(e.pos, e.pos,
+						"second lock on stripe array %s without ascending-order normalization: two goroutines taking the pair in opposite orders deadlock; normalize with the lockSpan swap idiom (`if j < i { i, j = j, i }`) before locking (DESIGN.md §7)",
+						e.lock.base.Name())
+				}
+			}
+			held = append(held, e.lock)
+		case 1: // unlock: release the matching base (coarse: clear one)
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].base == e.lock.base {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case 2: // return: this path ends; locks do not pair across it
+			held = held[:0]
+		case 3: // swap guard normalizes both index objects
+			swapped[e.obj] = true
+			swapped[e.obj2] = true
+		case 4: // call to a function that locks stripes
+			if len(held) > 0 {
+				lo.pass.ReportRangef(e.pos, e.call.End(),
+					"call to %s (which locks stripe array %s) while a stripe lock is held: acquisition order across functions cannot be verified; restructure so one function owns the whole multi-lock sequence (DESIGN.md §7)",
+					e.fname, e.fact.field)
+			}
+		}
+	}
+}
+
+// orderedPair reports whether the (first, second) acquisition is
+// provably ascending: both index objects were normalized by a swap
+// guard earlier in the function.
+func (lo *lockOrder) orderedPair(first, second *stripeLock, swapped map[types.Object]bool) bool {
+	a := indexObj(lo.pass.TypesInfo, first.index)
+	b := indexObj(lo.pass.TypesInfo, second.index)
+	return a != nil && b != nil && swapped[a] && swapped[b]
+}
+
+func indexObj(info *types.Info, e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// collect walks fd's body in source order, producing the lock/unlock/
+// return/guard/call event stream. The pointer idiom is resolved by
+// remembering `p := &arr[i]` bindings.
+func (lo *lockOrder) collect(fd *ast.FuncDecl) []event {
+	info := lo.pass.TypesInfo
+	var events []event
+	// ptrBinds maps a *sync.Mutex local to the stripe element it points
+	// at.
+	ptrBinds := make(map[types.Object]*stripeLock)
+
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are separate frames
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				lhs, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lobj := info.ObjectOf(lhs)
+				if lobj == nil {
+					continue
+				}
+				if sl := lo.stripeElemAddr(r); sl != nil {
+					ptrBinds[lobj] = sl
+				} else {
+					delete(ptrBinds, lobj)
+				}
+			}
+			// Swap detection: `i, j = j, i` normalizes after a comparison;
+			// the guard event is emitted at the IfStmt below, so nothing
+			// here.
+		case *ast.IfStmt:
+			if a, b, ok := swapGuard(info, n); ok {
+				events = append(events, event{kind: 3, obj: a, obj2: b, pos: n.Pos()})
+			}
+		case *ast.ReturnStmt:
+			events = append(events, event{kind: 2, pos: n.Pos()})
+		case *ast.CallExpr:
+			if sl, isLock, isUnlock := lo.lockCall(n, ptrBinds); sl != nil {
+				if isLock {
+					sl.loop = insideAscendingLoop(info, stack, sl.index)
+					events = append(events, event{kind: 0, lock: sl, pos: n.Pos()})
+				} else if isUnlock {
+					events = append(events, event{kind: 1, lock: sl, pos: n.Pos()})
+				}
+				return true
+			}
+			callee := calleeObject(info, n.Fun)
+			if callee == nil {
+				return true
+			}
+			if fact, ok := lo.pass.ImportFact(callee); ok {
+				if lf, ok := fact.(*loLocksFact); ok {
+					events = append(events, event{kind: 4, pos: n.Pos(), call: n, fact: lf, fname: callee.Name()})
+				}
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// stripeElemAddr recognizes `&arr[i]` where arr is an array/slice of
+// sync.Mutex, returning the element descriptor.
+func (lo *lockOrder) stripeElemAddr(e ast.Expr) *stripeLock {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return lo.stripeElem(u.X)
+}
+
+// stripeElem recognizes `arr[i]` over a mutex array, resolving arr to
+// its field or variable object.
+func (lo *lockOrder) stripeElem(e ast.Expr) *stripeLock {
+	info := lo.pass.TypesInfo
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	baseT := info.Types[ix.X].Type
+	if baseT == nil || !isMutexArray(baseT) {
+		return nil
+	}
+	base := exprObj(info, ix.X)
+	if base == nil {
+		return nil
+	}
+	return &stripeLock{base: base, index: ix.Index}
+}
+
+// lockCall classifies a call as Lock/Unlock on a stripe element —
+// direct (`arr[i].Lock()`) or through a remembered pointer binding.
+func (lo *lockOrder) lockCall(call *ast.CallExpr, ptrBinds map[types.Object]*stripeLock) (sl *stripeLock, isLock, isUnlock bool) {
+	info := lo.pass.TypesInfo
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	var locking bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false, false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	if direct := lo.stripeElem(sel.X); direct != nil {
+		return direct, locking, !locking
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if bound := ptrBinds[info.ObjectOf(id)]; bound != nil {
+			return bound, locking, !locking
+		}
+	}
+	return nil, false, false
+}
+
+// swapGuard recognizes `if j < i { i, j = j, i }` (or with > and either
+// operand order): a comparison of two index variables whose body swaps
+// them.
+func swapGuard(info *types.Info, ifs *ast.IfStmt) (types.Object, types.Object, bool) {
+	cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.GTR) {
+		return nil, nil, false
+	}
+	a := indexObj(info, cond.X)
+	b := indexObj(info, cond.Y)
+	if a == nil || b == nil {
+		return nil, nil, false
+	}
+	for _, s := range ifs.Body.List {
+		asg, ok := s.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 2 || len(asg.Rhs) != 2 {
+			continue
+		}
+		l0, l1 := indexObj(info, asg.Lhs[0]), indexObj(info, asg.Lhs[1])
+		r0, r1 := indexObj(info, asg.Rhs[0]), indexObj(info, asg.Rhs[1])
+		if l0 == nil || l1 == nil {
+			continue
+		}
+		swapsAB := (l0 == a && l1 == b && r0 == b && r1 == a) ||
+			(l0 == b && l1 == a && r0 == a && r1 == b)
+		if swapsAB {
+			return a, b, true
+		}
+	}
+	return nil, nil, false
+}
+
+// insideAscendingLoop reports whether the lock sits in a `for i := ...;
+// i < n; i++` loop with i as the element index — the ordered lock-all
+// idiom.
+func insideAscendingLoop(info *types.Info, stack []ast.Node, index ast.Expr) bool {
+	iobj := indexObj(info, index)
+	if iobj == nil {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		fs, ok := stack[i].(*ast.ForStmt)
+		if !ok || fs.Post == nil {
+			continue
+		}
+		inc, ok := fs.Post.(*ast.IncDecStmt)
+		if !ok || inc.Tok != token.INC {
+			continue
+		}
+		if indexObj(info, inc.X) == iobj {
+			return true
+		}
+	}
+	// `for i := range arr` is ascending by definition.
+	for i := len(stack) - 1; i >= 0; i-- {
+		rs, ok := stack[i].(*ast.RangeStmt)
+		if !ok || rs.Key == nil {
+			continue
+		}
+		if key, ok := rs.Key.(*ast.Ident); ok && info.ObjectOf(key) == iobj {
+			return true
+		}
+	}
+	return false
+}
+
+// isMutexArray reports whether t is an array or slice of sync.Mutex /
+// sync.RWMutex.
+func isMutexArray(t types.Type) bool {
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Pointer:
+		return isMutexArray(u.Elem())
+	default:
+		return false
+	}
+	named, ok := elem.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

@@ -29,7 +29,8 @@ import (
 // helper's writes with those parameters marked shared/owned. Writes to
 // captured scalars are allowed only under a held sync mutex.
 var ShardOwn = &Analyzer{
-	Name: "shardown",
+	Name:      "shardown",
+	Directive: DirectiveDetOk,
 	Doc: "enforces worker-goroutine shard ownership (DESIGN.md §7)\n\n" +
 		"Worker goroutines may write shared slices only at worker-owned " +
 		"indices, and may never write shared maps.",
@@ -55,11 +56,153 @@ func runShardOwn(pass *Pass) error {
 			}
 		}
 	}
+	// Export a writes-summary fact for every function before checking, so
+	// importing packages (checked later in dependency order) can validate
+	// calls into this package's helpers from their worker goroutines.
+	for obj, fd := range so.decls {
+		if fact := so.computeWritesFact(fd); fact != nil {
+			pass.ExportFact(obj, fact)
+		}
+	}
 	so.findDispatchers()
 	for _, file := range pass.Files {
 		so.checkFile(file)
 	}
 	return nil
+}
+
+// Write kinds recorded in soWritesFact.
+const (
+	soWriteIndex  = iota // container[expr] = ...
+	soWriteMap           // map[key] = ...
+	soWriteAppend        // container = append(container, ...)
+	soWriteScalar        // *p = ... / p.Field = ... without indexing
+)
+
+// soWrite is one write to a parameter-rooted container inside a helper.
+type soWrite struct {
+	param     int   // written parameter index (soRecvParam for the receiver)
+	kind      int   // soWrite* constant
+	idxParams []int // parameters the index expression derives from
+	// paramOnly: every identifier in the index expression is a parameter
+	// or a constant, so the call site fully determines the index.
+	paramOnly bool
+}
+
+// soRecvParam is the pseudo-index of a method receiver in soWrite.param.
+const soRecvParam = -1
+
+// soWritesFact summarizes how a function writes through its parameters,
+// so a caller in another package can check worker-goroutine calls into
+// it: a shared container passed to a recorded write is safe only when
+// the write is an index write whose index parameters all receive owned
+// values at the call site.
+type soWritesFact struct {
+	writes []soWrite
+}
+
+// computeWritesFact records fd's writes through parameter- or
+// receiver-rooted containers, or nil when there are none. Function
+// literals inside fd run on unknown goroutines and are skipped — calls
+// into fd only account for fd's own frame.
+func (so *shardOwn) computeWritesFact(fd *ast.FuncDecl) *soWritesFact {
+	info := so.pass.TypesInfo
+	paramIdx := make(map[types.Object]int)
+	for i, p := range paramObjs(info, fd.Type) {
+		if p != nil {
+			paramIdx[p] = i
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		if obj := info.ObjectOf(fd.Recv.List[0].Names[0]); obj != nil {
+			paramIdx[obj] = soRecvParam
+		}
+	}
+	if len(paramIdx) == 0 {
+		return nil
+	}
+	var fact soWritesFact
+	record := func(lhs ast.Expr, rhs []ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		pi, isParam := paramIdx[info.ObjectOf(root)]
+		if !isParam {
+			return
+		}
+		if rootmost := rootmostIndex(lhs); rootmost != nil {
+			if isMap(info.Types[rootmost.X].Type) {
+				fact.writes = append(fact.writes, soWrite{param: pi, kind: soWriteMap})
+				return
+			}
+			w := soWrite{param: pi, kind: soWriteIndex, paramOnly: true}
+			seen := make(map[int]bool)
+			ast.Inspect(rootmost.Index, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil {
+					w.paramOnly = false
+					return true
+				}
+				if _, isConst := obj.(*types.Const); isConst {
+					return true
+				}
+				if j, ok := paramIdx[obj]; ok && j >= 0 {
+					if !seen[j] {
+						seen[j] = true
+						w.idxParams = append(w.idxParams, j)
+					}
+					return true
+				}
+				w.paramOnly = false
+				return true
+			})
+			fact.writes = append(fact.writes, w)
+			return
+		}
+		for _, r := range rhs {
+			if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+					if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+						fact.writes = append(fact.writes, soWrite{param: pi, kind: soWriteAppend})
+						return
+					}
+				}
+			}
+		}
+		// A plain rebind of the parameter itself (`p = ...`) changes only
+		// the callee's local copy; only derefs and field writes reach the
+		// caller's state.
+		if _, plain := lhs.(*ast.Ident); plain {
+			return
+		}
+		fact.writes = append(fact.writes, soWrite{param: pi, kind: soWriteScalar})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				record(l, n.Rhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X, nil)
+		}
+		return true
+	})
+	if len(fact.writes) == 0 {
+		return nil
+	}
+	return &fact
 }
 
 type shardOwn struct {
@@ -636,6 +779,9 @@ func (ctx *workerCtx) propagateCall(call *ast.CallExpr, stack []ast.Node) {
 	}
 	fd, ok := ctx.so.decls[callee]
 	if !ok {
+		// Cross-package helper: no syntax to re-walk, but the callee's
+		// pass exported a writes summary we can check this call against.
+		ctx.applyWritesFact(call, callee)
 		return
 	}
 	var sharedMask, ownMask uint64
@@ -700,6 +846,75 @@ func (ctx *workerCtx) propagateCall(call *ast.CallExpr, stack []ast.Node) {
 		}
 	}
 	helper.checkBody(fd.Body)
+}
+
+// applyWritesFact checks one worker-goroutine call into another
+// package's helper against the helper's exported writes summary: every
+// shared container handed to a recorded write must be an index write
+// whose index parameters all receive worker-owned values here.
+func (ctx *workerCtx) applyWritesFact(call *ast.CallExpr, callee types.Object) {
+	fact, ok := ctx.so.pass.ImportFact(callee)
+	if !ok {
+		return
+	}
+	wf, ok := fact.(*soWritesFact)
+	if !ok {
+		return
+	}
+	argFor := func(param int) ast.Expr {
+		var arg ast.Expr
+		if param == soRecvParam {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				arg = sel.X
+			}
+		} else if param >= 0 && param < len(call.Args) {
+			arg = call.Args[param]
+		}
+		if arg == nil {
+			return nil
+		}
+		// &x hands over x itself; the callee writes through the pointer.
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			return u.X
+		}
+		return arg
+	}
+	for _, w := range wf.writes {
+		arg := argFor(w.param)
+		if arg == nil {
+			continue
+		}
+		if ctx.sharedRoot(arg) == nil || ctx.ownedExpr(arg) == ownOwned {
+			continue // not shared state, or the worker's own cell
+		}
+		switch w.kind {
+		case soWriteIndex:
+			safe := w.paramOnly && len(w.idxParams) > 0
+			for _, j := range w.idxParams {
+				idxArg := argFor(j)
+				if idxArg == nil || ctx.ownedExpr(idxArg) != ownOwned {
+					safe = false
+				}
+			}
+			if !safe {
+				ctx.so.pass.Reportf(call.Pos(),
+					"call passes shared %s to %s, which writes it at an index not fully determined by worker-owned arguments here (DESIGN.md §7)",
+					types.ExprString(arg), callee.Name())
+			}
+		case soWriteMap:
+			ctx.so.pass.Reportf(call.Pos(),
+				"call passes shared map %s to %s, which writes it: concurrent map writes fault even at distinct keys (DESIGN.md §7)",
+				types.ExprString(arg), callee.Name())
+		case soWriteAppend:
+			ctx.so.pass.Reportf(call.Pos(),
+				"call passes shared slice %s to %s, which appends to it: append races on length and backing array (DESIGN.md §7)",
+				types.ExprString(arg), callee.Name())
+		case soWriteScalar:
+			ctx.so.pass.Reportf(call.Pos(),
+				"call passes shared %s to %s, which writes through it without indexing; shard it per worker or guard it (DESIGN.md §7)",
+				types.ExprString(arg), callee.Name())
+		}
+	}
 }
 
 func isPointer(t types.Type) bool {

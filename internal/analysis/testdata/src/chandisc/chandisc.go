@@ -1,0 +1,126 @@
+// Package chandisc exercises the chandisc analyzer: dispatcher channel
+// sends must be unblockable — buffered with derived capacity, literal
+// capacity with a justifying comment, or select-guarded.
+package chandisc
+
+func work(n int) int { return n * 2 }
+
+// unbufferedDispatch feeds workers over an unbuffered channel: one
+// stalled worker wedges the dispatch loop.
+func unbufferedDispatch(items []int) {
+	ch := make(chan int)
+	for range items {
+		go func() {
+			for v := range ch {
+				work(v)
+			}
+		}()
+	}
+	for _, it := range items {
+		ch <- it // want `dispatcher send on unbuffered ch`
+	}
+	close(ch)
+}
+
+// derivedCapDispatch buffers with a workload-derived capacity: the
+// buffer provably covers the in-flight count.
+func derivedCapDispatch(items []int) {
+	ch := make(chan int, len(items))
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+	for _, it := range items {
+		ch <- it
+	}
+	close(ch)
+}
+
+// bareLiteralNoComment buffers with a magic number and no justification.
+func bareLiteralNoComment(items []int) {
+	ch := make(chan int, 8)
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+	for _, it := range items {
+		ch <- it // want `buffered with a bare literal capacity`
+	}
+	close(ch)
+}
+
+// literalWithComment justifies the number on the make line: accepted.
+func literalWithComment(items []int) {
+	ch := make(chan int, 8) // 8 > the 4 producers' max burst of 2 each
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+	for _, it := range items {
+		ch <- it
+	}
+	close(ch)
+}
+
+// selectGuarded sends under a select with a quit escape (the shard
+// coordinator reader shape): a stalled receiver cannot wedge it.
+func selectGuarded(events chan int, quit chan struct{}, items []int) {
+	go func() {
+		for _, it := range items {
+			select {
+			case events <- work(it):
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+// selectDefault: a default case also makes the send non-blocking.
+func selectDefault(events chan int, items []int) {
+	go func() {
+		for _, it := range items {
+			select {
+			case events <- it:
+			default:
+			}
+		}
+	}()
+}
+
+// invisibleMakeSite sends inside a goroutine on a parameter channel:
+// nothing here bounds the send.
+func invisibleMakeSite(out chan int, items []int) {
+	go func() {
+		for _, it := range items {
+			out <- it // want `dispatcher send on out whose make site is not visible`
+		}
+	}()
+}
+
+// sendInSelectBody: the send sits in a case BODY, not as the comm — the
+// select does not guard it.
+func sendInSelectBody(out chan int, quit chan struct{}) {
+	go func() {
+		select {
+		case <-quit:
+			out <- 1 // want `dispatcher send on out whose make site is not visible`
+		}
+	}()
+}
+
+// plainSequential: a function with no goroutines sends to a channel its
+// caller drains — out of scope.
+func plainSequential(ch chan int, v int) {
+	ch <- v
+}
+
+// suppressedSend carries a conc-ok reason, so the finding is filtered.
+func suppressedSend(out chan int) {
+	go func() {
+		out <- 1 //st2:conc-ok test fixture: receiver is the test itself, always draining
+	}()
+}

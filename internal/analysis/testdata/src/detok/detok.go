@@ -4,8 +4,9 @@
 // line comment cannot share its line with a second comment).
 package detok
 
-// reasoned is a well-formed suppression (it has nothing to suppress,
-// which is fine — unused suppressions are not errors).
+// reasoned is a well-formed suppression that covers nothing. Running
+// detok alone cannot judge it (the analyzers it might suppress did not
+// run), but once the full det-ok family runs it is flagged as stale.
 func reasoned() int {
 	return 1 //st2:det-ok fixture: a valid reason
 }
@@ -15,14 +16,24 @@ func reasonless() int {
 	return 2 //st2:det-ok
 }
 
+// reasonlessConc: the conc-ok directive needs a reason too.
+func reasonlessConc() int {
+	return 3 //st2:conc-ok
+}
+
 // typo is an unknown directive and must be flagged.
 func typo() int {
-	return 3 //st2:det-okay close but not the directive
+	return 4 //st2:det-okay close but not the directive
+}
+
+// concTypo: near-miss spellings of conc-ok are flagged the same way.
+func concTypo() int {
+	return 5 //st2:conc-okay also not a directive
 }
 
 // otherDirectives that are not st2-prefixed are none of our business.
 //
 //go:noinline
 func otherDirectives() int {
-	return 4
+	return 6
 }

@@ -1,0 +1,43 @@
+// Package factdep is the dependency half of the cross-package fact
+// propagation fixture: its helpers export shardown writes-summary facts
+// and lockorder locks-stripes facts that testdata/factimp consumes.
+package factdep
+
+import "sync"
+
+// WriteCell writes dst at exactly the index the caller hands over:
+// safe from a worker goroutine iff i is worker-owned at the call site.
+func WriteCell(dst []float64, i int, v float64) {
+	dst[i] = v
+}
+
+// WriteFirst writes a fixed cell: never safe from concurrent workers,
+// whoever calls it.
+func WriteFirst(dst []float64, v float64) {
+	dst[0] = v
+}
+
+// AppendTo grows the slice through the pointer: append races on length
+// and backing array.
+func AppendTo(dst *[]float64, v float64) {
+	*dst = append(*dst, v)
+}
+
+// PutKey writes the map: concurrent map writes fault even at distinct
+// keys.
+func PutKey(m map[string]int, k string, v int) {
+	m[k] = v
+}
+
+// Bump writes through the pointer without indexing.
+func Bump(p *int) {
+	*p++
+}
+
+// LockStripe acquires one stripe lock; the exported locks-stripes fact
+// flags callers that invoke it while already holding a stripe.
+func LockStripe(locks []sync.Mutex, i int, f func()) {
+	locks[i].Lock()
+	f()
+	locks[i].Unlock()
+}

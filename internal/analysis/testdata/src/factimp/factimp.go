@@ -1,0 +1,121 @@
+// Package factimp is the importer half of the cross-package fact
+// propagation fixture: worker goroutines call testdata/factdep helpers,
+// and the shardown writes-summary and lockorder locks-stripes facts
+// exported by that package decide which calls are flagged here.
+package factimp
+
+import (
+	"sync"
+
+	"testdata/factdep"
+)
+
+// FillOwned hands each worker's per-iteration index to the helper: the
+// index write inside factdep.WriteCell is fully determined by a
+// worker-owned argument, so the call is clean.
+func FillOwned(n int) []float64 {
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			factdep.WriteCell(out, i, 1.0)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// FillClash passes the same non-owned index from every worker.
+func FillClash(n int) []float64 {
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			factdep.WriteCell(out, n-1, 2.0) // want `writes it at an index not fully determined by worker-owned arguments`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// FixedCell calls a helper that writes a constant cell: every worker
+// hits the same element.
+func FixedCell(n int) []float64 {
+	out := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			factdep.WriteFirst(out, 3.0) // want `writes it at an index not fully determined by worker-owned arguments`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SharedMap hands a shared map to a helper that writes it.
+func SharedMap(keys []string) map[string]int {
+	m := make(map[string]int, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		i, k := i, k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			factdep.PutKey(m, k, i) // want `concurrent map writes fault even at distinct keys`
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// SharedAppend hands a shared slice pointer to an appending helper.
+func SharedAppend(n int) []float64 {
+	out := make([]float64, 0, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			factdep.AppendTo(&out, 1.0) // want `appends to it: append races on length and backing array`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SharedScalar hands a captured counter to a helper that writes through
+// the pointer.
+func SharedScalar(n int) int {
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			factdep.Bump(&counter) // want `writes through it without indexing`
+		}()
+	}
+	wg.Wait()
+	return counter
+}
+
+// Transfer calls the stripe-locking helper while already holding a
+// stripe of the same array: the cross-package acquisition order cannot
+// be verified.
+func Transfer(locks []sync.Mutex, i, j int) {
+	locks[i].Lock()
+	factdep.LockStripe(locks, j, func() {}) // want `call to LockStripe \(which locks stripe array locks\) while a stripe lock is held`
+	locks[i].Unlock()
+}
+
+// Delegate calls the helper with nothing held: clean.
+func Delegate(locks []sync.Mutex, j int) {
+	factdep.LockStripe(locks, j, func() {})
+}

@@ -1,0 +1,210 @@
+// Package goleak exercises the goleak analyzer: every go statement
+// needs a statically-visible exit path reaching function return.
+package goleak
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBad = errors.New("bad")
+
+func work(n int) int { return n * 2 }
+
+func validate(n int) error {
+	if n < 0 {
+		return errBad
+	}
+	return nil
+}
+
+// decodeSetPreFix is the pre-fix PR 6 DecodeSet shape: goroutines are
+// spawned per item, and an error return between the spawn loop and
+// wg.Wait leaves every in-flight goroutine writing into out past the
+// function's lifetime.
+func decodeSetPreFix(items []int) ([]int, error) {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		i, it := i, it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = work(it)
+		}()
+		if err := validate(it); err != nil {
+			return nil, err // want `return before wg\.Wait\(\) leaks the goroutines`
+		}
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// decodeSetPostFix validates every input before the first spawn — the
+// shape the fix landed on — so no return sits between spawn and join.
+func decodeSetPostFix(items []int) ([]int, error) {
+	for _, it := range items {
+		if err := validate(it); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		i, it := i, it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = work(it)
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// deferredWait joins on every return path via defer: returns between
+// spawns are fine.
+func deferredWait(items []int) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(it)
+		}()
+		if it == 0 {
+			return errBad
+		}
+	}
+	return nil
+}
+
+// deferredWaitClosure joins through a deferred closure (the shard
+// coordinator shape): also fine.
+func deferredWaitClosure(items []int) error {
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()
+	}()
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(it)
+		}()
+		if it == 0 {
+			return errBad
+		}
+	}
+	return nil
+}
+
+// neverJoined participates in a WaitGroup but the function never calls
+// Wait at all.
+func neverJoined(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() { // want `never calls wg\.Wait\(\) after the spawn`
+			defer wg.Done()
+			work(it)
+		}()
+	}
+}
+
+// foreverLoop spins with no exit path.
+func foreverLoop() {
+	go func() {
+		n := 0
+		for { // want `goroutine loops forever with no exit path`
+			n++
+		}
+	}()
+}
+
+// quitLoop exits through a quit-channel receive: clean.
+func quitLoop(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// claimLoop exits by returning when the claimed index runs out (the
+// device worker-pool shape): clean.
+func claimLoop(n int) {
+	go func() {
+		i := 0
+		for {
+			i++
+			if i >= n {
+				return
+			}
+		}
+	}()
+}
+
+// unclosedRange ranges over a channel the spawning function never
+// closes.
+func unclosedRange(ch chan int) {
+	go func() {
+		for v := range ch { // want `ranges over ch but the spawning function never closes it`
+			work(v)
+		}
+	}()
+}
+
+// closedRange: the spawner closes the channel when dispatch is done.
+func closedRange(items []int) {
+	ch := make(chan int, len(items))
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+	for _, it := range items {
+		ch <- it
+	}
+	close(ch)
+}
+
+// closedElemRange: the shard-coordinator shape — each goroutine ranges
+// one element of a channel slice, and the spawner closes every element
+// through the range variable of a loop over the same slice.
+func closedElemRange(n int) {
+	sendChs := make([]chan int, n)
+	for c := range sendChs {
+		sendChs[c] = make(chan int, 4) // capacity covers the per-conn in-flight budget
+	}
+	for c := range sendChs {
+		c := c
+		go func() {
+			for v := range sendChs[c] {
+				work(v)
+			}
+		}()
+	}
+	defer func() {
+		for _, ch := range sendChs {
+			close(ch)
+		}
+	}()
+}
+
+// suppressedLeak carries a conc-ok reason, so the finding is filtered.
+func suppressedLeak() {
+	go func() {
+		for { //st2:conc-ok test fixture: process-lifetime heartbeat, exits with the process
+			work(1)
+		}
+	}()
+}

@@ -1,0 +1,112 @@
+// Package lockorder exercises the lockorder analyzer: multi-lock
+// acquisitions over a sync.Mutex stripe array must be provably
+// ascending.
+package lockorder
+
+import "sync"
+
+type striped struct {
+	locks [8]sync.Mutex
+	cells [8]int
+}
+
+// badPair takes two stripe locks with no ordering guarantee: two
+// goroutines calling badPair(1, 2) and badPair(2, 1) deadlock.
+func (s *striped) badPair(i, j int) {
+	s.locks[i].Lock()
+	s.locks[j].Lock() // want `second lock on stripe array locks without ascending-order normalization`
+	s.cells[i], s.cells[j] = s.cells[j], s.cells[i]
+	s.locks[j].Unlock()
+	s.locks[i].Unlock()
+}
+
+// lockSpan is the blessed idiom (internal/gpusim memory.go): equal
+// indices short-circuit, a swap guard normalizes the pair, and the
+// locks are taken through pointers in ascending order.
+func (s *striped) lockSpan(i, j int) {
+	if i == j {
+		s.locks[i].Lock()
+		return
+	}
+	if j < i {
+		i, j = j, i
+	}
+	a, b := &s.locks[i], &s.locks[j]
+	a.Lock()
+	b.Lock()
+}
+
+// swapDirect: the guard also covers direct (non-pointer) second locks.
+func (s *striped) swapDirect(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	s.locks[i].Lock()
+	s.locks[j].Lock()
+	s.locks[j].Unlock()
+	s.locks[i].Unlock()
+}
+
+// lockAll uses the ascending-loop idiom: ordered by construction.
+func (s *striped) lockAll() {
+	for i := range s.locks {
+		s.locks[i].Lock()
+	}
+	for i := range s.locks {
+		s.locks[i].Unlock()
+	}
+}
+
+// seqPair never overlaps the two acquisitions: clean.
+func (s *striped) seqPair(i, j int) {
+	s.locks[i].Lock()
+	s.cells[i]++
+	s.locks[i].Unlock()
+	s.locks[j].Lock()
+	s.cells[j]++
+	s.locks[j].Unlock()
+}
+
+// lockOne acquires a single stripe lock; it exports a locks-stripes
+// fact rather than a finding.
+func (s *striped) lockOne(i int) {
+	s.locks[i].Lock()
+	s.cells[i]++
+	s.locks[i].Unlock()
+}
+
+// helperUnderLock calls a stripe-locking helper while already holding a
+// stripe: the cross-function acquisition order cannot be verified.
+func (s *striped) helperUnderLock(i, j int) {
+	s.locks[i].Lock()
+	s.lockOne(j) // want `call to lockOne \(which locks stripe array locks\) while a stripe lock is held`
+	s.locks[i].Unlock()
+}
+
+// helperAfterUnlock calls the helper with nothing held: clean.
+func (s *striped) helperAfterUnlock(i, j int) {
+	s.locks[i].Lock()
+	s.cells[i]++
+	s.locks[i].Unlock()
+	s.lockOne(j)
+}
+
+// suppressedPair carries a conc-ok reason, so the finding is filtered.
+func (s *striped) suppressedPair(i, j int) {
+	s.locks[i].Lock()
+	s.locks[j].Lock() //st2:conc-ok test fixture: callers are single-threaded during init
+	s.locks[j].Unlock()
+	s.locks[i].Unlock()
+}
+
+// otherMutex: a lone mutex (not a stripe array) is out of scope.
+type otherMutex struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+func (o *otherMutex) put(k string, v int) {
+	o.mu.Lock()
+	o.data[k] = v
+	o.mu.Unlock()
+}

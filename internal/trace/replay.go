@@ -3,10 +3,13 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"syscall"
 
 	"st2gpu/internal/gpusim"
 )
@@ -220,9 +223,11 @@ func ReadSetLimit(r io.Reader, maxRecordBytes uint64) (*Set, error) {
 
 // writeFileAtomic writes a file via a sibling temp file renamed into
 // place, so readers never observe a partial write. On any failure —
-// write, close, or the rename itself — the temp file is removed and the
-// first error is returned; a crashed or failed writer leaves nothing
-// behind.
+// write, sync, close, or the rename itself — the temp file is removed
+// and the first error is returned; a crashed or failed writer leaves
+// nothing behind. The data is fsynced before the rename and the parent
+// directory after it: rename-without-sync can survive a crash as a
+// zero-length or absent file even though the write "succeeded".
 func writeFileAtomic(path string, write func(w io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -234,12 +239,32 @@ func writeFileAtomic(path string, write func(w io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// platforms refuse to sync directories; those errors are ignored — the
+// rename itself is still atomic there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.EBADF) {
 		return err
 	}
 	return nil

@@ -628,6 +628,14 @@ func readStoreInfo(r io.Reader, maxBytes uint64, wholeFile bool) (*storeInfo, er
 		return nil, fmt.Errorf("trace: store declares a %d-byte section table with a %d-byte budget: %w",
 			tableLen, maxBytes, ErrStoreTooBig)
 	}
+	// The kernel count sizes the entry slice and the dedup map below, so
+	// it gets its own bound before any allocation: every table row is at
+	// least 2 bytes (the name-length prefix), so a count the
+	// budget-checked table cannot physically hold is corrupt, not big.
+	if uint64(nkern) > tableLen/2 {
+		return nil, fmt.Errorf("trace: store declares %d kernels but its %d-byte section table cannot hold them",
+			nkern, tableLen)
+	}
 	table := make([]byte, tableLen)
 	if _, err := io.ReadFull(r, table); err != nil {
 		return nil, fmt.Errorf("trace: store section table: %w", err)

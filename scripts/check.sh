@@ -8,10 +8,12 @@ cd "$(dirname "$0")/.."
 go vet ./...
 
 # st2lint enforces the determinism and shard-ownership invariants
-# statically (DESIGN.md §11) — it must pass before the race suite runs,
-# since a lint violation usually predicts a bit-identity failure that is
-# much slower to chase at runtime.
-go run ./cmd/st2lint ./...
+# (DESIGN.md §11) plus the concurrency-safety and wire-taint invariants
+# (DESIGN.md §16) statically — it must pass before the race suite runs,
+# since a lint violation usually predicts a bit-identity failure or a
+# decoder OOM that is much slower to chase at runtime. The go-list load
+# is cached; the committed baseline is empty and must stay empty.
+go run ./cmd/st2lint -cache .cache/st2lint -baseline .st2lint-baseline.json ./...
 
 go test -race ./...
 
